@@ -1,0 +1,68 @@
+// Command unbundle-bench regenerates the paper-reproduction experiment
+// tables (E1–E11 in DESIGN.md): for every figure and §3/§4 claim of
+// "Understanding the limitations of pubsub systems" it runs the pubsub
+// baseline and the watch counterpart and prints the measured comparison,
+// followed by PASS/FAIL shape checks.
+//
+// Usage:
+//
+//	unbundle-bench                 # run everything at full scale
+//	unbundle-bench -quick          # small parameters (seconds)
+//	unbundle-bench -experiment E6  # a single experiment
+//	unbundle-bench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unbundle/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run with reduced parameters")
+		exp   = flag.String("experiment", "", "run a single experiment by ID (e.g. E6)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-28s %s\n", e.ID, e.Anchor, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	var toRun []experiments.Experiment
+	if *exp != "" {
+		e, ok := experiments.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	} else {
+		toRun = experiments.All()
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		fmt.Printf("### %s — %s (%s)\n", e.ID, e.Title, e.Anchor)
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		res.Render(os.Stdout)
+		failed += len(res.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Cache invalidation under auto-sharding — the paper's Figure 2, end to end.
+//
+// A distributed cache moves key ownership dynamically. On the pubsub path,
+// the invalidation router's view of the auto-sharder lags, so the
+// invalidation for a racing update is acknowledged by the OLD owner and the
+// NEW owner serves a stale value forever. On the watch path, the new owner's
+// knowledge comes from the store itself and converges.
+//
+// Run: go run ./examples/cacheinvalidation
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"unbundle/internal/cache"
+	"unbundle/internal/clockwork"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/sharder"
+	"unbundle/internal/workload"
+)
+
+func main() {
+	fmt.Println("=== pubsub invalidation (Figure 2) ===")
+	pubsubRace()
+	fmt.Println()
+	fmt.Println("=== watch-based cache, same schedule ===")
+	watchConverges()
+}
+
+func pubsubRace() {
+	clock := clockwork.NewFake()
+	c, err := cache.NewPubSubCluster(cache.PubSubConfig{
+		Clock:         clock,
+		Mode:          cache.ModeRouted,
+		Pods:          []sharder.Pod{"p_old", "p_new"},
+		RouterLag:     time.Second, // the pubsub system learns about moves late
+		InitialShards: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	clock.Advance(time.Second) // the router learns the initial table
+	for c.RouterGeneration() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	x := keyspace.NumericKey(100)
+	c.Update(x, workload.Value(x, 1))
+	c.Pump()
+
+	// Make sure "p_old" owns x, then cache it there.
+	if c.Sharder().Owner(x) != "p_old" {
+		c.Sharder().MoveRange(keyspace.NumericRange(100, 101), "p_old")
+		clock.Advance(2 * time.Second)
+		for c.RouterGeneration() < c.Sharder().Stats().Generation {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	c.Read(x)
+	fmt.Printf("p_old serves and caches x (seq 1)\n")
+
+	// The auto-sharder moves x to p_new; p_new serves immediately.
+	c.Sharder().MoveRange(keyspace.NumericRange(100, 101), "p_new")
+	res, _ := c.Read(x)
+	fmt.Printf("sharder moved x; %s fetched and cached %q\n", res.Pod, res.Value)
+
+	// The racing update: published while the router still routes to p_old.
+	c.Update(x, workload.Value(x, 2))
+	c.Pump()
+	fmt.Println("update to seq 2 published; invalidation delivered to p_old (stale routing)")
+
+	clock.Advance(2 * time.Second) // router catches up — too late
+	c.Pump()
+	res, _ = c.Read(x)
+	want, _, _, _ := c.Store().Get(x, 0)
+	fmt.Printf("final read from %s: %q (store has %q) — PERMANENTLY STALE: %v\n",
+		res.Pod, res.Value, want, string(res.Value) != string(want))
+}
+
+func watchConverges() {
+	c := cache.NewWatchCluster(cache.WatchConfig{
+		Pods:          []sharder.Pod{"p_old", "p_new"},
+		InitialShards: 2,
+	})
+	defer c.Close()
+
+	x := keyspace.NumericKey(100)
+	c.Update(x, workload.Value(x, 1))
+	if c.Sharder().Owner(x) != "p_old" {
+		c.Sharder().MoveRange(keyspace.NumericRange(100, 101), "p_old")
+	}
+	waitFor(func() bool { return c.Pods()["p_old"].Covers(x) })
+	c.Read(x)
+	fmt.Println("p_old serves x from its knowledge (seq 1)")
+
+	c.Sharder().MoveRange(keyspace.NumericRange(100, 101), "p_new")
+	c.Update(x, workload.Value(x, 2)) // races with the handoff
+	fmt.Println("sharder moved x to p_new; update to seq 2 races with the handoff")
+
+	want := workload.Value(x, 2)
+	waitFor(func() bool {
+		res, _ := c.Read(x)
+		return string(res.Value) == string(want)
+	})
+	res, _ := c.Read(x)
+	fmt.Printf("final read from %s: %q — fresh (the range watch carried the update)\n", res.Pod, res.Value)
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	panic("timed out")
+}

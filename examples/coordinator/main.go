@@ -1,0 +1,77 @@
+// The §4.3 VM-provisioning coordinator: advance entities to desired state by
+// watching BOTH the desired configuration and the actual world, instead of
+// processing a queue of provisioning tasks.
+//
+// The event-driven coordinator converges only when someone enqueues a task;
+// a VM crash enqueues nothing, so drift persists. The watch coordinator
+// treats drift as just another observed change and reconciles it.
+//
+// Run: go run ./examples/coordinator
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"unbundle/internal/workqueue"
+)
+
+func main() {
+	fleet := workqueue.NewFleet()
+
+	// --- the event-driven coordinator (pubsub model) ---
+	ec, err := workqueue.NewEventCoordinator(fleet)
+	if err != nil {
+		panic(err)
+	}
+	defer ec.Close()
+
+	fmt.Println("declaring 5 workloads × 3 VMs each")
+	for i := 0; i < 5; i++ {
+		fleet.SetDesired(fmt.Sprintf("workload-%d", i), 3)
+	}
+	ec.Step(100)
+	fmt.Printf("event coordinator after processing tasks: %d workloads diverged\n", fleet.Divergence())
+
+	fmt.Println("\nchaos: two VMs crash (machines do not file tickets when they die)")
+	fleet.CrashVM("workload-0")
+	fleet.CrashVM("workload-3")
+	ec.Step(100) // there is nothing in the queue to process
+	fmt.Printf("event coordinator after chaos:            %d workloads diverged (it cannot see the crashes)\n",
+		fleet.Divergence())
+
+	// --- the watch coordinator (state-based model) ---
+	fmt.Println("\nstarting the watch coordinator on the same fleet")
+	wc, err := workqueue.NewWatchCoordinator(fleet)
+	if err != nil {
+		panic(err)
+	}
+	defer wc.Close()
+	waitFor(func() bool {
+		wc.Step(20)
+		return fleet.Divergence() == 0
+	})
+	fmt.Printf("watch coordinator:                        %d workloads diverged (crashes observed and repaired)\n",
+		fleet.Divergence())
+
+	fmt.Println("\nongoing chaos: scale-up, scale-down, more crashes")
+	fleet.SetDesired("workload-1", 5)
+	fleet.SetDesired("workload-2", 1)
+	fleet.CrashVM("workload-4")
+	waitFor(func() bool {
+		wc.Step(20)
+		return fleet.Divergence() == 0
+	})
+	fmt.Printf("watch coordinator converged again; total provisioning actions: %d\n", wc.Actions())
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	panic("timed out waiting for convergence")
+}

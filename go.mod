@@ -1,0 +1,3 @@
+module unbundle
+
+go 1.24

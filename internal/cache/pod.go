@@ -1,0 +1,133 @@
+// Package cache implements the distributed cache-invalidation scenario of
+// §3.2.2 twice, so the experiments can compare contracts head-to-head:
+//
+//   - PubSubCluster: pods cache on demand and rely on invalidation messages
+//     routed through a pubsub broker. Three modes mirror the paper: keyed
+//     consumer routing (whose view of the auto-sharder lags — the Figure 2
+//     race), lease-serialized routing (closes the race, costs availability),
+//     and free-consumer fanout (correct-ish, pays the full feed per pod).
+//
+//   - WatchCluster: pods watch their assigned key ranges against the store
+//     through the core watch contract, maintain knowledge regions, and serve
+//     reads whose staleness is bounded by propagation — with resync, never
+//     silent loss, when they fall behind or acquire new ranges.
+//
+// A staleness oracle (oracle.go) scores every read and the final cache
+// contents against the MVCC store's ground truth.
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/sharder"
+)
+
+// Entry is one cached value.
+type Entry struct {
+	Value    []byte
+	Version  core.Version // store version that wrote the value (0 if unknown)
+	StoredAt time.Time    // cache-insert time, drives TTL expiry
+}
+
+// PodStats counts one pod's cache activity.
+type PodStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	TTLExpiries   int64
+	Entries       int
+}
+
+// Pod is a single cache server's local store: a flat map with TTL support.
+// It is deliberately simple — the interesting behaviour lives in *who gets
+// told* about invalidations, which is the clusters' job.
+type Pod struct {
+	Name sharder.Pod
+
+	mu      sync.Mutex
+	entries map[keyspace.Key]Entry
+
+	hits, misses, invalidations, ttlExpiries int64
+}
+
+// NewPod creates an empty pod.
+func NewPod(name sharder.Pod) *Pod {
+	return &Pod{Name: name, entries: make(map[keyspace.Key]Entry)}
+}
+
+// Get returns the cached entry for k if present and, when ttl > 0, not
+// expired at time now.
+func (p *Pod) Get(k keyspace.Key, now time.Time, ttl time.Duration) (Entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[k]
+	if !ok {
+		p.misses++
+		return Entry{}, false
+	}
+	if ttl > 0 && now.Sub(e.StoredAt) >= ttl {
+		delete(p.entries, k)
+		p.ttlExpiries++
+		p.misses++
+		return Entry{}, false
+	}
+	p.hits++
+	return e, true
+}
+
+// Put caches an entry.
+func (p *Pod) Put(k keyspace.Key, e Entry) {
+	p.mu.Lock()
+	p.entries[k] = e
+	p.mu.Unlock()
+}
+
+// Invalidate removes k, reporting whether an entry existed. Receiving an
+// invalidation for a key one no longer caches is normal (and is how missed
+// invalidations hide: the wrong pod "successfully" processes the message).
+func (p *Pod) Invalidate(k keyspace.Key) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.entries[k]
+	delete(p.entries, k)
+	p.invalidations++
+	return ok
+}
+
+// DropRange removes every entry in r (ownership moved away).
+func (p *Pod) DropRange(r keyspace.Range) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k := range p.entries {
+		if r.Contains(k) {
+			delete(p.entries, k)
+		}
+	}
+}
+
+// Snapshot returns a copy of current entries (for the oracle's final sweep).
+func (p *Pod) Snapshot() map[keyspace.Key]Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[keyspace.Key]Entry, len(p.entries))
+	for k, e := range p.entries {
+		out[k] = e
+	}
+	return out
+}
+
+// Stats returns the pod's counters.
+func (p *Pod) Stats() PodStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PodStats{
+		Hits:          p.hits,
+		Misses:        p.misses,
+		Invalidations: p.invalidations,
+		TTLExpiries:   p.ttlExpiries,
+		Entries:       len(p.entries),
+	}
+}

@@ -1,0 +1,372 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/pubsub"
+	"unbundle/internal/sharder"
+	"unbundle/internal/workload"
+)
+
+// Mode selects the pubsub invalidation topology.
+type Mode int
+
+const (
+	// ModeRouted delivers each invalidation to the pod the *router's* view
+	// of the auto-sharder says owns the key. The router's view lags reality
+	// by RouterLag — Figure 2's race window.
+	ModeRouted Mode = iota
+	// ModeLease is ModeRouted plus sharder leases: a moved range has no
+	// active owner until the old lease expires, and undeliverable
+	// invalidations are requeued instead of acknowledged by a stale owner.
+	// The race closes; availability pays for it.
+	ModeLease
+	// ModeFanout delivers every invalidation to every pod (free consumers on
+	// the entire feed) — the §3.2.2 fallback "that does not scale as update
+	// rates increase".
+	ModeFanout
+)
+
+// String names the mode for tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeRouted:
+		return "pubsub-routed"
+	case ModeLease:
+		return "pubsub-lease"
+	case ModeFanout:
+		return "pubsub-fanout"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// invalTopic is the invalidation topic name.
+const invalTopic = "cache-invalidations"
+
+// PubSubConfig configures a pubsub-invalidated cache cluster.
+type PubSubConfig struct {
+	Clock      clockwork.Clock
+	Mode       Mode
+	Pods       []sharder.Pod
+	Partitions int // invalidation topic partitions (default 8)
+	// RouterLag is how far the router's view of the sharder trails reality.
+	RouterLag time.Duration
+	// LeaseDuration configures the sharder's lease in ModeLease.
+	LeaseDuration time.Duration
+	// TTL, when positive, bounds staleness by expiring cache entries — the
+	// §3.1 fallback whose cost is repeated refetching and whose benefit is
+	// only eventual.
+	TTL time.Duration
+	// InitialShards for the sharder (default: one per pod).
+	InitialShards int
+	// Coalesce enables sharder range coalescing (production hygiene for
+	// long move-heavy runs).
+	Coalesce bool
+}
+
+// PubSubCluster is the baseline: store + pubsub invalidations + sharded pods.
+type PubSubCluster struct {
+	cfg    PubSubConfig
+	clock  clockwork.Clock
+	store  *mvcc.Store
+	broker *pubsub.Broker
+	shd    *sharder.Sharder
+	pods   map[sharder.Pod]*Pod
+
+	// The router consumes the invalidation feed and forwards by ownership.
+	feeds   []*pubsub.FreeConsumer // one per partition
+	podFeed map[sharder.Pod][]*pubsub.FreeConsumer
+
+	mu         sync.Mutex
+	routerView sharder.Table // delayed view (ModeRouted)
+	pending    []pubsub.Message
+
+	unsub         func()
+	podUnsubs     []func()
+	unavailable   int64 // reads that found no active owner (lease gaps)
+	storeFallback int64 // reads served directly from the store
+	delivered     int64 // invalidations applied to some pod
+	requeued      int64
+}
+
+// NewPubSubCluster wires the baseline together.
+func NewPubSubCluster(cfg PubSubConfig) (*PubSubCluster, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = clockwork.Real()
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 8
+	}
+	lease := time.Duration(0)
+	if cfg.Mode == ModeLease {
+		lease = cfg.LeaseDuration
+		if lease <= 0 {
+			lease = time.Second
+		}
+	}
+	c := &PubSubCluster{
+		cfg:    cfg,
+		clock:  cfg.Clock,
+		store:  mvcc.NewStore(),
+		broker: pubsub.NewBroker(pubsub.BrokerConfig{Clock: cfg.Clock}),
+		shd: sharder.New(sharder.Config{
+			Clock:          cfg.Clock,
+			LeaseDuration:  lease,
+			InitialShards:  cfg.InitialShards,
+			CoalesceRanges: cfg.Coalesce,
+		}, cfg.Pods...),
+		pods:    make(map[sharder.Pod]*Pod),
+		podFeed: make(map[sharder.Pod][]*pubsub.FreeConsumer),
+	}
+	if err := c.broker.CreateTopic(invalTopic, pubsub.TopicConfig{Partitions: cfg.Partitions}); err != nil {
+		return nil, err
+	}
+	for _, p := range cfg.Pods {
+		c.pods[p] = NewPod(p)
+	}
+	// Pods practice standard handoff hygiene: when the sharder takes a range
+	// away, the pod drops its entries for it (they are unreachable by reads
+	// anyway — and must not come back to life if the range ever returns).
+	// This is pod-side knowledge, delivered promptly; the Figure 2 race is
+	// about the *pubsub system's* routing knowledge, which lags separately.
+	for _, p := range cfg.Pods {
+		pod := c.pods[p]
+		podName := p
+		var prev keyspace.RangeSet
+		first := true
+		unsub := c.shd.Subscribe(0, func(t sharder.Table) {
+			now := keyspace.NewRangeSet(t.RangesOf(podName)...)
+			if !first {
+				for _, lost := range prev.Subtract(now).Ranges() {
+					pod.DropRange(lost)
+				}
+			}
+			first = false
+			prev = now
+		})
+		c.podUnsubs = append(c.podUnsubs, unsub)
+	}
+	switch cfg.Mode {
+	case ModeFanout:
+		for _, p := range cfg.Pods {
+			for part := 0; part < cfg.Partitions; part++ {
+				fc, err := c.broker.NewFreeConsumer(invalTopic, part, pubsub.FromLatest)
+				if err != nil {
+					return nil, err
+				}
+				c.podFeed[p] = append(c.podFeed[p], fc)
+			}
+		}
+	default:
+		for part := 0; part < cfg.Partitions; part++ {
+			fc, err := c.broker.NewFreeConsumer(invalTopic, part, pubsub.FromLatest)
+			if err != nil {
+				return nil, err
+			}
+			c.feeds = append(c.feeds, fc)
+		}
+		// The router's assignment view trails the sharder by RouterLag.
+		c.unsub = c.shd.Subscribe(cfg.RouterLag, func(t sharder.Table) {
+			c.mu.Lock()
+			c.routerView = t
+			c.mu.Unlock()
+		})
+	}
+	return c, nil
+}
+
+// Store exposes the authoritative store (the oracle reads it).
+func (c *PubSubCluster) Store() *mvcc.Store { return c.store }
+
+// Sharder exposes the auto-sharder (experiments script moves through it).
+func (c *PubSubCluster) Sharder() *sharder.Sharder { return c.shd }
+
+// Broker exposes the broker (for topic stats in E10).
+func (c *PubSubCluster) Broker() *pubsub.Broker { return c.broker }
+
+// Update writes a value to the store and publishes an invalidation — the
+// producer-storage → pubsub pipeline of Figure 2.
+func (c *PubSubCluster) Update(k keyspace.Key, v []byte) error {
+	c.store.Put(k, v)
+	_, _, err := c.broker.Publish(invalTopic, k, nil) // invalidation carries just the key
+	return err
+}
+
+// Pump drains published invalidations and delivers them per the cluster's
+// mode. Experiments call it after advancing the clock; the explicit pump
+// keeps the race deterministic instead of schedule-dependent.
+func (c *PubSubCluster) Pump() {
+	switch c.cfg.Mode {
+	case ModeFanout:
+		for pod, feeds := range c.podFeed {
+			for _, fc := range feeds {
+				for {
+					msg, ok := fc.Poll()
+					if !ok {
+						break
+					}
+					// Every pod sees every invalidation and applies it
+					// locally; unowned keys are simply absent.
+					if c.pods[pod].Invalidate(msg.Key) {
+						c.bump(&c.delivered)
+					}
+				}
+			}
+		}
+	default:
+		c.mu.Lock()
+		pending := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		for _, fc := range c.feeds {
+			for {
+				msg, ok := fc.Poll()
+				if !ok {
+					break
+				}
+				pending = append(pending, msg)
+			}
+		}
+		now := c.clock.Now()
+		for _, msg := range pending {
+			c.route(msg, now)
+		}
+	}
+}
+
+// route delivers one invalidation per the mode's ownership rule.
+func (c *PubSubCluster) route(msg pubsub.Message, now time.Time) {
+	var owner sharder.Pod
+	switch c.cfg.Mode {
+	case ModeLease:
+		// Lease mode consults the authoritative table, but a range in its
+		// lease gap has no owner allowed to acknowledge: requeue.
+		owner = c.shd.Owner(msg.Key)
+		if owner == sharder.NoPod {
+			c.mu.Lock()
+			c.pending = append(c.pending, msg)
+			c.requeued++
+			c.mu.Unlock()
+			return
+		}
+	default: // ModeRouted
+		// The router uses its *delayed* view — Figure 2: the pubsub system
+		// learns about the reassignment late and picks p_old, which
+		// acknowledges an invalidation that p_new needed.
+		c.mu.Lock()
+		view := c.routerView
+		c.mu.Unlock()
+		owner = view.Owner(msg.Key, now)
+		if owner == sharder.NoPod {
+			return // no view yet; ack and drop, as a real router would
+		}
+	}
+	if pod, ok := c.pods[owner]; ok {
+		pod.Invalidate(msg.Key)
+		c.bump(&c.delivered)
+	}
+}
+
+func (c *PubSubCluster) bump(f *int64) {
+	c.mu.Lock()
+	*f++
+	c.mu.Unlock()
+}
+
+// RouterGeneration reports which sharder generation the router's (delayed)
+// view reflects; tests and experiments use it to place themselves before or
+// after the race window deterministically.
+func (c *PubSubCluster) RouterGeneration() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routerView.Generation
+}
+
+// ReadResult describes how a read was served.
+type ReadResult struct {
+	Value       []byte
+	CacheHit    bool
+	Unavailable bool // no active owner; served from the store
+	Pod         sharder.Pod
+}
+
+// Read serves k through the cluster: route to the current owner pod, serve
+// from its cache or fetch from the store on miss.
+func (c *PubSubCluster) Read(k keyspace.Key) (ReadResult, error) {
+	now := c.clock.Now()
+	owner := c.shd.Owner(k)
+	if owner == sharder.NoPod {
+		// Lease gap (or no pods): the client falls back to the store.
+		c.mu.Lock()
+		c.unavailable++
+		c.storeFallback++
+		c.mu.Unlock()
+		val, _, _, err := c.store.Get(k, core.NoVersion)
+		return ReadResult{Value: val, Unavailable: true}, err
+	}
+	pod := c.pods[owner]
+	if e, ok := pod.Get(k, now, c.cfg.TTL); ok {
+		return ReadResult{Value: e.Value, CacheHit: true, Pod: owner}, nil
+	}
+	val, ver, ok, err := c.store.Get(k, core.NoVersion)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	if ok {
+		pod.Put(k, Entry{Value: val, Version: ver, StoredAt: now})
+	}
+	return ReadResult{Value: val, Pod: owner}, nil
+}
+
+// ClusterStats aggregates cluster counters.
+type ClusterStats struct {
+	Unavailable    int64
+	StoreFallbacks int64
+	Delivered      int64
+	Requeued       int64
+	PodMessages    int64 // total invalidation messages received across pods (fanout cost)
+}
+
+// Stats returns cluster counters.
+func (c *PubSubCluster) Stats() ClusterStats {
+	c.mu.Lock()
+	st := ClusterStats{
+		Unavailable:    c.unavailable,
+		StoreFallbacks: c.storeFallback,
+		Delivered:      c.delivered,
+		Requeued:       c.requeued,
+	}
+	c.mu.Unlock()
+	for _, feeds := range c.podFeed {
+		for _, fc := range feeds {
+			st.PodMessages += fc.Stats().Delivered
+		}
+	}
+	return st
+}
+
+// Pods returns the pod map (for the oracle's final sweep).
+func (c *PubSubCluster) Pods() map[sharder.Pod]*Pod { return c.pods }
+
+// Close releases broker and sharder resources.
+func (c *PubSubCluster) Close() {
+	if c.unsub != nil {
+		c.unsub()
+	}
+	for _, unsub := range c.podUnsubs {
+		unsub()
+	}
+	c.shd.Close()
+	c.broker.Close()
+}
+
+// SeqOfValue re-exports the workload payload parser so oracle users don't
+// import workload directly.
+func SeqOfValue(v []byte) int { return workload.SeqFromValue(v) }

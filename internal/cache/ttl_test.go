@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/sharder"
+	"unbundle/internal/workload"
+)
+
+// TestTTLBoundsButDoesNotPreventStaleness: the §3.1 fallback. With a TTL,
+// the Figure 2 victim entry is eventually refetched — so staleness is
+// bounded by the TTL — but until then every read of it is stale, and the
+// system spent the whole window serving wrong data.
+func TestTTLBoundsButDoesNotPreventStaleness(t *testing.T) {
+	clock := clockwork.NewFake()
+	c, err := NewPubSubCluster(PubSubConfig{
+		Clock:         clock,
+		Mode:          ModeRouted,
+		Pods:          []sharder.Pod{"p0", "p1"},
+		RouterLag:     time.Second,
+		TTL:           time.Minute,
+		InitialShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	oracle := NewOracle(c.Store())
+	clock.Advance(time.Second)
+	waitUntil(t, "router init", func() bool { return c.RouterGeneration() >= 1 })
+
+	// Reproduce the Figure 2 race exactly as in TestFigure2Race.
+	x := keyspace.NumericKey(100)
+	c.Update(x, workload.Value(x, 1))
+	c.Pump()
+	pOld := c.Sharder().Owner(x)
+	pNew := sharder.Pod("p1")
+	if pOld == pNew {
+		pNew = "p0"
+	}
+	c.Read(x)
+	c.Sharder().MoveRange(keyspace.NumericRange(100, 101), pNew)
+	c.Read(x) // p_new caches the soon-stale value
+	c.Update(x, workload.Value(x, 2))
+	c.Pump()
+	clock.Advance(2 * time.Second)
+	waitUntil(t, "router catchup", func() bool { return c.RouterGeneration() >= 2 })
+	c.Pump()
+
+	// Within the TTL window: stale on every read.
+	for i := 0; i < 5; i++ {
+		clock.Advance(10 * time.Second) // 50s total < TTL
+		res, _ := c.Read(x)
+		if i < 4 && oracle.ScoreRead(x, res.Value) {
+			t.Fatalf("read %d unexpectedly fresh before TTL expiry", i)
+		}
+	}
+	// Past the TTL: the entry expires, the next read refetches — bounded
+	// staleness, at the price of having served garbage for a minute.
+	clock.Advance(time.Minute)
+	res, _ := c.Read(x)
+	if !oracle.ScoreRead(x, res.Value) {
+		t.Fatal("read after TTL expiry still stale")
+	}
+	st := oracle.Stats()
+	if st.StaleReads == 0 {
+		t.Fatal("no staleness recorded during the TTL window")
+	}
+}

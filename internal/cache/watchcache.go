@@ -1,0 +1,546 @@
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/sharder"
+)
+
+// versionedValue is one version of a key in a watch pod's cache.
+type versionedValue struct {
+	version core.Version
+	value   []byte
+	deleted bool
+}
+
+// WatchPod is a cache server in the watch model: for each key range the
+// auto-sharder assigns it, the pod runs the snapshot-then-watch protocol
+// against the store, keeps small per-key version chains, and tracks its
+// knowledge regions (Figure 5). It can therefore serve
+//
+//   - fresh reads (latest known version), with staleness bounded by
+//     propagation — never permanent, because every change to an owned range
+//     arrives either as an event or as a resync;
+//   - snapshot-consistent reads at any version inside its knowledge windows,
+//     stitched across ranges (§4.3).
+type WatchPod struct {
+	Name sharder.Pod
+
+	store core.Snapshotter
+	src   core.Watchable
+
+	mu       sync.Mutex
+	chains   map[keyspace.Key][]versionedValue
+	know     *core.KnowledgeSet
+	ranges   keyspace.RangeSet
+	watchers map[string]*core.ResyncWatcher
+
+	hits, misses int64
+}
+
+var _ core.SyncedConsumer = (*WatchPod)(nil)
+
+// NewWatchPod creates a pod that recovers from store and watches src.
+func NewWatchPod(name sharder.Pod, store core.Snapshotter, src core.Watchable) *WatchPod {
+	return &WatchPod{
+		Name:     name,
+		store:    store,
+		src:      src,
+		chains:   make(map[keyspace.Key][]versionedValue),
+		know:     core.NewKnowledgeSet(),
+		watchers: make(map[string]*core.ResyncWatcher),
+	}
+}
+
+// SetRanges reconciles the pod's watchers with a new assignment: lost ranges
+// stop watching and drop their data and knowledge; gained ranges snapshot
+// and watch. Handoffs are safe *because* knowledge regions are immutable —
+// the new owner rebuilds exact versioned state from the store (§4.3).
+func (wp *WatchPod) SetRanges(ranges []keyspace.Range) error {
+	want := keyspace.NewRangeSet(ranges...)
+	wp.mu.Lock()
+	have := wp.ranges
+	wp.ranges = want
+	var toStop []*core.ResyncWatcher
+	for key, w := range wp.watchers {
+		covered := false
+		for _, r := range ranges {
+			if r.String() == key {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			toStop = append(toStop, w)
+			delete(wp.watchers, key)
+		}
+	}
+	wp.mu.Unlock()
+
+	for _, w := range toStop {
+		w.Stop()
+	}
+	// Drop data the pod no longer owns.
+	for _, r := range have.Subtract(want).Ranges() {
+		wp.dropRange(r)
+	}
+	// Start watching gained ranges.
+	var firstErr error
+	for _, r := range ranges {
+		key := r.String()
+		wp.mu.Lock()
+		_, exists := wp.watchers[key]
+		wp.mu.Unlock()
+		if exists {
+			continue
+		}
+		w := core.NewResyncWatcher(wp.store, wp.src, r, wp)
+		wp.mu.Lock()
+		wp.watchers[key] = w
+		wp.mu.Unlock()
+		if err := w.Start(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (wp *WatchPod) dropRange(r keyspace.Range) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	for k := range wp.chains {
+		if r.Contains(k) {
+			delete(wp.chains, k)
+		}
+	}
+	wp.know.Drop(r)
+}
+
+// ResetSnapshot implements core.SyncedConsumer.
+func (wp *WatchPod) ResetSnapshot(r keyspace.Range, entries []core.Entry, at core.Version) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	for k := range wp.chains {
+		if r.Contains(k) {
+			delete(wp.chains, k)
+		}
+	}
+	for _, e := range entries {
+		wp.chains[e.Key] = []versionedValue{{version: e.Version, value: e.Value}}
+	}
+	wp.know.AddSnapshot(r, at)
+}
+
+// ApplyChange implements core.SyncedConsumer.
+func (wp *WatchPod) ApplyChange(ev core.ChangeEvent) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	chain := wp.chains[ev.Key]
+	if n := len(chain); n > 0 && chain[n-1].version >= ev.Version {
+		return // duplicate or stale replay; per-key order makes this a no-op
+	}
+	wp.chains[ev.Key] = append(chain, versionedValue{
+		version: ev.Version,
+		value:   ev.Mut.Value,
+		deleted: ev.Mut.Op == core.OpDelete,
+	})
+}
+
+// AdvanceFrontier implements core.SyncedConsumer.
+func (wp *WatchPod) AdvanceFrontier(p core.ProgressEvent) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	wp.know.ExtendTo(p.Range, p.Version)
+}
+
+// Covers reports whether the pod currently has knowledge covering k.
+func (wp *WatchPod) Covers(k keyspace.Key) bool {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	_, _, ok := wp.know.WindowAt(k)
+	return ok
+}
+
+// GetLatest serves the freshest known value of k. served=false means the pod
+// has no knowledge for k (not assigned, or still snapshotting) and the
+// caller should fall back to the store; ok=false with served=true means the
+// key is known not to exist.
+func (wp *WatchPod) GetLatest(k keyspace.Key) (val []byte, ver core.Version, ok, served bool) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if _, _, covered := wp.know.WindowAt(k); !covered {
+		wp.misses++
+		return nil, 0, false, false
+	}
+	chain := wp.chains[k]
+	if len(chain) == 0 {
+		wp.hits++
+		return nil, 0, false, true
+	}
+	tail := chain[len(chain)-1]
+	wp.hits++
+	if tail.deleted {
+		return nil, tail.version, false, true
+	}
+	return tail.value, tail.version, true, true
+}
+
+// GetAt serves k exactly as of version v, if v is inside the pod's knowledge
+// window for k.
+func (wp *WatchPod) GetAt(k keyspace.Key, v core.Version) (val []byte, ok, served bool) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	lo, hi, covered := wp.know.WindowAt(k)
+	if !covered || v < lo || v > hi {
+		return nil, false, false
+	}
+	chain := wp.chains[k]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].version <= v {
+			if chain[i].deleted {
+				return nil, false, true
+			}
+			return chain[i].value, true, true
+		}
+	}
+	return nil, false, true // key did not exist at v
+}
+
+// StitchVersion exposes the pod's knowledge stitching (Figure 5).
+func (wp *WatchPod) StitchVersion(ranges ...keyspace.Range) (core.Version, bool) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	return wp.know.StitchVersion(ranges...)
+}
+
+// SnapshotAt returns all live entries of r at version v, if servable.
+func (wp *WatchPod) SnapshotAt(r keyspace.Range, v core.Version) ([]core.Entry, bool) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if !wp.know.CanServe(r, v) {
+		return nil, false
+	}
+	var out []core.Entry
+	for k, chain := range wp.chains {
+		if !r.Contains(k) {
+			continue
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].version <= v {
+				if !chain[i].deleted {
+					out = append(out, core.Entry{Key: k, Value: chain[i].value, Version: chain[i].version})
+				}
+				break
+			}
+		}
+	}
+	return out, true
+}
+
+// Knowledge returns a copy-safe view of the pod's regions (test assertions).
+func (wp *WatchPod) Knowledge() []core.KnowledgeRegion {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	return append([]core.KnowledgeRegion(nil), wp.know.Regions()...)
+}
+
+// PruneBelow evicts value history below v for r, updating knowledge floors.
+func (wp *WatchPod) PruneBelow(r keyspace.Range, v core.Version) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	for k, chain := range wp.chains {
+		if !r.Contains(k) {
+			continue
+		}
+		// Keep the newest version <= v (still visible at v) and everything
+		// after it.
+		keepFrom := 0
+		for i, vv := range chain {
+			if vv.version <= v {
+				keepFrom = i
+			}
+		}
+		if keepFrom > 0 {
+			wp.chains[k] = append([]versionedValue(nil), chain[keepFrom:]...)
+		}
+	}
+	wp.know.PruneBelow(r, v)
+}
+
+// Resyncs sums resync counts across the pod's watchers.
+func (wp *WatchPod) Resyncs() int64 {
+	wp.mu.Lock()
+	ws := make([]*core.ResyncWatcher, 0, len(wp.watchers))
+	for _, w := range wp.watchers {
+		ws = append(ws, w)
+	}
+	wp.mu.Unlock()
+	var n int64
+	for _, w := range ws {
+		n += w.Resyncs()
+	}
+	return n
+}
+
+// HitStats returns (hits, misses).
+func (wp *WatchPod) HitStats() (int64, int64) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	return wp.hits, wp.misses
+}
+
+// Stop stops all watchers.
+func (wp *WatchPod) Stop() {
+	wp.mu.Lock()
+	ws := make([]*core.ResyncWatcher, 0, len(wp.watchers))
+	for _, w := range wp.watchers {
+		ws = append(ws, w)
+	}
+	wp.watchers = make(map[string]*core.ResyncWatcher)
+	wp.mu.Unlock()
+	for _, w := range ws {
+		w.Stop()
+	}
+}
+
+// WatchConfig configures a watch-model cache cluster.
+type WatchConfig struct {
+	Clock clockwork.Clock
+	Pods  []sharder.Pod
+	// PodLag is how far each pod's view of the sharder trails reality.
+	// Unlike the pubsub router lag, this costs only brief store fallbacks,
+	// never staleness.
+	PodLag        time.Duration
+	InitialShards int
+	// Coalesce enables sharder range coalescing.
+	Coalesce bool
+	Hub      core.HubConfig
+}
+
+// WatchCluster is the unbundled counterpart: store + watch hub + sharded
+// watch pods. No invalidation topic exists; the store's CDC feed and the
+// watch contract replace it.
+type WatchCluster struct {
+	clock  clockwork.Clock
+	store  *mvcc.Store
+	hub    *core.Hub
+	detach func()
+	shd    *sharder.Sharder
+	pods   map[sharder.Pod]*WatchPod
+	unsubs []func()
+
+	mu            sync.Mutex
+	storeFallback int64
+}
+
+// NewWatchCluster wires the unbundled architecture (Figure 4).
+func NewWatchCluster(cfg WatchConfig) *WatchCluster {
+	if cfg.Clock == nil {
+		cfg.Clock = clockwork.Real()
+	}
+	store := mvcc.NewStore()
+	hub := core.NewHub(cfg.Hub)
+	detach := store.AttachCDC(keyspace.Full(), hub)
+	c := &WatchCluster{
+		clock:  cfg.Clock,
+		store:  store,
+		hub:    hub,
+		detach: detach,
+		shd: sharder.New(sharder.Config{
+			Clock:          cfg.Clock,
+			InitialShards:  cfg.InitialShards,
+			CoalesceRanges: cfg.Coalesce,
+		}, cfg.Pods...),
+		pods: make(map[sharder.Pod]*WatchPod),
+	}
+	for _, p := range cfg.Pods {
+		pod := NewWatchPod(p, store, hub)
+		c.pods[p] = pod
+		podName := p
+		unsub := c.shd.Subscribe(cfg.PodLag, func(t sharder.Table) {
+			_ = pod.SetRanges(t.RangesOf(podName))
+		})
+		c.unsubs = append(c.unsubs, unsub)
+	}
+	return c
+}
+
+// Store exposes the authoritative store.
+func (c *WatchCluster) Store() *mvcc.Store { return c.store }
+
+// Hub exposes the watch hub (stats, failure injection).
+func (c *WatchCluster) Hub() *core.Hub { return c.hub }
+
+// Sharder exposes the auto-sharder.
+func (c *WatchCluster) Sharder() *sharder.Sharder { return c.shd }
+
+// Pods returns the pod map.
+func (c *WatchCluster) Pods() map[sharder.Pod]*WatchPod { return c.pods }
+
+// Update writes to the store; the CDC→hub→watchers pipeline does the rest.
+func (c *WatchCluster) Update(k keyspace.Key, v []byte) {
+	c.store.Put(k, v)
+}
+
+// Delete removes a key.
+func (c *WatchCluster) Delete(k keyspace.Key) {
+	c.store.Delete(k)
+}
+
+// Read serves k through the cluster.
+func (c *WatchCluster) Read(k keyspace.Key) (ReadResult, error) {
+	owner := c.shd.Owner(k)
+	if owner == sharder.NoPod {
+		c.mu.Lock()
+		c.storeFallback++
+		c.mu.Unlock()
+		val, _, _, err := c.store.Get(k, core.NoVersion)
+		return ReadResult{Value: val, Unavailable: true}, err
+	}
+	pod := c.pods[owner]
+	val, _, ok, served := pod.GetLatest(k)
+	if served {
+		if !ok {
+			return ReadResult{Pod: owner, CacheHit: true}, nil
+		}
+		return ReadResult{Value: val, CacheHit: true, Pod: owner}, nil
+	}
+	// The pod hasn't established knowledge yet (handoff in flight): the
+	// client reads through to the store — brief latency, never staleness.
+	c.mu.Lock()
+	c.storeFallback++
+	c.mu.Unlock()
+	val2, _, _, err := c.store.Get(k, core.NoVersion)
+	return ReadResult{Value: val2, Pod: owner}, err
+}
+
+// StoreFallbacks returns how many reads bypassed the cache.
+func (c *WatchCluster) StoreFallbacks() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storeFallback
+}
+
+// Close stops pods, sharder and hub.
+func (c *WatchCluster) Close() {
+	for _, unsub := range c.unsubs {
+		unsub()
+	}
+	c.shd.Close()
+	for _, p := range c.pods {
+		p.Stop()
+	}
+	c.detach()
+	c.hub.Close()
+}
+
+// QuerySnapshot answers a multi-range query with a snapshot-consistent
+// result stitched across the cluster's pods — the §5 research direction
+// ("efficiently stitching together consistent views of source data from
+// knowledge regions, potentially spread across multiple cache servers").
+//
+// It merges every pod's knowledge regions, finds the freshest version v at
+// which all requested ranges are covered (Figure 5's green box), then serves
+// each range at exactly v from a pod able to do so. ok=false means no
+// consistent version currently spans the query; the caller may retry or
+// fall back to the store.
+func (c *WatchCluster) QuerySnapshot(ranges ...keyspace.Range) (core.Version, []core.Entry, bool) {
+	pods := make([]*WatchPod, 0, len(c.pods))
+	for _, p := range c.pods {
+		pods = append(pods, p)
+	}
+	// Merge knowledge across pods.
+	merged := core.NewKnowledgeSet()
+	for _, p := range pods {
+		for _, reg := range p.Knowledge() {
+			one := core.NewKnowledgeSet()
+			one.AddSnapshot(reg.Range, reg.Low)
+			one.ExtendTo(reg.Range, reg.High)
+			merged = merged.Union(one)
+		}
+	}
+	v, ok := merged.StitchVersion(ranges...)
+	if !ok || v == core.NoVersion {
+		return 0, nil, false
+	}
+	// Serve each range at v from whichever pod can; ranges may need to be
+	// pieced together from several pods' slices.
+	var out []core.Entry
+	for _, r := range ranges {
+		remaining := keyspace.NewRangeSet(r)
+		for _, p := range pods {
+			if remaining.Empty() {
+				break
+			}
+			for _, piece := range remaining.Ranges() {
+				for _, reg := range p.Knowledge() {
+					sub := piece.Intersect(reg.Range)
+					if sub.Empty() {
+						continue
+					}
+					entries, served := p.SnapshotAt(sub, v)
+					if !served {
+						continue
+					}
+					out = append(out, entries...)
+					remaining = remaining.SubtractRange(sub)
+				}
+			}
+		}
+		if !remaining.Empty() {
+			// Knowledge moved between the stitch and the fetch (a pod lost
+			// the range mid-query): no consistent answer this round.
+			return 0, nil, false
+		}
+	}
+	return v, out, true
+}
+
+// GetAtLeast serves k only if the pod's knowledge is complete through at
+// least version v — the "read your writes / monotonic reads" session
+// guarantee: a client that wrote at version v passes v here and can never
+// observe the cache rewind its own write, no matter which pod it lands on.
+// served=false means this pod cannot yet prove freshness ≥ v; the caller
+// waits or reads through to the store.
+func (wp *WatchPod) GetAtLeast(k keyspace.Key, v core.Version) (val []byte, ok, served bool) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	_, hi, covered := wp.know.WindowAt(k)
+	if !covered || hi < v {
+		return nil, false, false
+	}
+	chain := wp.chains[k]
+	if len(chain) == 0 {
+		return nil, false, true // known absent through hi ≥ v
+	}
+	tail := chain[len(chain)-1]
+	if tail.deleted {
+		return nil, false, true
+	}
+	return tail.value, true, true
+}
+
+// ReadAtLeast routes a session-consistent read through the cluster: the
+// owning pod serves it once its frontier reaches v; until then the client
+// reads through to the store (which is trivially ≥ v).
+func (c *WatchCluster) ReadAtLeast(k keyspace.Key, v core.Version) (ReadResult, error) {
+	owner := c.shd.Owner(k)
+	if owner != sharder.NoPod {
+		if val, ok, served := c.pods[owner].GetAtLeast(k, v); served {
+			if !ok {
+				return ReadResult{Pod: owner, CacheHit: true}, nil
+			}
+			return ReadResult{Value: val, CacheHit: true, Pod: owner}, nil
+		}
+	}
+	c.mu.Lock()
+	c.storeFallback++
+	c.mu.Unlock()
+	val, _, _, err := c.store.Get(k, core.NoVersion)
+	return ReadResult{Value: val, Pod: owner}, err
+}

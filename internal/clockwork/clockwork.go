@@ -1,0 +1,260 @@
+// Package clockwork provides the time source used by every time-driven
+// component in the repository: pubsub retention GC, cache TTLs, sharder
+// leases, backlog simulations.
+//
+// The paper's §3.1 pathologies involve wall-clock spans of days (retention
+// horizons, multi-day consumer outages). To exercise them in milliseconds of
+// test time, components never call time.Now directly; they take a Clock. The
+// real clock delegates to package time; the fake clock advances only when the
+// test says so, firing timers deterministically in order.
+package clockwork
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a ticker that fires every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Timer fires once on its channel unless stopped first.
+type Timer interface {
+	C() <-chan time.Time
+	// Stop prevents the timer from firing. It reports whether the call
+	// stopped the timer before it fired.
+	Stop() bool
+	// Reset re-arms the timer to fire after d.
+	Reset(d time.Duration)
+}
+
+// Ticker fires repeatedly on its channel until stopped.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Real returns a Clock backed by package time.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) NewTimer(d time.Duration) Timer         { return realTimer{time.NewTimer(d)} }
+func (realClock) NewTicker(d time.Duration) Ticker       { return realTicker{time.NewTicker(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time   { return t.t.C }
+func (t realTimer) Stop() bool            { return t.t.Stop() }
+func (t realTimer) Reset(d time.Duration) { t.t.Reset(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }
+
+// Fake is a manually advanced Clock. The zero value is not usable; construct
+// with NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter // sorted by deadline
+	seq     uint64        // tiebreak so equal deadlines fire in arm order
+}
+
+// NewFake returns a fake clock starting at a fixed, arbitrary epoch.
+func NewFake() *Fake {
+	return &Fake{now: time.Date(2025, 5, 14, 0, 0, 0, 0, time.UTC)} // HotOS'25 day one
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	seq      uint64
+	period   time.Duration // 0 for one-shot timers
+	ch       chan time.Time
+	stopped  bool
+}
+
+// Now returns the fake current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After returns a channel fired when the fake clock advances past d.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	return f.NewTimer(d).C()
+}
+
+// Sleep blocks the calling goroutine until another goroutine advances the
+// clock by at least d.
+func (f *Fake) Sleep(d time.Duration) {
+	<-f.After(d)
+}
+
+// NewTimer arms a one-shot timer at now+d.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := f.armLocked(d, 0)
+	return &fakeTimer{f: f, w: w}
+}
+
+// NewTicker arms a periodic timer with period d.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clockwork: non-positive ticker period")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := f.armLocked(d, d)
+	return &fakeTicker{f: f, w: w}
+}
+
+func (f *Fake) armLocked(d, period time.Duration) *fakeWaiter {
+	w := &fakeWaiter{
+		deadline: f.now.Add(d),
+		seq:      f.seq,
+		period:   period,
+		ch:       make(chan time.Time, 1),
+	}
+	f.seq++
+	f.waiters = append(f.waiters, w)
+	f.sortLocked()
+	// A timer armed with d <= 0 fires immediately, matching package time.
+	f.fireDueLocked()
+	return w
+}
+
+func (f *Fake) sortLocked() {
+	sort.SliceStable(f.waiters, func(i, j int) bool {
+		if !f.waiters[i].deadline.Equal(f.waiters[j].deadline) {
+			return f.waiters[i].deadline.Before(f.waiters[j].deadline)
+		}
+		return f.waiters[i].seq < f.waiters[j].seq
+	})
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline is
+// reached, in deadline order. Periodic tickers re-arm and can fire multiple
+// times within one Advance.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	f.fireDueLocked()
+}
+
+// AdvanceTo moves the clock to instant t (no-op if t is in the past).
+func (f *Fake) AdvanceTo(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t.After(f.now) {
+		f.now = t
+	}
+	f.fireDueLocked()
+}
+
+func (f *Fake) fireDueLocked() {
+	for len(f.waiters) > 0 {
+		w := f.waiters[0]
+		if w.stopped {
+			f.waiters = f.waiters[1:]
+			continue
+		}
+		if w.deadline.After(f.now) {
+			return
+		}
+		// Non-blocking send, matching time.Ticker's drop-on-slow-receiver
+		// behaviour; a fake timer channel has capacity 1.
+		select {
+		case w.ch <- w.deadline:
+		default:
+		}
+		if w.period > 0 {
+			w.deadline = w.deadline.Add(w.period)
+			f.sortLocked()
+		} else {
+			f.waiters = f.waiters[1:]
+		}
+	}
+}
+
+// PendingTimers reports how many unfired, unstopped timers are armed. Tests
+// use it to assert components shut their background loops down.
+func (f *Fake) PendingTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.waiters {
+		if !w.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+type fakeTimer struct {
+	f *Fake
+	w *fakeWaiter
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.w.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := !t.w.stopped && t.w.deadline.After(t.f.now)
+	t.w.stopped = true
+	return was
+}
+
+func (t *fakeTimer) Reset(d time.Duration) {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	t.w.stopped = false
+	t.w.deadline = t.f.now.Add(d)
+	// The waiter may already have been popped (it fired, or it was stopped
+	// and then reaped); make sure exactly one instance is queued.
+	queued := false
+	for _, w := range t.f.waiters {
+		if w == t.w {
+			queued = true
+			break
+		}
+	}
+	if !queued {
+		t.f.waiters = append(t.f.waiters, t.w)
+	}
+	t.f.sortLocked()
+	t.f.fireDueLocked()
+}
+
+type fakeTicker struct {
+	f *Fake
+	w *fakeWaiter
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.w.ch }
+
+func (t *fakeTicker) Stop() {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	t.w.stopped = true
+}

@@ -1,0 +1,176 @@
+package clockwork
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeNowAdvance(t *testing.T) {
+	f := NewFake()
+	t0 := f.Now()
+	f.Advance(5 * time.Second)
+	if got := f.Now().Sub(t0); got != 5*time.Second {
+		t.Fatalf("advanced %v, want 5s", got)
+	}
+	f.AdvanceTo(t0) // past: no-op
+	if f.Now().Sub(t0) != 5*time.Second {
+		t.Fatal("AdvanceTo must not move backwards")
+	}
+}
+
+func TestFakeTimerFires(t *testing.T) {
+	f := NewFake()
+	timer := f.NewTimer(time.Minute)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	f.Advance(59 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired before deadline")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case at := <-timer.C():
+		if !at.Equal(f.Now()) {
+			t.Fatalf("fire time %v, want %v", at, f.Now())
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestFakeTimerStopReset(t *testing.T) {
+	f := NewFake()
+	timer := f.NewTimer(time.Minute)
+	if !timer.Stop() {
+		t.Fatal("Stop before firing must return true")
+	}
+	f.Advance(2 * time.Minute)
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	timer.Reset(time.Second)
+	f.Advance(time.Second)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+	if timer.Stop() {
+		t.Fatal("Stop after firing must return false")
+	}
+}
+
+func TestFakeImmediateTimer(t *testing.T) {
+	f := NewFake()
+	timer := f.NewTimer(0)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("zero-duration timer must fire immediately")
+	}
+}
+
+func TestFakeTickerPeriodic(t *testing.T) {
+	f := NewFake()
+	tick := f.NewTicker(10 * time.Second)
+	defer tick.Stop()
+
+	fires := 0
+	for i := 0; i < 5; i++ {
+		f.Advance(10 * time.Second)
+		select {
+		case <-tick.C():
+			fires++
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+	if fires != 5 {
+		t.Fatalf("fires = %d, want 5", fires)
+	}
+	// One big advance past several periods delivers at least one tick
+	// (channel capacity 1, like time.Ticker).
+	f.Advance(time.Minute)
+	select {
+	case <-tick.C():
+	default:
+		t.Fatal("tick missing after large advance")
+	}
+	tick.Stop()
+	f.Advance(time.Minute)
+	select {
+	case <-tick.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestFakeSleepUnblocks(t *testing.T) {
+	f := NewFake()
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Hour)
+		close(done)
+	}()
+	// Wait until the sleeper has armed its timer.
+	for f.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(time.Hour)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not unblock after Advance")
+	}
+}
+
+func TestFakeTimerOrder(t *testing.T) {
+	f := NewFake()
+	a := f.NewTimer(2 * time.Second)
+	b := f.NewTimer(1 * time.Second)
+	f.Advance(3 * time.Second)
+	ta := <-a.C()
+	tb := <-b.C()
+	if !tb.Before(ta) {
+		t.Fatalf("deadline order violated: a=%v b=%v", ta, tb)
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	c := Real()
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(start) {
+		t.Fatal("real clock did not advance")
+	}
+	timer := c.NewTimer(time.Millisecond)
+	<-timer.C()
+	tick := c.NewTicker(time.Millisecond)
+	<-tick.C()
+	tick.Stop()
+	<-c.After(time.Millisecond)
+}
+
+func TestPendingTimers(t *testing.T) {
+	f := NewFake()
+	if f.PendingTimers() != 0 {
+		t.Fatal("fresh clock has pending timers")
+	}
+	timer := f.NewTimer(time.Hour)
+	tick := f.NewTicker(time.Hour)
+	if got := f.PendingTimers(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	timer.Stop()
+	tick.Stop()
+	if got := f.PendingTimers(); got != 0 {
+		t.Fatalf("pending after stop = %d, want 0", got)
+	}
+}

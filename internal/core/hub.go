@@ -1,0 +1,416 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"unbundle/internal/keyspace"
+)
+
+// Hub errors.
+var (
+	// ErrClosed is returned by operations on a closed Hub.
+	ErrClosed = errors.New("core: hub closed")
+	// ErrBadWatch is returned for invalid watch requests.
+	ErrBadWatch = errors.New("core: invalid watch request")
+)
+
+// HubConfig tunes a Hub's soft-state footprint.
+type HubConfig struct {
+	// Retention is the maximum number of change events kept in the hub's
+	// in-memory window. Evicting an event a watcher would still need turns
+	// into an explicit resync for that watcher — never silent loss.
+	// Default 8192.
+	Retention int
+	// WatcherBuffer is the maximum number of undelivered items queued for one
+	// watcher before it is lagged out with a resync. Default 1024.
+	WatcherBuffer int
+}
+
+func (c *HubConfig) applyDefaults() {
+	if c.Retention <= 0 {
+		c.Retention = 8192
+	}
+	if c.WatcherBuffer <= 0 {
+		c.WatcherBuffer = 1024
+	}
+}
+
+// HubStats is a snapshot of a Hub's counters, used by the efficiency
+// experiments (E10): the hub holds no hard state, so its entire cost is the
+// soft-state window reported here.
+type HubStats struct {
+	Appends        int64 // change events ingested
+	ProgressEvents int64 // progress events ingested
+	Evictions      int64 // events evicted from the retention window
+	Resyncs        int64 // resync signals issued to watchers
+	Delivered      int64 // change events delivered to watchers
+	RetainedEvents int   // current soft-state window size
+	Watchers       int   // currently registered watchers
+	MaxSeen        Version
+}
+
+// Hub is a standalone watch system: it implements Ingester on its input side
+// and Watchable on its output side, holding only recoverable soft state.
+//
+// The contract it provides to each watcher registered over range R from
+// version V:
+//
+//   - every ChangeEvent with Version > V for a key in R is delivered in
+//     per-key version order, OR the watcher receives OnResync — there is no
+//     third outcome (contrast §3.1: pubsub retention GC has exactly this
+//     third, silent outcome);
+//   - ProgressEvents are forwarded clipped to R, and never claim more than
+//     the store has confirmed;
+//   - a watcher that requests pre-eviction history, lags beyond its buffer,
+//     or survives a hub state wipe gets OnResync with the minimum version its
+//     recovery snapshot must reflect.
+type Hub struct {
+	cfg HubConfig
+
+	mu       sync.Mutex
+	closed   bool
+	events   []ChangeEvent // retained window, arrival order
+	start    int           // ring start index within events
+	evicted  Version       // max version among evicted events
+	maxSeen  Version       // max version ever appended
+	frontier VersionMap
+	watchers map[int64]*hubWatcher
+	index    watcherIndex // range → watcher ids, for O(log n) event fanout
+	nextID   int64
+
+	appends, progress, evictions, resyncs, delivered int64
+}
+
+var (
+	_ Ingester  = (*Hub)(nil)
+	_ Watchable = (*Hub)(nil)
+)
+
+// NewHub creates a Hub with the given configuration.
+func NewHub(cfg HubConfig) *Hub {
+	cfg.applyDefaults()
+	return &Hub{
+		cfg:      cfg,
+		watchers: make(map[int64]*hubWatcher),
+	}
+}
+
+// Append implements Ingester. Events for one key must arrive in
+// non-decreasing version order (the store's CDC feed guarantees this).
+func (h *Hub) Append(ev ChangeEvent) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	h.appends++
+	if ev.Version > h.maxSeen {
+		h.maxSeen = ev.Version
+	}
+	h.events = append(h.events, ev)
+	// Evict beyond the retention window (FIFO by arrival).
+	for len(h.events)-h.start > h.cfg.Retention {
+		old := h.events[h.start]
+		if old.Version > h.evicted {
+			h.evicted = old.Version
+		}
+		h.events[h.start] = ChangeEvent{} // release value for GC
+		h.start++
+		h.evictions++
+	}
+	if h.start > len(h.events)/2 && h.start > 1024 {
+		h.events = append([]ChangeEvent(nil), h.events[h.start:]...)
+		h.start = 0
+	}
+	// Fan out through the range index: only watchers covering the key are
+	// touched, so cost scales with interested watchers, not all watchers.
+	var lagged []*hubWatcher
+	h.index.lookup(ev.Key, func(id int64) {
+		w := h.watchers[id]
+		if w == nil || w.lagged || ev.Version <= w.from {
+			return
+		}
+		if !w.enqueue(item{ev: &ev}) {
+			lagged = append(lagged, w)
+		} else {
+			h.delivered++
+		}
+	})
+	for _, w := range lagged {
+		h.lagOutLocked(w, "watcher buffer overflow")
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// Progress implements Ingester: the store confirms completeness of the event
+// stream for a range up to a version.
+func (h *Hub) Progress(p ProgressEvent) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	h.progress++
+	if p.Version > h.maxSeen {
+		h.maxSeen = p.Version
+	}
+	h.frontier.Raise(p.Range, p.Version)
+	for _, w := range h.watchers {
+		if w.lagged {
+			continue
+		}
+		clipped := p.Range.Intersect(w.rng)
+		if clipped.Empty() {
+			continue
+		}
+		w.enqueue(item{prog: &ProgressEvent{Range: clipped, Version: p.Version}})
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// Watch implements Watchable.
+func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, error) {
+	if cb == nil {
+		return nil, fmt.Errorf("%w: nil callback", ErrBadWatch)
+	}
+	if r.Empty() {
+		return nil, fmt.Errorf("%w: empty range %v", ErrBadWatch, r)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	w := newHubWatcher(h, h.nextID, r, from, cb, h.cfg.WatcherBuffer)
+	h.nextID++
+	h.watchers[w.id] = w
+
+	if from < h.evicted {
+		// The history this watcher needs is gone from the soft-state window:
+		// tell it immediately rather than delivering a gapped stream.
+		h.lagOutLocked(w, fmt.Sprintf("requested version %v predates retained history (evicted through %v)", from, h.evicted))
+	} else {
+		h.index.add(w.id, w.rng)
+		// Replay the retained window (arrival order preserves per-key
+		// version order), then the watcher rides the live stream.
+		for _, ev := range h.events[h.start:] {
+			if ev.Version > from && r.Contains(ev.Key) {
+				w.enqueue(item{ev: cloneEvent(ev)})
+				h.delivered++
+			}
+		}
+		// Tell the watcher the current frontier over its range so it can
+		// establish knowledge without waiting for the next progress tick.
+		for _, seg := range h.frontier.Segments() {
+			clipped := seg.Range.Intersect(r)
+			if !clipped.Empty() {
+				w.enqueue(item{prog: &ProgressEvent{Range: clipped, Version: seg.Version}})
+			}
+		}
+	}
+	h.mu.Unlock()
+
+	go w.run()
+	return func() { h.cancel(w) }, nil
+}
+
+func cloneEvent(ev ChangeEvent) *ChangeEvent {
+	c := ev
+	return &c
+}
+
+// lagOutLocked marks w as lagged, drops its queue and schedules a resync.
+func (h *Hub) lagOutLocked(w *hubWatcher, reason string) {
+	if w.lagged {
+		return
+	}
+	w.lagged = true
+	h.index.remove(w.id, w.rng)
+	h.resyncs++
+	min := h.maxSeen
+	if h.evicted > min {
+		min = h.evicted
+	}
+	w.replaceQueue(item{resync: &ResyncEvent{Range: w.rng, MinVersion: min, Reason: reason}})
+}
+
+func (h *Hub) cancel(w *hubWatcher) {
+	h.mu.Lock()
+	if !w.lagged {
+		h.index.remove(w.id, w.rng)
+	}
+	delete(h.watchers, w.id)
+	h.mu.Unlock()
+	w.stop()
+}
+
+// Wipe discards the hub's entire soft state — retained events and frontier —
+// and resyncs every watcher. It models losing the watch system's storage:
+// per §4.2.2 this costs latency, never data or consistency, because every
+// consumer recovers from the authoritative store. Experiments use it for
+// failure injection.
+func (h *Hub) Wipe() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.events = nil
+	h.start = 0
+	h.evicted = h.maxSeen
+	h.frontier = VersionMap{}
+	for _, w := range h.watchers {
+		w.lagged = false // re-evaluate: everyone resyncs afresh
+		h.lagOutLocked(w, "watch system state wiped")
+	}
+}
+
+// Frontier returns a copy of the current progress frontier.
+func (h *Hub) Frontier() *VersionMap {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.frontier.Clone()
+}
+
+// Stats returns a snapshot of the hub's counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{
+		Appends:        h.appends,
+		ProgressEvents: h.progress,
+		Evictions:      h.evictions,
+		Resyncs:        h.resyncs,
+		Delivered:      h.delivered,
+		RetainedEvents: len(h.events) - h.start,
+		Watchers:       len(h.watchers),
+		MaxSeen:        h.maxSeen,
+	}
+}
+
+// Close shuts the hub down; all watchers are stopped without further
+// callbacks, and subsequent operations fail with ErrClosed.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	ws := make([]*hubWatcher, 0, len(h.watchers))
+	for _, w := range h.watchers {
+		ws = append(ws, w)
+	}
+	h.watchers = map[int64]*hubWatcher{}
+	h.mu.Unlock()
+	for _, w := range ws {
+		w.stop()
+	}
+}
+
+// item is one queued delivery for a watcher; exactly one field is set.
+type item struct {
+	ev     *ChangeEvent
+	prog   *ProgressEvent
+	resync *ResyncEvent
+}
+
+// hubWatcher is the per-watch delivery state. Callbacks run on a dedicated
+// goroutine so a slow consumer can never block the hub — it simply overflows
+// its own bounded queue and is resynced.
+type hubWatcher struct {
+	id   int64
+	hub  *Hub
+	rng  keyspace.Range
+	from Version
+	cb   WatchCallback
+	max  int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []item
+	cancelled bool
+
+	// lagged is owned by hub.mu: once true the hub stops feeding events; the
+	// only remaining delivery is the resync already queued.
+	lagged bool
+}
+
+func newHubWatcher(h *Hub, id int64, r keyspace.Range, from Version, cb WatchCallback, max int) *hubWatcher {
+	w := &hubWatcher{id: id, hub: h, rng: r, from: from, cb: cb, max: max}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// enqueue adds an item; it reports false when the queue is full (the caller
+// lags the watcher out). Resync items bypass the bound.
+func (w *hubWatcher) enqueue(it item) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cancelled {
+		return true // drop silently; watcher is going away
+	}
+	if it.resync == nil && len(w.queue) >= w.max {
+		return false
+	}
+	w.queue = append(w.queue, it)
+	w.cond.Signal()
+	return true
+}
+
+// replaceQueue drops everything queued and replaces it with a single item
+// (the resync). Events already dispatched cannot be unsent, but per-key
+// prefix-delivery remains intact: delivery order equals enqueue order.
+func (w *hubWatcher) replaceQueue(it item) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cancelled {
+		return
+	}
+	w.queue = append(w.queue[:0], it)
+	w.cond.Signal()
+}
+
+func (w *hubWatcher) stop() {
+	w.mu.Lock()
+	w.cancelled = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *hubWatcher) run() {
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.cancelled {
+			w.cond.Wait()
+		}
+		if w.cancelled {
+			w.mu.Unlock()
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.mu.Unlock()
+
+		for _, it := range batch {
+			w.mu.Lock()
+			c := w.cancelled
+			w.mu.Unlock()
+			if c {
+				return
+			}
+			switch {
+			case it.ev != nil:
+				w.cb.OnEvent(*it.ev)
+			case it.prog != nil:
+				w.cb.OnProgress(*it.prog)
+			case it.resync != nil:
+				w.cb.OnResync(*it.resync)
+			}
+		}
+	}
+}

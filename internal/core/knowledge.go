@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unbundle/internal/keyspace"
+)
+
+// KnowledgeRegion is one blue rectangle of the paper's Figure 5: a key range
+// and the inclusive version window [Low, High] for which the watcher has
+// complete, versioned knowledge. Holding a region means: the watcher took a
+// snapshot of Range at Low and has applied every change event with version
+// in (Low, High], so it can reconstruct the exact state of Range at *any*
+// version inside the window. Regions are immutable in the Figure 5 sense —
+// the state at a version never changes once known — which is what makes
+// dynamic replication and repartitioning safe (§4.3).
+type KnowledgeRegion struct {
+	Range keyspace.Range
+	Low   Version // snapshot base (inclusive)
+	High  Version // progress frontier (inclusive)
+}
+
+// String renders the region for logs.
+func (k KnowledgeRegion) String() string {
+	return fmt.Sprintf("%v@[%v,%v]", k.Range, k.Low, k.High)
+}
+
+// KnowledgeSet tracks a watcher's knowledge regions and answers the central
+// query of §4.3: at which version (if any) can a snapshot-consistent view of
+// a set of ranges be served or stitched together?
+//
+// Not safe for concurrent use; the owning watcher serializes access (watch
+// callbacks are already single-goroutine).
+type KnowledgeSet struct {
+	regions []KnowledgeRegion // sorted by Range.Low, disjoint
+}
+
+// NewKnowledgeSet returns an empty set.
+func NewKnowledgeSet() *KnowledgeSet { return &KnowledgeSet{} }
+
+// Regions returns the normalized regions in key order. Callers must not
+// modify the returned slice.
+func (s *KnowledgeSet) Regions() []KnowledgeRegion { return s.regions }
+
+// AddSnapshot records that a snapshot of r at version v was installed. Where
+// the existing window already contains v the knowledge is kept (the snapshot
+// taught us nothing new); elsewhere the window resets to [v, v] — a snapshot
+// alone cannot bridge to disjoint older knowledge.
+func (s *KnowledgeSet) AddSnapshot(r keyspace.Range, v Version) {
+	s.apply(r, func(old *KnowledgeRegion) (Version, Version, bool) {
+		if old != nil && old.Low <= v && v <= old.High {
+			return old.Low, old.High, true
+		}
+		return v, v, true
+	})
+}
+
+// ExtendTo records a progress event: every change in r up to v has been
+// applied, so windows covering r extend their High to v. Parts of r with no
+// existing window gain nothing — progress without a base snapshot is not
+// knowledge.
+func (s *KnowledgeSet) ExtendTo(r keyspace.Range, v Version) {
+	s.apply(r, func(old *KnowledgeRegion) (Version, Version, bool) {
+		if old == nil {
+			return 0, 0, false
+		}
+		hi := old.High
+		if v > hi {
+			hi = v
+		}
+		return old.Low, hi, true
+	})
+}
+
+// PruneBelow raises the window floor over r to v, modelling eviction of
+// value history older than v from the watcher's cache. Windows that vanish
+// (Low > High) are dropped.
+func (s *KnowledgeSet) PruneBelow(r keyspace.Range, v Version) {
+	s.apply(r, func(old *KnowledgeRegion) (Version, Version, bool) {
+		if old == nil {
+			return 0, 0, false
+		}
+		lo := old.Low
+		if v > lo {
+			lo = v
+		}
+		if lo > old.High {
+			return 0, 0, false
+		}
+		return lo, old.High, true
+	})
+}
+
+// Drop removes all knowledge over r (range reassigned away, or resync).
+func (s *KnowledgeSet) Drop(r keyspace.Range) {
+	s.apply(r, func(*KnowledgeRegion) (Version, Version, bool) {
+		return 0, 0, false
+	})
+}
+
+// apply rewrites the windows over r: for each sub-piece of r, f receives the
+// existing region (nil if uncovered) and returns the new window and whether
+// to keep it. Regions outside r are untouched.
+func (s *KnowledgeSet) apply(r keyspace.Range, f func(old *KnowledgeRegion) (Version, Version, bool)) {
+	if r.Empty() {
+		return
+	}
+	out := make([]KnowledgeRegion, 0, len(s.regions)+2)
+	uncovered := keyspace.NewRangeSet(r)
+	for _, reg := range s.regions {
+		inter := reg.Range.Intersect(r)
+		if inter.Empty() {
+			out = append(out, reg)
+			continue
+		}
+		uncovered = uncovered.SubtractRange(reg.Range)
+		for _, rest := range keyspace.NewRangeSet(reg.Range).SubtractRange(r).Ranges() {
+			out = append(out, KnowledgeRegion{Range: rest, Low: reg.Low, High: reg.High})
+		}
+		if lo, hi, keep := f(&reg); keep {
+			out = append(out, KnowledgeRegion{Range: inter, Low: lo, High: hi})
+		}
+	}
+	for _, rest := range uncovered.Ranges() {
+		if lo, hi, keep := f(nil); keep {
+			out = append(out, KnowledgeRegion{Range: rest, Low: lo, High: hi})
+		}
+	}
+	s.regions = normalizeRegions(out)
+}
+
+func normalizeRegions(regs []KnowledgeRegion) []KnowledgeRegion {
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Range.Low < regs[j].Range.Low })
+	out := regs[:0]
+	for _, reg := range regs {
+		if reg.Range.Empty() {
+			continue
+		}
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.Low == reg.Low && prev.High == reg.High && prev.Range.Adjacent(reg.Range) {
+				prev.Range = prev.Range.Union(reg.Range)
+				continue
+			}
+		}
+		out = append(out, reg)
+	}
+	return out
+}
+
+// WindowAt returns the knowledge window covering key k.
+func (s *KnowledgeSet) WindowAt(k keyspace.Key) (low, high Version, ok bool) {
+	for _, reg := range s.regions {
+		if reg.Range.Contains(k) {
+			return reg.Low, reg.High, true
+		}
+		if reg.Range.Low > k {
+			break
+		}
+	}
+	return 0, 0, false
+}
+
+// CanServe reports whether a snapshot-consistent read of r at exactly
+// version v can be served from this knowledge.
+func (s *KnowledgeSet) CanServe(r keyspace.Range, v Version) bool {
+	_, ok := s.stitch([]keyspace.Range{r}, v, v)
+	return ok
+}
+
+// StitchVersion finds the freshest version at which a snapshot-consistent
+// view spanning all the given ranges can be served — the paper's green box
+// in Figure 5: a version inside every covering region's window. It returns
+// false when no such version exists (coverage gap, or the windows do not
+// overlap in version space).
+func (s *KnowledgeSet) StitchVersion(ranges ...keyspace.Range) (Version, bool) {
+	return s.stitch(ranges, NoVersion, Version(^uint64(0)))
+}
+
+// stitch computes the freshest servable version within [vlo, vhi].
+func (s *KnowledgeSet) stitch(ranges []keyspace.Range, vlo, vhi Version) (Version, bool) {
+	needed := keyspace.NewRangeSet(ranges...)
+	if needed.Empty() {
+		return NoVersion, false
+	}
+	low, high := vlo, vhi
+	remaining := needed
+	for _, reg := range s.regions {
+		if !needed.IntersectRange(reg.Range).Empty() {
+			remaining = remaining.SubtractRange(reg.Range)
+			if reg.Low > low {
+				low = reg.Low
+			}
+			if reg.High < high {
+				high = reg.High
+			}
+		}
+	}
+	if !remaining.Empty() || low > high {
+		return NoVersion, false
+	}
+	return high, true
+}
+
+// Union merges knowledge from another watcher (overlapping, redundant
+// regions across affinitized servers, §4.3). For overlapping key ranges the
+// windows combine only when they overlap in version space; otherwise the
+// fresher window (higher High) wins.
+func (s *KnowledgeSet) Union(other *KnowledgeSet) *KnowledgeSet {
+	out := &KnowledgeSet{regions: append([]KnowledgeRegion(nil), s.regions...)}
+	for _, reg := range other.regions {
+		out.apply(reg.Range, func(old *KnowledgeRegion) (Version, Version, bool) {
+			if old == nil {
+				return reg.Low, reg.High, true
+			}
+			// Overlapping version windows merge into a wider window.
+			if reg.Low <= old.High && old.Low <= reg.High {
+				lo, hi := old.Low, old.High
+				if reg.Low < lo {
+					lo = reg.Low
+				}
+				if reg.High > hi {
+					hi = reg.High
+				}
+				return lo, hi, true
+			}
+			// Disjoint windows: keep the fresher one.
+			if reg.High > old.High {
+				return reg.Low, reg.High, true
+			}
+			return old.Low, old.High, true
+		})
+	}
+	return out
+}
+
+// String renders the set for logs and test failures.
+func (s *KnowledgeSet) String() string {
+	if len(s.regions) == 0 {
+		return "knowledge{}"
+	}
+	parts := make([]string, len(s.regions))
+	for i, reg := range s.regions {
+		parts[i] = reg.String()
+	}
+	return "knowledge{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"unbundle/internal/keyspace"
+)
+
+func TestKnowledgeSnapshotAndExtend(t *testing.T) {
+	s := NewKnowledgeSet()
+	if _, _, ok := s.WindowAt("c"); ok {
+		t.Fatal("empty set claims knowledge")
+	}
+	s.AddSnapshot(rng("a", "m"), 10)
+	lo, hi, ok := s.WindowAt("c")
+	if !ok || lo != 10 || hi != 10 {
+		t.Fatalf("window = [%v,%v] ok=%v, want [10,10]", lo, hi, ok)
+	}
+	s.ExtendTo(rng("a", "m"), 25)
+	if lo, hi, _ = s.WindowAt("c"); lo != 10 || hi != 25 {
+		t.Fatalf("after extend window = [%v,%v]", lo, hi)
+	}
+	// Progress over uncovered keys grants nothing.
+	s.ExtendTo(rng("x", "z"), 25)
+	if _, _, ok := s.WindowAt("y"); ok {
+		t.Fatal("progress without a snapshot base granted knowledge")
+	}
+}
+
+func TestKnowledgeSnapshotInsideWindowIsNoop(t *testing.T) {
+	s := NewKnowledgeSet()
+	s.AddSnapshot(rng("a", "m"), 10)
+	s.ExtendTo(rng("a", "m"), 30)
+	s.AddSnapshot(rng("a", "m"), 20) // inside [10,30]: keep wider window
+	if lo, hi, _ := s.WindowAt("b"); lo != 10 || hi != 30 {
+		t.Fatalf("window = [%v,%v], want [10,30]", lo, hi)
+	}
+	// A snapshot beyond the window resets it (gap in events).
+	s.AddSnapshot(rng("a", "m"), 50)
+	if lo, hi, _ := s.WindowAt("b"); lo != 50 || hi != 50 {
+		t.Fatalf("window after gap snapshot = [%v,%v], want [50,50]", lo, hi)
+	}
+}
+
+func TestKnowledgeCanServeAndStitch(t *testing.T) {
+	s := NewKnowledgeSet()
+	// Figure 5 shape: two regions with overlapping version windows.
+	s.AddSnapshot(rng("a", "g"), 10)
+	s.ExtendTo(rng("a", "g"), 40)
+	s.AddSnapshot(rng("g", "p"), 30)
+	s.ExtendTo(rng("g", "p"), 60)
+
+	if !s.CanServe(rng("b", "f"), 15) {
+		t.Error("must serve left range inside its window")
+	}
+	if s.CanServe(rng("b", "f"), 45) {
+		t.Error("cannot serve above the left window")
+	}
+	// The green box: a version in both windows exists ([30,40]).
+	v, ok := s.StitchVersion(rng("b", "f"), rng("h", "o"))
+	if !ok {
+		t.Fatalf("stitch failed: %v", s)
+	}
+	if v < 30 || v > 40 {
+		t.Fatalf("stitch version %v outside [30,40]", v)
+	}
+	if v != 40 {
+		t.Fatalf("stitch must pick freshest common version, got %v", v)
+	}
+	// A request spanning uncovered keys fails.
+	if _, ok := s.StitchVersion(rng("b", "z")); ok {
+		t.Error("stitch across a coverage gap must fail")
+	}
+}
+
+func TestKnowledgeStitchDisjointWindows(t *testing.T) {
+	s := NewKnowledgeSet()
+	s.AddSnapshot(rng("a", "g"), 10)
+	s.ExtendTo(rng("a", "g"), 20)
+	s.AddSnapshot(rng("g", "p"), 30) // windows [10,20] and [30,30] don't meet
+	if _, ok := s.StitchVersion(rng("b", "f"), rng("h", "o")); ok {
+		t.Fatal("stitch must fail when version windows are disjoint")
+	}
+	// Extending the left region bridges the gap.
+	s.ExtendTo(rng("a", "g"), 35)
+	v, ok := s.StitchVersion(rng("b", "f"), rng("h", "o"))
+	if !ok || v != 30 {
+		t.Fatalf("stitch = %v,%v, want 30,true", v, ok)
+	}
+}
+
+func TestKnowledgePruneAndDrop(t *testing.T) {
+	s := NewKnowledgeSet()
+	s.AddSnapshot(rng("a", "m"), 10)
+	s.ExtendTo(rng("a", "m"), 50)
+	s.PruneBelow(rng("a", "m"), 30)
+	if lo, _, _ := s.WindowAt("c"); lo != 30 {
+		t.Fatalf("prune floor = %v, want 30", lo)
+	}
+	if s.CanServe(rng("b", "c"), 20) {
+		t.Error("pruned version still servable")
+	}
+	// Pruning past the ceiling removes the region entirely.
+	s.PruneBelow(rng("a", "f"), 60)
+	if _, _, ok := s.WindowAt("c"); ok {
+		t.Error("region should be gone after pruning past High")
+	}
+	if _, _, ok := s.WindowAt("g"); !ok {
+		t.Error("untouched sub-range lost")
+	}
+	s.Drop(rng("a", "z"))
+	if len(s.Regions()) != 0 {
+		t.Errorf("Drop left regions: %v", s)
+	}
+}
+
+func TestKnowledgeRepartitionPreservesServability(t *testing.T) {
+	// Splitting a region's range (dynamic repartitioning) must not change
+	// what can be served — regions are immutable knowledge (§4.3).
+	s := NewKnowledgeSet()
+	s.AddSnapshot(rng("a", "z"), 10)
+	s.ExtendTo(rng("a", "z"), 40)
+
+	// Simulate handing [a,m) to another watcher: knowledge splits.
+	left := NewKnowledgeSet()
+	left.AddSnapshot(rng("a", "m"), 10)
+	left.ExtendTo(rng("a", "m"), 40)
+	right := NewKnowledgeSet()
+	right.AddSnapshot(rng("m", "z"), 10)
+	right.ExtendTo(rng("m", "z"), 40)
+
+	merged := left.Union(right)
+	vWant, okWant := s.StitchVersion(rng("b", "y"))
+	vGot, okGot := merged.StitchVersion(rng("b", "y"))
+	if okWant != okGot || vWant != vGot {
+		t.Fatalf("repartition changed servability: (%v,%v) vs (%v,%v)", vWant, okWant, vGot, okGot)
+	}
+}
+
+func TestKnowledgeUnionOverlapping(t *testing.T) {
+	a := NewKnowledgeSet()
+	a.AddSnapshot(rng("a", "m"), 10)
+	a.ExtendTo(rng("a", "m"), 30)
+	b := NewKnowledgeSet()
+	b.AddSnapshot(rng("f", "s"), 25)
+	b.ExtendTo(rng("f", "s"), 50)
+
+	u := a.Union(b)
+	// Overlap [f,m): windows [10,30] and [25,50] overlap → merge to [10,50].
+	if lo, hi, _ := u.WindowAt("g"); lo != 10 || hi != 50 {
+		t.Fatalf("merged window = [%v,%v], want [10,50]", lo, hi)
+	}
+	// Non-overlap pieces retained.
+	if lo, hi, _ := u.WindowAt("b"); lo != 10 || hi != 30 {
+		t.Fatalf("left window = [%v,%v]", lo, hi)
+	}
+	if lo, hi, _ := u.WindowAt("p"); lo != 25 || hi != 50 {
+		t.Fatalf("right window = [%v,%v]", lo, hi)
+	}
+}
+
+func TestKnowledgeUnionDisjointWindowsFresherWins(t *testing.T) {
+	a := NewKnowledgeSet()
+	a.AddSnapshot(rng("a", "m"), 10)
+	b := NewKnowledgeSet()
+	b.AddSnapshot(rng("a", "m"), 90)
+	u := a.Union(b)
+	if lo, hi, _ := u.WindowAt("c"); lo != 90 || hi != 90 {
+		t.Fatalf("fresher window must win, got [%v,%v]", lo, hi)
+	}
+	// Union is value-symmetric here.
+	u2 := b.Union(a)
+	if lo, hi, _ := u2.WindowAt("c"); lo != 90 || hi != 90 {
+		t.Fatalf("fresher window must win regardless of order, got [%v,%v]", lo, hi)
+	}
+}
+
+func TestKnowledgeRegionsNormalized(t *testing.T) {
+	s := NewKnowledgeSet()
+	s.AddSnapshot(rng("a", "f"), 10)
+	s.AddSnapshot(rng("f", "m"), 10) // adjacent identical windows must merge
+	regs := s.Regions()
+	if len(regs) != 1 {
+		t.Fatalf("regions = %v, want one merged region", s)
+	}
+	if regs[0].Range != rng("a", "m") {
+		t.Fatalf("merged range = %v", regs[0].Range)
+	}
+	_ = keyspace.Full() // keep import when table shrinks
+}

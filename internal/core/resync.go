@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"unbundle/internal/keyspace"
+)
+
+// SyncedConsumer is what a self-recovering watcher drives. Implementations
+// (caches, replicas, workers) receive an initial snapshot, then incremental
+// changes and progress; on resync they receive a fresh snapshot that
+// supersedes previous state for the range.
+//
+// Calls are serialized: implementations need no internal locking against the
+// watcher (only against their own readers).
+type SyncedConsumer interface {
+	// ResetSnapshot replaces all state for r with the given snapshot taken at
+	// version at. Called once at start and once per resync.
+	ResetSnapshot(r keyspace.Range, entries []Entry, at Version)
+	// ApplyChange applies one change event (version > the snapshot version).
+	ApplyChange(ev ChangeEvent)
+	// AdvanceFrontier reports range-scoped progress.
+	AdvanceFrontier(p ProgressEvent)
+}
+
+// ResyncWatcher composes a Snapshotter (the store's read view) with a
+// Watchable (the watch system) into the full §4.4 recovery loop:
+//
+//	snapshot(range) at v  →  watch(range, from=v)  →  … events/progress …
+//	        ↑                                               |
+//	        └────────────── OnResync ───────────────────────┘
+//
+// A lagging or late consumer is therefore *programmatically* recoverable —
+// the capability whose absence in pubsub systems §3.1 identifies as the root
+// of backlog emergencies. The snapshot may be stale (read from any replica);
+// correctness only needs snapshot-version ≥ the resync's MinVersion, which
+// any fresh read of the authoritative store satisfies.
+type ResyncWatcher struct {
+	store    Snapshotter
+	src      Watchable
+	rng      keyspace.Range
+	consumer SyncedConsumer
+
+	mu      sync.Mutex
+	gen     int // current watch generation; stale callbacks are ignored
+	cancel  Cancel
+	stopped bool
+	resyncs int64
+	events  int64
+}
+
+// NewResyncWatcher builds a watcher over r; call Start to begin.
+func NewResyncWatcher(store Snapshotter, src Watchable, r keyspace.Range, consumer SyncedConsumer) *ResyncWatcher {
+	return &ResyncWatcher{store: store, src: src, rng: r, consumer: consumer}
+}
+
+// Start performs the initial snapshot and registers the watch.
+func (rw *ResyncWatcher) Start() error {
+	return rw.establish(0)
+}
+
+// establish runs one snapshot-then-watch cycle for generation expectGen.
+func (rw *ResyncWatcher) establish(expectGen int) error {
+	rw.mu.Lock()
+	if rw.stopped || rw.gen != expectGen {
+		rw.mu.Unlock()
+		return nil
+	}
+	rw.gen++
+	gen := rw.gen
+	if rw.cancel != nil {
+		rw.cancel()
+		rw.cancel = nil
+	}
+	rw.mu.Unlock()
+
+	entries, at, err := rw.store.SnapshotRange(rw.rng)
+	if err != nil {
+		return fmt.Errorf("core: resync snapshot of %v: %w", rw.rng, err)
+	}
+	rw.consumer.ResetSnapshot(rw.rng, entries, at)
+	// The snapshot itself is complete knowledge of the range at `at`.
+	rw.consumer.AdvanceFrontier(ProgressEvent{Range: rw.rng, Version: at})
+
+	cancel, err := rw.src.Watch(rw.rng, at, Funcs{
+		Event: func(ev ChangeEvent) {
+			if !rw.current(gen) {
+				return
+			}
+			rw.mu.Lock()
+			rw.events++
+			rw.mu.Unlock()
+			rw.consumer.ApplyChange(ev)
+		},
+		Progress: func(p ProgressEvent) {
+			if !rw.current(gen) {
+				return
+			}
+			rw.consumer.AdvanceFrontier(p)
+		},
+		Resync: func(r ResyncEvent) {
+			if !rw.current(gen) {
+				return
+			}
+			rw.mu.Lock()
+			rw.resyncs++
+			rw.mu.Unlock()
+			// Recover: fresh snapshot, new watch. Runs on the watch dispatch
+			// goroutine, which dies once the superseded watch is cancelled.
+			_ = rw.establish(gen)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("core: resync watch of %v: %w", rw.rng, err)
+	}
+
+	rw.mu.Lock()
+	if rw.stopped || rw.gen != gen {
+		rw.mu.Unlock()
+		cancel()
+		return nil
+	}
+	rw.cancel = cancel
+	rw.mu.Unlock()
+	return nil
+}
+
+func (rw *ResyncWatcher) current(gen int) bool {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return !rw.stopped && rw.gen == gen
+}
+
+// Stop cancels the watch; no further consumer calls are started.
+func (rw *ResyncWatcher) Stop() {
+	rw.mu.Lock()
+	rw.stopped = true
+	c := rw.cancel
+	rw.cancel = nil
+	rw.mu.Unlock()
+	if c != nil {
+		c()
+	}
+}
+
+// Resyncs returns how many resync cycles this watcher has performed.
+func (rw *ResyncWatcher) Resyncs() int64 {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.resyncs
+}
+
+// Events returns how many change events this watcher has applied.
+func (rw *ResyncWatcher) Events() int64 {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.events
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"unbundle/internal/keyspace"
+)
+
+// fakeStore is a minimal versioned store for resync tests: it applies puts
+// under a lock, serves snapshots at its current version, and feeds a hub.
+type fakeStore struct {
+	mu      sync.Mutex
+	data    map[keyspace.Key][]byte
+	vers    map[keyspace.Key]Version
+	version Version
+	hub     *Hub
+	// snapshotHook runs while holding no locks, before each snapshot read;
+	// tests use it to interleave writes with recovery.
+	snapshotHook func()
+}
+
+func newFakeStore(h *Hub) *fakeStore {
+	return &fakeStore{data: map[keyspace.Key][]byte{}, vers: map[keyspace.Key]Version{}, hub: h}
+}
+
+func (s *fakeStore) Put(k keyspace.Key, v []byte) Version {
+	s.mu.Lock()
+	s.version++
+	ver := s.version
+	s.data[k] = append([]byte(nil), v...)
+	s.vers[k] = ver
+	s.mu.Unlock()
+	if s.hub != nil {
+		s.hub.Append(ChangeEvent{Key: k, Mut: Mutation{Op: OpPut, Value: v}, Version: ver})
+		s.hub.Progress(ProgressEvent{Range: keyspace.Full(), Version: ver})
+	}
+	return ver
+}
+
+func (s *fakeStore) SnapshotRange(r keyspace.Range) ([]Entry, Version, error) {
+	if s.snapshotHook != nil {
+		s.snapshotHook()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for k, v := range s.data {
+		if r.Contains(k) {
+			out = append(out, Entry{Key: k, Value: append([]byte(nil), v...), Version: s.vers[k]})
+		}
+	}
+	return out, s.version, nil
+}
+
+// tableConsumer materializes the watched range into a map — the simplest
+// possible SyncedConsumer.
+type tableConsumer struct {
+	mu        sync.Mutex
+	data      map[keyspace.Key]string
+	frontier  VersionMap
+	snapshots int
+}
+
+func newTableConsumer() *tableConsumer {
+	return &tableConsumer{data: map[keyspace.Key]string{}}
+}
+
+func (tc *tableConsumer) ResetSnapshot(r keyspace.Range, entries []Entry, at Version) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.snapshots++
+	for k := range tc.data {
+		if r.Contains(k) {
+			delete(tc.data, k)
+		}
+	}
+	for _, e := range entries {
+		tc.data[e.Key] = string(e.Value)
+	}
+}
+
+func (tc *tableConsumer) ApplyChange(ev ChangeEvent) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	switch ev.Mut.Op {
+	case OpPut:
+		tc.data[ev.Key] = string(ev.Mut.Value)
+	case OpDelete:
+		delete(tc.data, ev.Key)
+	}
+}
+
+func (tc *tableConsumer) AdvanceFrontier(p ProgressEvent) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.frontier.Raise(p.Range, p.Version)
+}
+
+func (tc *tableConsumer) get(k keyspace.Key) (string, bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	v, ok := tc.data[k]
+	return v, ok
+}
+
+func (tc *tableConsumer) frontierMin(r keyspace.Range) Version {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.frontier.MinOver(r)
+}
+
+func TestResyncWatcherInitialSnapshotThenLive(t *testing.T) {
+	h := NewHub(HubConfig{})
+	defer h.Close()
+	st := newFakeStore(h)
+	st.Put("a", []byte("1"))
+	st.Put("b", []byte("2"))
+
+	tc := newTableConsumer()
+	rw := NewResyncWatcher(st, h, keyspace.Full(), tc)
+	if err := rw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+
+	if v, _ := tc.get("a"); v != "1" {
+		t.Fatalf("snapshot missing: a=%q", v)
+	}
+	st.Put("a", []byte("3"))
+	waitUntil(t, "live update", func() bool { v, _ := tc.get("a"); return v == "3" })
+	waitUntil(t, "frontier", func() bool { return tc.frontierMin(keyspace.Full()) >= 3 })
+	if rw.Resyncs() != 0 {
+		t.Fatalf("unexpected resyncs: %d", rw.Resyncs())
+	}
+}
+
+func TestResyncWatcherRecoversFromWipe(t *testing.T) {
+	h := NewHub(HubConfig{})
+	defer h.Close()
+	st := newFakeStore(h)
+	st.Put("a", []byte("1"))
+
+	tc := newTableConsumer()
+	rw := NewResyncWatcher(st, h, keyspace.Full(), tc)
+	if err := rw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+
+	// Lose the hub's entire soft state, then write more. The update after
+	// the wipe reaches the consumer only via the recovery snapshot.
+	h.Wipe()
+	st.Put("a", []byte("2"))
+	st.Put("c", []byte("9"))
+
+	waitUntil(t, "recovery", func() bool {
+		a, _ := tc.get("a")
+		c, _ := tc.get("c")
+		return a == "2" && c == "9"
+	})
+	if rw.Resyncs() < 1 {
+		t.Fatal("wipe did not trigger resync")
+	}
+}
+
+func TestResyncWatcherRecoversFromEvictedHistory(t *testing.T) {
+	h := NewHub(HubConfig{Retention: 4})
+	defer h.Close()
+	st := newFakeStore(h)
+	// History far larger than retention before the watcher arrives at v0.
+	for i := 0; i < 50; i++ {
+		st.Put(keyspace.NumericKey(i%7), []byte{byte(i)})
+	}
+	tc := newTableConsumer()
+	rw := NewResyncWatcher(st, h, keyspace.Full(), tc)
+	if err := rw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+
+	// Initial snapshot is at the current version, so no resync needed; the
+	// interesting case: watcher established, then a burst evicts its spot.
+	for i := 0; i < 50; i++ {
+		st.Put(keyspace.NumericKey(i%7), []byte{byte(100 + i)})
+	}
+	waitUntil(t, "converged", func() bool {
+		for k := 0; k < 7; k++ {
+			lastWrite := 49 - ((49 - k) % 7) // largest i < 50 with i%7 == k
+			want := byte(100 + lastWrite)
+			got, ok := tc.get(keyspace.NumericKey(k))
+			if !ok || got[0] != want {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestResyncWatcherStopsCleanly(t *testing.T) {
+	h := NewHub(HubConfig{})
+	defer h.Close()
+	st := newFakeStore(h)
+	tc := newTableConsumer()
+	rw := NewResyncWatcher(st, h, keyspace.Full(), tc)
+	if err := rw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rw.Stop()
+	rw.Stop() // idempotent
+	st.Put("x", []byte("1"))
+	// The fence: hub has no watchers left.
+	waitUntil(t, "deregistered", func() bool { return h.Stats().Watchers == 0 })
+	if _, ok := tc.get("x"); ok {
+		t.Fatal("consumer updated after Stop")
+	}
+}
+
+func TestResyncWatcherRangeScoped(t *testing.T) {
+	h := NewHub(HubConfig{})
+	defer h.Close()
+	st := newFakeStore(h)
+	st.Put(keyspace.NumericKey(1), []byte("in"))
+	st.Put(keyspace.NumericKey(900), []byte("out"))
+
+	tc := newTableConsumer()
+	rw := NewResyncWatcher(st, h, keyspace.NumericRange(0, 100), tc)
+	if err := rw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+	if _, ok := tc.get(keyspace.NumericKey(900)); ok {
+		t.Fatal("snapshot leaked out-of-range key")
+	}
+	st.Put(keyspace.NumericKey(2), []byte("in2"))
+	st.Put(keyspace.NumericKey(901), []byte("out2"))
+	waitUntil(t, "in-range update", func() bool { v, _ := tc.get(keyspace.NumericKey(2)); return v == "in2" })
+	if _, ok := tc.get(keyspace.NumericKey(901)); ok {
+		t.Fatal("watch leaked out-of-range key")
+	}
+}

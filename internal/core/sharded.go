@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"unbundle/internal/keyspace"
+)
+
+// ShardedHub is the §5 "standalone watch system" research direction made
+// concrete: a watch system scaled out over multiple Hub shards, each owning
+// a key range. It implements the same Ingester/Watchable contracts as a
+// single Hub — consumers cannot tell the difference — which is exactly the
+// loose coupling range-scoped progress was designed to buy (§4.2.2: "each
+// system layer [defines] its own partition boundaries which can evolve
+// independently").
+//
+// Ingestion routes each event to its range's shard and splits progress
+// claims along shard boundaries. A watch spanning multiple shards fans out
+// to each and merges the streams; per-key ordering survives because a key
+// lives in exactly one shard, and progress events remain range-scoped
+// truthful because each shard only claims its slice.
+type ShardedHub struct {
+	shards []shardEntry
+	mu     sync.Mutex
+	closed bool
+}
+
+type shardEntry struct {
+	rng keyspace.Range
+	hub *Hub
+}
+
+// NewShardedHub creates n hub shards evenly partitioning the numeric key
+// domain (the last shard is unbounded, so every key routes somewhere).
+func NewShardedHub(n int, cfg HubConfig) *ShardedHub {
+	if n <= 0 {
+		n = 1
+	}
+	sh := &ShardedHub{}
+	for _, r := range keyspace.EvenSplit(n*1000, n) {
+		sh.shards = append(sh.shards, shardEntry{rng: r, hub: NewHub(cfg)})
+	}
+	return sh
+}
+
+var (
+	_ Ingester  = (*ShardedHub)(nil)
+	_ Watchable = (*ShardedHub)(nil)
+)
+
+// shardFor returns the shard owning k.
+func (s *ShardedHub) shardFor(k keyspace.Key) *Hub {
+	for _, e := range s.shards {
+		if e.rng.Contains(k) {
+			return e.hub
+		}
+	}
+	// EvenSplit covers the full keyspace; this is unreachable.
+	return s.shards[len(s.shards)-1].hub
+}
+
+// Append implements Ingester: route by key.
+func (s *ShardedHub) Append(ev ChangeEvent) error {
+	return s.shardFor(ev.Key).Append(ev)
+}
+
+// Progress implements Ingester: split the claim along shard boundaries so
+// each shard only asserts completeness for keys it owns.
+func (s *ShardedHub) Progress(p ProgressEvent) error {
+	for _, e := range s.shards {
+		clipped := p.Range.Intersect(e.rng)
+		if clipped.Empty() {
+			continue
+		}
+		if err := e.hub.Progress(ProgressEvent{Range: clipped, Version: p.Version}); err != nil {
+			return fmt.Errorf("core: sharded progress over %v: %w", clipped, err)
+		}
+	}
+	return nil
+}
+
+// Watch implements Watchable: fan out to every shard the range overlaps and
+// merge the streams. The callback contract (serialized invocations) is
+// preserved by a mutex around the delegate callbacks.
+func (s *ShardedHub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, error) {
+	if cb == nil {
+		return nil, fmt.Errorf("%w: nil callback", ErrBadWatch)
+	}
+	if r.Empty() {
+		return nil, fmt.Errorf("%w: empty range %v", ErrBadWatch, r)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.mu.Unlock()
+
+	merged := &mergedCallback{cb: cb}
+	var cancels []Cancel
+	for _, e := range s.shards {
+		clipped := r.Intersect(e.rng)
+		if clipped.Empty() {
+			continue
+		}
+		cancel, err := e.hub.Watch(clipped, from, merged)
+		if err != nil {
+			for _, c := range cancels {
+				c()
+			}
+			return nil, err
+		}
+		cancels = append(cancels, cancel)
+	}
+	if len(cancels) == 0 {
+		return nil, fmt.Errorf("%w: range %v overlaps no shard", ErrBadWatch, r)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for _, c := range cancels {
+				c()
+			}
+		})
+	}, nil
+}
+
+// mergedCallback serializes callbacks arriving from several shard streams.
+type mergedCallback struct {
+	mu sync.Mutex
+	cb WatchCallback
+}
+
+func (m *mergedCallback) OnEvent(ev ChangeEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cb.OnEvent(ev)
+}
+
+func (m *mergedCallback) OnProgress(p ProgressEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cb.OnProgress(p)
+}
+
+func (m *mergedCallback) OnResync(r ResyncEvent) {
+	// A resync from any shard means the watcher's knowledge of that slice is
+	// broken; forward it scoped to the shard's range so the consumer can
+	// recover just that slice.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cb.OnResync(r)
+}
+
+// Stats aggregates shard statistics.
+func (s *ShardedHub) Stats() HubStats {
+	var out HubStats
+	for _, e := range s.shards {
+		st := e.hub.Stats()
+		out.Appends += st.Appends
+		out.ProgressEvents += st.ProgressEvents
+		out.Evictions += st.Evictions
+		out.Resyncs += st.Resyncs
+		out.Delivered += st.Delivered
+		out.RetainedEvents += st.RetainedEvents
+		out.Watchers += st.Watchers
+		if st.MaxSeen > out.MaxSeen {
+			out.MaxSeen = st.MaxSeen
+		}
+	}
+	return out
+}
+
+// Shards returns the shard count.
+func (s *ShardedHub) Shards() int { return len(s.shards) }
+
+// WipeShard wipes one shard's soft state (failure injection): only watchers
+// overlapping that shard resync.
+func (s *ShardedHub) WipeShard(i int) {
+	if i >= 0 && i < len(s.shards) {
+		s.shards[i].hub.Wipe()
+	}
+}
+
+// Close shuts all shards down.
+func (s *ShardedHub) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	for _, e := range s.shards {
+		e.hub.Close()
+	}
+}

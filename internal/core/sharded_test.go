@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"unbundle/internal/keyspace"
+)
+
+func TestShardedHubRoutesAndMerges(t *testing.T) {
+	sh := NewShardedHub(4, HubConfig{})
+	defer sh.Close()
+	if sh.Shards() != 4 {
+		t.Fatalf("shards = %d", sh.Shards())
+	}
+	var c collector
+	// A watch spanning all shards.
+	cancel, err := sh.Watch(keyspace.Full(), NoVersion, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := sh.Append(ChangeEvent{
+			Key:     keyspace.NumericKey(i * 10),
+			Mut:     Mutation{Op: OpPut},
+			Version: Version(i + 1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "all events", func() bool { evs, _, _ := c.snapshot(); return len(evs) == n })
+	// Per-key order holds (trivially here), and every event arrived once.
+	evs, _, _ := c.snapshot()
+	seen := map[keyspace.Key]bool{}
+	for _, ev := range evs {
+		if seen[ev.Key] {
+			t.Fatalf("duplicate delivery for %q", string(ev.Key))
+		}
+		seen[ev.Key] = true
+	}
+	st := sh.Stats()
+	if st.Appends != n {
+		t.Fatalf("aggregate appends = %d", st.Appends)
+	}
+}
+
+func TestShardedHubRangeWatchTouchesOnlyOwningShards(t *testing.T) {
+	sh := NewShardedHub(4, HubConfig{})
+	defer sh.Close()
+	var c collector
+	// [0, 1000) is exactly shard 0's slice.
+	cancel, err := sh.Watch(keyspace.NumericRange(0, 1000), NoVersion, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	sh.Append(ChangeEvent{Key: keyspace.NumericKey(500), Mut: Mutation{Op: OpPut}, Version: 1})
+	sh.Append(ChangeEvent{Key: keyspace.NumericKey(2500), Mut: Mutation{Op: OpPut}, Version: 2})
+	waitUntil(t, "in-range event", func() bool { evs, _, _ := c.snapshot(); return len(evs) == 1 })
+	evs, _, _ := c.snapshot()
+	if evs[0].Key != keyspace.NumericKey(500) {
+		t.Fatalf("wrong event: %v", evs[0])
+	}
+	// Only one shard carries a watcher.
+	watchers := 0
+	for i := 0; i < sh.Shards(); i++ {
+		watchers += int(sh.Stats().Watchers)
+		break
+	}
+	if sh.Stats().Watchers != 1 {
+		t.Fatalf("watchers = %d, want 1", sh.Stats().Watchers)
+	}
+}
+
+func TestShardedHubProgressSplitAlongShards(t *testing.T) {
+	sh := NewShardedHub(2, HubConfig{})
+	defer sh.Close()
+	var c collector
+	cancel, _ := sh.Watch(keyspace.Full(), NoVersion, &c)
+	defer cancel()
+
+	// A global progress claim must arrive as per-shard claims, each clipped
+	// to its shard — no shard overclaims.
+	if err := sh.Progress(ProgressEvent{Range: keyspace.Full(), Version: 9}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "split progress", func() bool { _, ps, _ := c.snapshot(); return len(ps) == 2 })
+	_, ps, _ := c.snapshot()
+	cover := keyspace.NewRangeSet()
+	for _, p := range ps {
+		if p.Version != 9 {
+			t.Fatalf("progress version = %v", p.Version)
+		}
+		if cover.IntersectRange(p.Range).Len() > 0 {
+			t.Fatalf("overlapping progress claims: %v", ps)
+		}
+		cover = cover.Add(p.Range)
+	}
+	if !cover.ContainsRange(keyspace.Full()) {
+		t.Fatalf("progress does not cover the claim: %v", cover)
+	}
+}
+
+func TestShardedHubShardWipeIsScoped(t *testing.T) {
+	sh := NewShardedHub(4, HubConfig{})
+	defer sh.Close()
+	var cLeft, cRight collector
+	cancelL, _ := sh.Watch(keyspace.NumericRange(0, 1000), NoVersion, &cLeft) // shard 0
+	defer cancelL()
+	cancelR, _ := sh.Watch(keyspace.Range{Low: keyspace.NumericKey(3000), High: keyspace.Inf}, NoVersion, &cRight) // shard 3
+	defer cancelR()
+
+	sh.WipeShard(0)
+	// Fences to both shards so we know dispatch has flushed.
+	sh.Append(ChangeEvent{Key: keyspace.NumericKey(3500), Mut: Mutation{Op: OpPut}, Version: 1})
+	waitUntil(t, "right fence", func() bool { evs, _, _ := cRight.snapshot(); return len(evs) == 1 })
+	waitUntil(t, "left resync", func() bool { _, _, rs := cLeft.snapshot(); return len(rs) == 1 })
+	if _, _, rs := cRight.snapshot(); len(rs) != 0 {
+		t.Fatalf("wipe of shard 0 resynced shard 3's watcher: %v", rs)
+	}
+}
+
+func TestShardedHubValidationAndClose(t *testing.T) {
+	sh := NewShardedHub(2, HubConfig{})
+	if _, err := sh.Watch(keyspace.Full(), 0, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	if _, err := sh.Watch(keyspace.Range{}, 0, &collector{}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	cancel, err := sh.Watch(keyspace.Full(), 0, &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	cancel() // idempotent
+	sh.Close()
+	if err := sh.Append(put("k", 1)); err != ErrClosed {
+		t.Fatalf("append after close = %v", err)
+	}
+	if _, err := sh.Watch(keyspace.Full(), 0, &collector{}); err != ErrClosed {
+		t.Fatalf("watch after close = %v", err)
+	}
+}
+
+func TestShardedHubPerKeyOrderAcrossShards(t *testing.T) {
+	sh := NewShardedHub(4, HubConfig{})
+	defer sh.Close()
+	var c collector
+	cancel, _ := sh.Watch(keyspace.Full(), NoVersion, &c)
+	defer cancel()
+	const n = 400
+	for i := 1; i <= n; i++ {
+		k := keyspace.NumericKey((i % 8) * 500) // 8 keys spread over shards
+		sh.Append(ChangeEvent{Key: k, Mut: Mutation{Op: OpPut, Value: []byte(fmt.Sprint(i))}, Version: Version(i)})
+	}
+	waitUntil(t, "all", func() bool { evs, _, _ := c.snapshot(); return len(evs) == n })
+	evs, _, _ := c.snapshot()
+	last := map[keyspace.Key]Version{}
+	for _, ev := range evs {
+		if ev.Version <= last[ev.Key] {
+			t.Fatalf("per-key order violated: %v after %v", ev, last[ev.Key])
+		}
+		last[ev.Key] = ev.Version
+	}
+}

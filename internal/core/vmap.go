@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unbundle/internal/keyspace"
+)
+
+// RangeVersion is one segment of a VersionMap: every key in Range carries
+// Version.
+type RangeVersion struct {
+	Range   keyspace.Range
+	Version Version
+}
+
+// VersionMap is an interval map from keys to versions, the data structure
+// behind range-scoped progress (§4.2.2): the hub's frontier is a VersionMap
+// recording, for every key, the highest version through which the event
+// stream is known complete. Keys not covered by any segment implicitly carry
+// NoVersion.
+//
+// VersionMap is not safe for concurrent use; owners guard it with their own
+// lock. The zero value is an empty map.
+type VersionMap struct {
+	segs []RangeVersion // sorted by Range.Low, disjoint, version > NoVersion
+}
+
+// Raise sets the version over r to max(current, v) pointwise. Raising to
+// NoVersion is a no-op. Progress can legitimately arrive out of order or
+// overlap (each layer partitions independently), so Raise never lowers.
+func (m *VersionMap) Raise(r keyspace.Range, v Version) {
+	if r.Empty() || v == NoVersion {
+		return
+	}
+	out := make([]RangeVersion, 0, len(m.segs)+2)
+	uncovered := keyspace.NewRangeSet(r)
+	for _, s := range m.segs {
+		inter := s.Range.Intersect(r)
+		if inter.Empty() {
+			out = append(out, s)
+			continue
+		}
+		uncovered = uncovered.SubtractRange(s.Range)
+		// Pieces of s outside r keep their version.
+		for _, rest := range keyspace.NewRangeSet(s.Range).SubtractRange(r).Ranges() {
+			out = append(out, RangeVersion{Range: rest, Version: s.Version})
+		}
+		// The overlap takes the max.
+		sv := s.Version
+		if v > sv {
+			sv = v
+		}
+		out = append(out, RangeVersion{Range: inter, Version: sv})
+	}
+	for _, rest := range uncovered.Ranges() {
+		out = append(out, RangeVersion{Range: rest, Version: v})
+	}
+	m.segs = normalizeSegments(out)
+}
+
+// normalizeSegments sorts, then merges adjacent segments of equal version.
+func normalizeSegments(segs []RangeVersion) []RangeVersion {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Range.Low < segs[j].Range.Low })
+	out := segs[:0]
+	for _, s := range segs {
+		if s.Range.Empty() || s.Version == NoVersion {
+			continue
+		}
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.Version == s.Version && prev.Range.Adjacent(s.Range) {
+				prev.Range = prev.Range.Union(s.Range)
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// VersionAt returns the version covering key k (NoVersion if uncovered).
+func (m *VersionMap) VersionAt(k keyspace.Key) Version {
+	for _, s := range m.segs {
+		if s.Range.Contains(k) {
+			return s.Version
+		}
+		if s.Range.Low > k {
+			break
+		}
+	}
+	return NoVersion
+}
+
+// MinOver returns the minimum version over every key of r: the version
+// through which knowledge of r is complete. Any uncovered gap yields
+// NoVersion. This is the query a watcher's progress tracker answers: "up to
+// what version do I know everything about this range?"
+func (m *VersionMap) MinOver(r keyspace.Range) Version {
+	if r.Empty() {
+		return NoVersion
+	}
+	remaining := keyspace.NewRangeSet(r)
+	min := Version(^uint64(0))
+	for _, s := range m.segs {
+		inter := s.Range.Intersect(r)
+		if inter.Empty() {
+			continue
+		}
+		remaining = remaining.SubtractRange(s.Range)
+		if s.Version < min {
+			min = s.Version
+		}
+	}
+	if !remaining.Empty() {
+		return NoVersion
+	}
+	return min
+}
+
+// MaxOver returns the maximum version over keys of r (NoVersion if none).
+func (m *VersionMap) MaxOver(r keyspace.Range) Version {
+	var max Version
+	for _, s := range m.segs {
+		if !s.Range.Overlaps(r) {
+			continue
+		}
+		if s.Version > max {
+			max = s.Version
+		}
+	}
+	return max
+}
+
+// CoversAtLeast reports whether every key of r carries version >= v.
+func (m *VersionMap) CoversAtLeast(r keyspace.Range, v Version) bool {
+	return m.MinOver(r) >= v && !r.Empty()
+}
+
+// Segments returns the normalized segments in key order. The caller must not
+// modify the returned slice.
+func (m *VersionMap) Segments() []RangeVersion { return m.segs }
+
+// Clone returns an independent copy.
+func (m *VersionMap) Clone() *VersionMap {
+	out := &VersionMap{segs: make([]RangeVersion, len(m.segs))}
+	copy(out.segs, m.segs)
+	return out
+}
+
+// String renders the map for logs and test failures.
+func (m *VersionMap) String() string {
+	if len(m.segs) == 0 {
+		return "frontier{}"
+	}
+	parts := make([]string, len(m.segs))
+	for i, s := range m.segs {
+		parts[i] = fmt.Sprintf("%v@%v", s.Range, s.Version)
+	}
+	return "frontier{" + strings.Join(parts, " ") + "}"
+}

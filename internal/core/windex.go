@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sort"
+
+	"unbundle/internal/keyspace"
+)
+
+// watcherIndex answers "which watchers cover key k?" in O(log S + matches)
+// instead of scanning every watcher per event. It keeps the watched portion
+// of the keyspace as sorted, disjoint segments, each carrying the id set of
+// watchers covering it; watch ranges split segments at their boundaries, the
+// way the hub's frontier map splits version segments.
+//
+// Not safe for concurrent use; the hub's lock guards it.
+type watcherIndex struct {
+	segs []idxSegment
+}
+
+type idxSegment struct {
+	r   keyspace.Range
+	ids map[int64]struct{}
+}
+
+// add registers id as covering r.
+func (x *watcherIndex) add(id int64, r keyspace.Range) {
+	if r.Empty() {
+		return
+	}
+	out := make([]idxSegment, 0, len(x.segs)+2)
+	uncovered := keyspace.NewRangeSet(r)
+	for _, s := range x.segs {
+		inter := s.r.Intersect(r)
+		if inter.Empty() {
+			out = append(out, s)
+			continue
+		}
+		uncovered = uncovered.SubtractRange(s.r)
+		for _, rest := range keyspace.NewRangeSet(s.r).SubtractRange(r).Ranges() {
+			out = append(out, idxSegment{r: rest, ids: s.ids})
+		}
+		merged := make(map[int64]struct{}, len(s.ids)+1)
+		for i := range s.ids {
+			merged[i] = struct{}{}
+		}
+		merged[id] = struct{}{}
+		out = append(out, idxSegment{r: inter, ids: merged})
+	}
+	for _, rest := range uncovered.Ranges() {
+		out = append(out, idxSegment{r: rest, ids: map[int64]struct{}{id: {}}})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].r.Low < out[j].r.Low })
+	x.segs = out
+}
+
+// remove deregisters id from r (its original watch range).
+func (x *watcherIndex) remove(id int64, r keyspace.Range) {
+	if r.Empty() {
+		return
+	}
+	out := x.segs[:0]
+	for _, s := range x.segs {
+		if s.r.Overlaps(r) {
+			if _, ok := s.ids[id]; ok {
+				trimmed := make(map[int64]struct{}, len(s.ids)-1)
+				for i := range s.ids {
+					if i != id {
+						trimmed[i] = struct{}{}
+					}
+				}
+				s.ids = trimmed
+			}
+			if len(s.ids) == 0 {
+				continue
+			}
+		}
+		// Merge with the previous segment when the id sets are identical, so
+		// boundaries left behind by removed watchers do not accumulate.
+		if n := len(out); n > 0 && out[n-1].r.Adjacent(s.r) && sameIDs(out[n-1].ids, s.ids) {
+			out[n-1].r = out[n-1].r.Union(s.r)
+			continue
+		}
+		out = append(out, s)
+	}
+	x.segs = out
+}
+
+func sameIDs(a, b map[int64]struct{}) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if _, ok := b[i]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup calls fn for every watcher id covering k.
+func (x *watcherIndex) lookup(k keyspace.Key, fn func(id int64)) {
+	i := sort.Search(len(x.segs), func(i int) bool {
+		s := x.segs[i]
+		return s.r.High >= keyspace.Inf || s.r.High > k
+	})
+	if i < len(x.segs) && x.segs[i].r.Contains(k) {
+		for id := range x.segs[i].ids {
+			fn(id)
+		}
+	}
+}
+
+// size returns the segment count (for tests and stats).
+func (x *watcherIndex) size() int { return len(x.segs) }

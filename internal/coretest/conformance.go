@@ -1,0 +1,227 @@
+// Package coretest provides a reusable conformance suite for implementations
+// of the core.Watchable contract. Every storage×notification wiring in the
+// repository (the four Figure 3 quadrants) must pass it; this is what makes
+// "the watch contract is store-agnostic" a tested property rather than a
+// slogan.
+package coretest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+)
+
+// Env is one system under test: a Watchable over some store, plus a way to
+// commit a keyed change and to read the source's current version.
+type Env struct {
+	// Watch is the implementation under test.
+	Watch core.Watchable
+	// Put commits a change for key k with payload v and returns the version
+	// it committed at. For append-only stores the "key" identifies a series.
+	Put func(k keyspace.Key, v []byte) core.Version
+	// KeyOf maps a delivered event back to the logical key given to Put
+	// (identity for KV stores; series extraction for ingestion stores).
+	KeyOf func(ev core.ChangeEvent) keyspace.Key
+	// Close releases the system.
+	Close func()
+}
+
+// Factory builds a fresh Env. hubCfg suggests soft-state sizing; small
+// Retention values must translate into eviction behaviour (resyncs).
+type Factory func(hubCfg core.HubConfig) Env
+
+// Run exercises the Watchable contract against the factory.
+func Run(t *testing.T, name string, factory Factory) {
+	t.Helper()
+	t.Run(name+"/DeliversInPerKeyOrder", func(t *testing.T) { runOrder(t, factory) })
+	t.Run(name+"/RangeFiltering", func(t *testing.T) { runRangeFilter(t, factory) })
+	t.Run(name+"/ProgressReachesSourceVersion", func(t *testing.T) { runProgress(t, factory) })
+	t.Run(name+"/ResyncOnEvictedHistory", func(t *testing.T) { runResync(t, factory) })
+	t.Run(name+"/CancelStopsDelivery", func(t *testing.T) { runCancel(t, factory) })
+	t.Run(name+"/WatchValidation", func(t *testing.T) { runValidation(t, factory) })
+}
+
+func bigHub() core.HubConfig {
+	return core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 18}
+}
+
+func wait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("conformance: timed out waiting for %s", what)
+}
+
+func runOrder(t *testing.T, factory Factory) {
+	env := factory(bigHub())
+	defer env.Close()
+	var mu sync.Mutex
+	seen := map[keyspace.Key][]core.Version{}
+	total := 0
+	cancel, err := env.Watch.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event: func(ev core.ChangeEvent) {
+			mu.Lock()
+			k := env.KeyOf(ev)
+			seen[k] = append(seen[k], ev.Version)
+			total++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	const n = 300
+	for i := 0; i < n; i++ {
+		env.Put(keyspace.Key(fmt.Sprintf("k%d", i%7)), []byte{byte(i)})
+	}
+	wait(t, "all events", func() bool { mu.Lock(); defer mu.Unlock(); return total == n })
+	mu.Lock()
+	defer mu.Unlock()
+	for k, versions := range seen {
+		for i := 1; i < len(versions); i++ {
+			if versions[i] <= versions[i-1] {
+				t.Fatalf("per-key order violated for %q: %v", string(k), versions)
+			}
+		}
+	}
+}
+
+func runRangeFilter(t *testing.T, factory Factory) {
+	env := factory(bigHub())
+	defer env.Close()
+	var mu sync.Mutex
+	var got []keyspace.Key
+	r := keyspace.Prefix("in/")
+	cancel, err := env.Watch.Watch(r, core.NoVersion, core.Funcs{
+		Event: func(ev core.ChangeEvent) {
+			mu.Lock()
+			got = append(got, env.KeyOf(ev))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	env.Put("in/a", []byte("1"))
+	env.Put("out/a", []byte("2"))
+	env.Put("in/b", []byte("3"))
+	wait(t, "in-range events", func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 2 })
+	mu.Lock()
+	defer mu.Unlock()
+	for _, k := range got {
+		if !r.Contains(k+"#") && !r.Contains(k) {
+			t.Fatalf("out-of-range key delivered: %q", string(k))
+		}
+	}
+}
+
+func runProgress(t *testing.T, factory Factory) {
+	env := factory(bigHub())
+	defer env.Close()
+	var mu sync.Mutex
+	var frontier core.Version
+	cancel, err := env.Watch.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Progress: func(p core.ProgressEvent) {
+			mu.Lock()
+			if p.Version > frontier {
+				frontier = p.Version
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	var last core.Version
+	for i := 0; i < 50; i++ {
+		last = env.Put("k", []byte{byte(i)})
+	}
+	wait(t, "frontier reaches source", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return frontier >= last
+	})
+	// Progress never overtakes what was committed.
+	mu.Lock()
+	defer mu.Unlock()
+	if frontier > last {
+		t.Fatalf("frontier %v beyond source version %v", frontier, last)
+	}
+}
+
+func runResync(t *testing.T, factory Factory) {
+	env := factory(core.HubConfig{Retention: 8, WatcherBuffer: 64})
+	defer env.Close()
+	var last core.Version
+	for i := 0; i < 100; i++ {
+		last = env.Put(keyspace.Key(fmt.Sprintf("k%d", i%5)), []byte{byte(i)})
+	}
+	// Watching from long-evicted history must resync, never silently gap.
+	var mu sync.Mutex
+	var resyncs []core.ResyncEvent
+	events := 0
+	cancel, err := env.Watch.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event:  func(core.ChangeEvent) { mu.Lock(); events++; mu.Unlock() },
+		Resync: func(r core.ResyncEvent) { mu.Lock(); resyncs = append(resyncs, r); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	wait(t, "resync", func() bool { mu.Lock(); defer mu.Unlock(); return len(resyncs) == 1 })
+	mu.Lock()
+	defer mu.Unlock()
+	if events != 0 {
+		t.Fatalf("gapped stream delivered %d events before resync", events)
+	}
+	if resyncs[0].MinVersion == core.NoVersion || resyncs[0].MinVersion > last {
+		t.Fatalf("resync MinVersion %v out of bounds (source at %v)", resyncs[0].MinVersion, last)
+	}
+}
+
+func runCancel(t *testing.T, factory Factory) {
+	env := factory(bigHub())
+	defer env.Close()
+	var mu sync.Mutex
+	events := 0
+	cancel, err := env.Watch.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event: func(core.ChangeEvent) { mu.Lock(); events++; mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Put("k", []byte("1"))
+	wait(t, "first event", func() bool { mu.Lock(); defer mu.Unlock(); return events == 1 })
+	cancel()
+	cancel() // idempotent
+	env.Put("k", []byte("2"))
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if events != 1 {
+		t.Fatalf("delivery after cancel: %d events", events)
+	}
+}
+
+func runValidation(t *testing.T, factory Factory) {
+	env := factory(bigHub())
+	defer env.Close()
+	if _, err := env.Watch.Watch(keyspace.Full(), core.NoVersion, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	if _, err := env.Watch.Watch(keyspace.Range{}, core.NoVersion, core.Funcs{}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package coretest
+
+import (
+	"testing"
+
+	"unbundle/internal/core"
+	"unbundle/internal/ingeststore"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/mvcc"
+)
+
+// TestConformance runs the Watchable conformance suite against all four
+// Figure 3 quadrants.
+func TestConformance(t *testing.T) {
+	Run(t, "producer-store-builtin", func(cfg core.HubConfig) Env {
+		ws := mvcc.NewWatchableStore(cfg)
+		return Env{
+			Watch: ws,
+			Put:   func(k keyspace.Key, v []byte) core.Version { return ws.Put(k, v) },
+			KeyOf: func(ev core.ChangeEvent) keyspace.Key { return ev.Key },
+			Close: ws.Close,
+		}
+	})
+
+	Run(t, "producer-store-external-hub", func(cfg core.HubConfig) Env {
+		st := mvcc.NewStore()
+		hub := core.NewHub(cfg)
+		detach := st.AttachCDC(keyspace.Full(), hub)
+		return Env{
+			Watch: hub,
+			Put:   func(k keyspace.Key, v []byte) core.Version { return st.Put(k, v) },
+			KeyOf: func(ev core.ChangeEvent) keyspace.Key { return ev.Key },
+			Close: func() { detach(); hub.Close() },
+		}
+	})
+
+	Run(t, "ingest-store-builtin", func(cfg core.HubConfig) Env {
+		ing := ingeststore.NewWatchable(ingeststore.Config{}, cfg)
+		return Env{
+			Watch: ing,
+			Put: func(k keyspace.Key, v []byte) core.Version {
+				return ing.Append(k, v).Seq
+			},
+			KeyOf: seriesOf,
+			Close: ing.Close,
+		}
+	})
+
+	Run(t, "ingest-store-external-hub", func(cfg core.HubConfig) Env {
+		ing := ingeststore.NewStore(ingeststore.Config{})
+		hub := core.NewHub(cfg)
+		detach := ing.AttachIngester(hub)
+		return Env{
+			Watch: hub,
+			Put: func(k keyspace.Key, v []byte) core.Version {
+				return ing.Append(k, v).Seq
+			},
+			KeyOf: seriesOf,
+			Close: func() { detach(); hub.Close() },
+		}
+	})
+}
+
+// seriesOf maps "<series>#<seq>" event keys back to their series.
+func seriesOf(ev core.ChangeEvent) keyspace.Key {
+	s := string(ev.Key)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '#' {
+			return keyspace.Key(s[:i])
+		}
+	}
+	return ev.Key
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+	"unbundle/internal/pubsub"
+	"unbundle/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E1",
+		Title:  "Pubsub model baseline (consumer groups share, free consumers see all) vs watch fanout",
+		Anchor: "Figure 1, §2",
+		Run:    runE1,
+	})
+}
+
+// runE1 establishes that both systems do their basic job at rate: a consumer
+// group partitions a topic's messages among members; free consumers each see
+// every message; a watch hub fans out to range-scoped watchers. This is the
+// working baseline the later experiments stress.
+func runE1(opts Options) (*Result, error) {
+	e, _ := Get("E1")
+	return run(e, opts, func(res *Result) error {
+		nMsgs := opts.pick(2000, 50000)
+		partitions := 8
+		members := 4
+
+		// --- pubsub: group + free consumer.
+		b := pubsub.NewBroker(pubsub.BrokerConfig{})
+		defer b.Close()
+		if err := b.CreateTopic("events", pubsub.TopicConfig{Partitions: partitions}); err != nil {
+			return err
+		}
+		g, err := b.Group("events", "g", pubsub.GroupConfig{StartAtEarliest: true})
+		if err != nil {
+			return err
+		}
+		var consumers []*pubsub.Consumer
+		for i := 0; i < members; i++ {
+			c, err := g.Join(fmt.Sprintf("m%d", i))
+			if err != nil {
+				return err
+			}
+			consumers = append(consumers, c)
+		}
+		keys := workload.NewZipfKeys(opts.Seed, 10000, 1.2)
+
+		pubStart := time.Now()
+		for i := 0; i < nMsgs; i++ {
+			if _, _, err := b.Publish("events", keys.Pick(), []byte("payload-0123456789")); err != nil {
+				return err
+			}
+		}
+		publishDur := time.Since(pubStart)
+
+		perMember := make([]int64, members)
+		consStart := time.Now()
+		var groupDelivered int64
+		for groupDelivered < int64(nMsgs) {
+			progress := false
+			for i, c := range consumers {
+				msg, ok, err := c.Poll()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				c.Ack(msg)
+				perMember[i]++
+				groupDelivered++
+				progress = true
+			}
+			if !progress {
+				break
+			}
+		}
+		consumeDur := time.Since(consStart)
+
+		var freeDelivered int64
+		for p := 0; p < partitions; p++ {
+			fc, err := b.NewFreeConsumer("events", p, pubsub.FromEarliest)
+			if err != nil {
+				return err
+			}
+			for {
+				if _, ok := fc.Poll(); !ok {
+					break
+				}
+				freeDelivered++
+			}
+		}
+
+		// --- watch hub fanout: same volume, range-scoped watchers.
+		hub := core.NewHub(core.HubConfig{Retention: nMsgs + 1, WatcherBuffer: nMsgs + 1})
+		defer hub.Close()
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		perWatcher := make([]int64, members)
+		for i, shard := range keyspace.EvenSplit(10000, members) {
+			i := i
+			wg.Add(1)
+			done := false
+			cancel, err := hub.Watch(shard, core.NoVersion, core.Funcs{
+				Event: func(ev core.ChangeEvent) {
+					mu.Lock()
+					perWatcher[i]++
+					if !done && ev.Version == core.Version(nMsgs) {
+						done = true
+						wg.Done()
+					}
+					mu.Unlock()
+				},
+				Progress: func(p core.ProgressEvent) {
+					mu.Lock()
+					if !done && p.Version == core.Version(nMsgs) {
+						done = true
+						wg.Done()
+					}
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				return err
+			}
+			defer cancel()
+		}
+		keys2 := workload.NewZipfKeys(opts.Seed, 10000, 1.2)
+		hubStart := time.Now()
+		for i := 1; i <= nMsgs; i++ {
+			if err := hub.Append(core.ChangeEvent{
+				Key:     keys2.Pick(),
+				Mut:     core.Mutation{Op: core.OpPut, Value: []byte("payload-0123456789")},
+				Version: core.Version(i),
+			}); err != nil {
+				return err
+			}
+		}
+		hub.Progress(core.ProgressEvent{Range: keyspace.Full(), Version: core.Version(nMsgs)})
+		wg.Wait()
+		hubDur := time.Since(hubStart)
+		var watchTotal int64
+		mu.Lock()
+		for _, n := range perWatcher {
+			watchTotal += n
+		}
+		mu.Unlock()
+
+		tbl := metrics.NewTable("E1 — baseline throughput and delivery accounting",
+			"system", "consumers", "published", "delivered", "per-consumer", "rate msg/s")
+		tbl.AddRow("pubsub group", members, nMsgs, groupDelivered,
+			fmt.Sprintf("%v", perMember), rate(groupDelivered, publishDur+consumeDur))
+		tbl.AddRow("pubsub free", 1, nMsgs, freeDelivered, "all partitions", "-")
+		tbl.AddRow("watch hub", members, nMsgs, watchTotal,
+			fmt.Sprintf("%v", perWatcher), rate(watchTotal, hubDur))
+		tbl.AddNote("group members share the topic; free consumers and watch shards each account for every message exactly once")
+		res.Table = tbl
+
+		res.check("group delivers everything exactly once across members",
+			groupDelivered == int64(nMsgs), "delivered %d of %d", groupDelivered, nMsgs)
+		res.check("every member participates", minOf(perMember) > 0, "per-member %v", perMember)
+		res.check("free consumer sees the whole topic",
+			freeDelivered == int64(nMsgs), "saw %d of %d", freeDelivered, nMsgs)
+		res.check("watch shards partition the stream exactly",
+			watchTotal == int64(nMsgs), "delivered %d of %d", watchTotal, nMsgs)
+		return nil
+	})
+}
+
+func rate(n int64, d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(n)/d.Seconds())
+}
+
+func minOf(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

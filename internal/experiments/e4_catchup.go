@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"sync"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/pubsub"
+	"unbundle/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E4",
+		Title:  "Lagging consumer catch-up: drain the backlog vs snapshot-and-resume",
+		Anchor: "§3.1, §4.4",
+		Run:    runE4,
+	})
+}
+
+// runE4 measures recovery work. A consumer misses B updates over K hot keys
+// (B ≫ K). Pubsub recovery must replay all B messages in order. Watch
+// recovery reads a K-entry snapshot from the store and resumes — work
+// proportional to the state size, not the backlog length (§4.4 "a lagging
+// consumer can use the exposed store view to efficiently fetch a snapshot").
+func runE4(opts Options) (*Result, error) {
+	e, _ := Get("E4")
+	return run(e, opts, func(res *Result) error {
+		nKeys := opts.pick(100, 1000)
+		backlog := opts.pick(20000, 200000)
+
+		// ---------------- pubsub ----------------
+		b := pubsub.NewBroker(pubsub.BrokerConfig{})
+		defer b.Close()
+		if err := b.CreateTopic("updates", pubsub.TopicConfig{Partitions: 4}); err != nil {
+			return err
+		}
+		g, err := b.Group("updates", "lagger", pubsub.GroupConfig{StartAtEarliest: true})
+		if err != nil {
+			return err
+		}
+		c, err := g.Join("m0")
+		if err != nil {
+			return err
+		}
+		stream := workload.NewUpdateStream(workload.NewZipfKeys(opts.Seed, nKeys, 1.4))
+		for i := 0; i < backlog; i++ {
+			k, v := stream.Next()
+			if _, _, err := b.Publish("updates", k, v); err != nil {
+				return err
+			}
+		}
+		// Recovery: the consumer must work through every message.
+		psProcessed := 0
+		psState := map[keyspace.Key]string{}
+		for {
+			msg, ok, err := c.Poll()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			psProcessed++
+			psState[msg.Key] = string(msg.Value)
+			c.Ack(msg)
+		}
+
+		// ---------------- watch ----------------
+		store := mvcc.NewStore()
+		hub := core.NewHub(core.HubConfig{Retention: 1024})
+		defer hub.Close()
+		detach := store.AttachCDC(keyspace.Full(), hub)
+		defer detach()
+		stream2 := workload.NewUpdateStream(workload.NewZipfKeys(opts.Seed, nKeys, 1.4))
+		for i := 0; i < backlog; i++ {
+			k, v := stream2.Next()
+			store.Put(k, v)
+		}
+		// The lagging watcher asks to resume from version 0; the hub no
+		// longer retains that history, so it resyncs: one snapshot read.
+		var mu sync.Mutex
+		wEvents := 0
+		wSnapshotEntries := 0
+		wState := map[keyspace.Key]string{}
+		recovered := make(chan struct{})
+		cancel, err := hub.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+			Event: func(core.ChangeEvent) { mu.Lock(); wEvents++; mu.Unlock() },
+			Resync: func(r core.ResyncEvent) {
+				entries, _, err := store.SnapshotRange(r.Range)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				wSnapshotEntries = len(entries)
+				for _, e := range entries {
+					wState[e.Key] = string(e.Value)
+				}
+				mu.Unlock()
+				close(recovered)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		<-recovered
+
+		// Both recoveries must land on the same correct state.
+		psCorrect, wCorrect := 0, 0
+		truth, _ := store.Scan(keyspace.Full(), core.NoVersion, 0)
+		for _, e := range truth {
+			if wState[e.Key] == string(e.Value) {
+				wCorrect++
+			}
+			if psState[e.Key] == string(e.Value) {
+				psCorrect++
+			}
+		}
+		mu.Lock()
+		wWork := wSnapshotEntries + wEvents
+		mu.Unlock()
+
+		tbl := metrics.NewTable("E4 — catch-up work after missing a backlog",
+			"system", "backlog", "distinct keys", "recovery units processed", "work ∝", "state correct")
+		tbl.AddRow("pubsub (drain log)", backlog, nKeys, psProcessed, "backlog B", ratio(psCorrect, len(truth)))
+		tbl.AddRow("watch (snapshot+resume)", backlog, nKeys, wWork, "state K", ratio(wCorrect, len(truth)))
+		tbl.AddNote("the watch consumer's recovery cost is the snapshot size, independent of how long it was away")
+		res.Table = tbl
+
+		res.check("pubsub drains the whole backlog", psProcessed == backlog, "processed %d of %d", psProcessed, backlog)
+		res.check("watch recovery work scales with keys, not backlog",
+			wWork < backlog/10, "watch %d units vs backlog %d", wWork, backlog)
+		res.check("both converge to the source state",
+			psCorrect == len(truth) && wCorrect == len(truth),
+			"pubsub %d/%d, watch %d/%d", psCorrect, len(truth), wCorrect, len(truth))
+		return nil
+	})
+}

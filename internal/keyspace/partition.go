@@ -1,0 +1,56 @@
+package keyspace
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// HashPartition returns the partition index for k under a static modulo-hash
+// partitioner with n partitions. This is the scheme pubsub systems use to
+// route keyed messages to topic partitions; its key property — and the
+// limitation §3.1 of the paper calls out — is that the mapping is *static*:
+// it cannot follow an auto-sharder's dynamic range assignments.
+func HashPartition(k Key, n int) int {
+	if n <= 0 {
+		panic("keyspace: HashPartition with non-positive partition count")
+	}
+	h := fnv.New32a()
+	h.Write([]byte(k)) // hash.Hash never returns an error
+	return int(h.Sum32() % uint32(n))
+}
+
+// NumericKey renders i as a fixed-width decimal key so that numeric order and
+// key order coincide. Experiment workloads use numeric keys throughout, which
+// makes range arithmetic (splits, even partitions) exact.
+func NumericKey(i int) Key {
+	return Key(fmt.Sprintf("%012d", i))
+}
+
+// NumericRange returns the range covering NumericKey(lo) .. NumericKey(hi-1).
+func NumericRange(lo, hi int) Range {
+	return Range{Low: NumericKey(lo), High: NumericKey(hi)}
+}
+
+// EvenSplit partitions the numeric key domain [0, n) into p contiguous
+// ranges of near-equal size, in key order. The last range is unbounded above
+// so that the union covers the entire keyspace (keys beyond the numeric
+// domain still land somewhere — an invariant the sharder relies on).
+func EvenSplit(n, p int) []Range {
+	if p <= 0 {
+		panic("keyspace: EvenSplit with non-positive shard count")
+	}
+	out := make([]Range, 0, p)
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		r := Range{Low: NumericKey(lo), High: NumericKey(hi)}
+		if i == 0 {
+			r.Low = ""
+		}
+		if i == p-1 {
+			r.High = Inf
+		}
+		out = append(out, r)
+	}
+	return out
+}

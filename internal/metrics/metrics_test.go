@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+	g.Max(5) // no-op
+	g.Max(100)
+	if got := g.Value(); got != 100 {
+		t.Fatalf("after Max, Value = %d, want 100", got)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if mean := h.Mean(); mean < 500 || mean > 501 {
+		t.Fatalf("Mean = %f, want ~500.5", mean)
+	}
+	s := h.Snapshot()
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	// p50 within bucket error of 500.
+	if s.P50 < 400 || s.P50 > 600 {
+		t.Fatalf("P50 = %d, want ~500", s.P50)
+	}
+	if s.P99 < 900 || s.P99 > 1100 {
+		t.Fatalf("P99 = %d, want ~990", s.P99)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		for i := 0; i < 200; i++ {
+			h.Observe(rng.Int63n(1 << 40))
+		}
+		last := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	const v = 123456789
+	h.Observe(v)
+	got := h.Quantile(0.5)
+	rel := float64(v-got) / float64(v)
+	if rel < 0 || rel > 0.07 {
+		t.Fatalf("bucket lower bound %d too far from %d (rel %.3f)", got, v, rel)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := int64(0); j < 500; j++ {
+				h.Observe(base + j)
+			}
+		}(int64(i * 1000))
+	}
+	wg.Wait()
+	if h.Count() != 2000 {
+		t.Fatalf("Count = %d, want 2000", h.Count())
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(time.Millisecond)
+	if h.Snapshot().Min != int64(time.Millisecond) {
+		t.Fatal("duration not recorded in nanoseconds")
+	}
+	if s := DurString(int64(1500 * time.Microsecond)); s != "1.5ms" {
+		t.Fatalf("DurString = %q", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E0 demo", "system", "lost", "p99")
+	tb.AddRow("pubsub", 120, "4ms")
+	tb.AddRow("watch", 0, "900µs")
+	tb.AddNote("lower is better")
+	out := tb.String()
+	for _, want := range []string{"== E0 demo ==", "system", "pubsub", "watch", "note: lower is better"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and both data rows align on the first column width.
+	if !strings.HasPrefix(lines[1], "system") || !strings.HasPrefix(lines[3], "pubsub") {
+		t.Errorf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestTableFloatFormat(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.0)
+	tb.AddRow(3.14159)
+	tb.AddRow(42.5)
+	tb.AddRow(123456.0)
+	out := tb.String()
+	for _, want := range []string{"0", "3.142", "42.5", "123456"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("float formatting missing %q in:\n%s", want, out)
+		}
+	}
+}

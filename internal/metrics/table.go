@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them as an aligned plain-text table,
+// the format used for every experiment's output (and recorded verbatim in
+// EXPERIMENTS.md).
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; each cell is rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a free-text footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

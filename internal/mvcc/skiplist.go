@@ -1,0 +1,114 @@
+package mvcc
+
+import (
+	"math/rand"
+
+	"unbundle/internal/keyspace"
+)
+
+// maxLevel bounds the skiplist height; 2^24 keys is far beyond any
+// experiment in this repository.
+const maxLevel = 24
+
+// skipNode is one key's node. The value payload is the key's version
+// history, owned by the store.
+type skipNode struct {
+	key  keyspace.Key
+	hist *history
+	next [maxLevel]*skipNode
+}
+
+// skiplist is an ordered map from Key to *history. It is not internally
+// synchronized; the store's lock guards it. A skiplist (rather than a sorted
+// slice) keeps inserts O(log n) under the write-heavy CDC workloads the
+// experiments run.
+type skiplist struct {
+	head  skipNode
+	level int
+	size  int
+	rng   *rand.Rand
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{level: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// randomLevel draws a geometric level with p = 1/4.
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// find returns the node for key, or nil.
+func (s *skiplist) find(key keyspace.Key) *history {
+	n := &s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for n.next[i] != nil && n.next[i].key < key {
+			n = n.next[i]
+		}
+	}
+	n = n.next[0]
+	if n != nil && n.key == key {
+		return n.hist
+	}
+	return nil
+}
+
+// getOrCreate returns the history for key, inserting an empty one if absent.
+func (s *skiplist) getOrCreate(key keyspace.Key) *history {
+	var update [maxLevel]*skipNode
+	n := &s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for n.next[i] != nil && n.next[i].key < key {
+			n = n.next[i]
+		}
+		update[i] = n
+	}
+	if cand := n.next[0]; cand != nil && cand.key == key {
+		return cand.hist
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = &s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: key, hist: &history{}}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.size++
+	return node.hist
+}
+
+// seek returns the first node with key >= k.
+func (s *skiplist) seek(k keyspace.Key) *skipNode {
+	n := &s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for n.next[i] != nil && n.next[i].key < k {
+			n = n.next[i]
+		}
+	}
+	return n.next[0]
+}
+
+// ascend calls fn for every (key, history) with key in r, in key order,
+// stopping early if fn returns false.
+func (s *skiplist) ascend(r keyspace.Range, fn func(keyspace.Key, *history) bool) {
+	if r.Empty() {
+		return
+	}
+	for n := s.seek(r.Low); n != nil; n = n.next[0] {
+		if !r.Contains(n.key) {
+			return
+		}
+		if !fn(n.key, n.hist) {
+			return
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package mvcc implements the producer storage substrate: an in-memory
+// multi-version key-value store with serializable transactions, monotonic
+// commit versions from a timestamp oracle, snapshot reads and scans, version
+// history garbage collection, and a change-data-capture tap that feeds watch
+// systems through the core.Ingester contract.
+//
+// It stands in for the paper's Spanner/MySQL/TiDB producer stores (§4): what
+// the watch model requires of a store is exactly what this package provides —
+// monotonic transaction versions agreed with commit order (§4.2's simplifying
+// assumption), consistent snapshots at a version, and an ordered change feed.
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+)
+
+// Store errors.
+var (
+	// ErrVersionGCed is returned for reads below the history GC horizon.
+	ErrVersionGCed = errors.New("mvcc: requested version below GC horizon")
+	// ErrTxnAborted is returned when a transaction callback fails.
+	ErrTxnAborted = errors.New("mvcc: transaction aborted")
+)
+
+// versionedValue is one entry in a key's history.
+type versionedValue struct {
+	version core.Version
+	value   []byte
+	deleted bool
+}
+
+// history is a key's version chain, ascending by version.
+type history struct {
+	versions []versionedValue
+}
+
+// at returns the value visible at version v and whether any version <= v
+// exists.
+func (h *history) at(v core.Version) (versionedValue, bool) {
+	// Histories are short (GC keeps them pruned); linear scan from the tail
+	// is faster than binary search for the common read-latest case.
+	for i := len(h.versions) - 1; i >= 0; i-- {
+		if h.versions[i].version <= v {
+			return h.versions[i], true
+		}
+	}
+	return versionedValue{}, false
+}
+
+// Stats reports store counters; the efficiency experiment (E10) uses
+// BytesWritten as the store's hard-state write volume.
+type Stats struct {
+	Commits      int64
+	Keys         int
+	VersionsHeld int64
+	BytesWritten int64
+	Horizon      core.Version
+	Version      core.Version
+}
+
+// Store is the MVCC store. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	keys    *skiplist
+	version core.Version // TSO: last committed version
+	horizon core.Version // snapshot reads below this fail with ErrVersionGCed
+
+	commits      int64
+	versionsHeld int64
+	bytesWritten int64
+
+	// taps receive the CDC feed. Emission happens while holding mu, which
+	// serializes events in commit order — exactly the per-key version-order
+	// guarantee core.Ingester requires. Real systems use a commit log; the
+	// lock is this simulator's commit log.
+	taps []tap
+}
+
+type tap struct {
+	id  int
+	ing core.Ingester
+	rng keyspace.Range
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{keys: newSkiplist(42)}
+}
+
+var _ core.Snapshotter = (*Store)(nil)
+
+// Tx is an open transaction. It provides read-your-writes semantics over the
+// store's latest state; all writes commit atomically at a single version.
+// Transactions are serializable: the store runs one writer at a time.
+type Tx struct {
+	s      *Store
+	writes map[keyspace.Key]core.Mutation
+	order  []keyspace.Key
+}
+
+// Get reads a key inside the transaction (uncommitted writes are visible).
+func (tx *Tx) Get(k keyspace.Key) ([]byte, bool) {
+	if m, ok := tx.writes[k]; ok {
+		if m.Op == core.OpDelete {
+			return nil, false
+		}
+		return m.Value, true
+	}
+	h := tx.s.keys.find(k)
+	if h == nil {
+		return nil, false
+	}
+	vv, ok := h.at(tx.s.version)
+	if !ok || vv.deleted {
+		return nil, false
+	}
+	return vv.value, true
+}
+
+// Put writes a key inside the transaction.
+func (tx *Tx) Put(k keyspace.Key, v []byte) {
+	if _, seen := tx.writes[k]; !seen {
+		tx.order = append(tx.order, k)
+	}
+	tx.writes[k] = core.Mutation{Op: core.OpPut, Value: append([]byte(nil), v...)}
+}
+
+// Delete removes a key inside the transaction.
+func (tx *Tx) Delete(k keyspace.Key) {
+	if _, seen := tx.writes[k]; !seen {
+		tx.order = append(tx.order, k)
+	}
+	tx.writes[k] = core.Mutation{Op: core.OpDelete}
+}
+
+// Commit runs fn in a serializable transaction and atomically applies its
+// writes at a fresh TSO version, which it returns. If fn returns an error the
+// transaction aborts with no effect.
+func (s *Store) Commit(fn func(tx *Tx) error) (core.Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx := &Tx{s: s, writes: make(map[keyspace.Key]core.Mutation)}
+	if err := fn(tx); err != nil {
+		return core.NoVersion, fmt.Errorf("%w: %v", ErrTxnAborted, err)
+	}
+	return s.applyLocked(tx.order, tx.writes), nil
+}
+
+// Put writes a single key outside any explicit transaction.
+func (s *Store) Put(k keyspace.Key, v []byte) core.Version {
+	ver, _ := s.Commit(func(tx *Tx) error { tx.Put(k, v); return nil })
+	return ver
+}
+
+// Delete removes a single key.
+func (s *Store) Delete(k keyspace.Key) core.Version {
+	ver, _ := s.Commit(func(tx *Tx) error { tx.Delete(k); return nil })
+	return ver
+}
+
+// applyLocked installs the writes at the next version and emits CDC.
+func (s *Store) applyLocked(order []keyspace.Key, writes map[keyspace.Key]core.Mutation) core.Version {
+	s.version++
+	v := s.version
+	s.commits++
+	for _, k := range order {
+		m := writes[k]
+		h := s.keys.getOrCreate(k)
+		h.versions = append(h.versions, versionedValue{
+			version: v,
+			value:   m.Value,
+			deleted: m.Op == core.OpDelete,
+		})
+		s.versionsHeld++
+		s.bytesWritten += int64(len(k) + len(m.Value) + 16) // 16: version + flags overhead
+	}
+	// CDC emission, in commit order, then a progress mark: with the commit
+	// lock held, every change at or below v has been emitted, so the
+	// progress claim is exact.
+	for _, t := range s.taps {
+		emitted := false
+		for _, k := range order {
+			if !t.rng.Contains(k) {
+				continue
+			}
+			m := writes[k]
+			_ = t.ing.Append(core.ChangeEvent{Key: k, Mut: m, Version: v})
+			emitted = true
+		}
+		if emitted {
+			_ = t.ing.Progress(core.ProgressEvent{Range: t.rng, Version: v})
+		}
+	}
+	return v
+}
+
+// EmitProgress pushes the current version as progress over r to all taps
+// whose range overlaps r. Stores do this periodically so that watchers'
+// frontiers advance even when no keys in their range are changing.
+func (s *Store) EmitProgress(r keyspace.Range) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.taps {
+		clipped := t.rng.Intersect(r)
+		if clipped.Empty() {
+			continue
+		}
+		_ = t.ing.Progress(core.ProgressEvent{Range: clipped, Version: s.version})
+	}
+}
+
+// AttachCDC registers ing to receive all future change events for keys in r,
+// with a progress event after each commit. It returns a detach function.
+// This is the producer-store half of Figure 4: the store conveys its change
+// feed into an external watch system through the Ingester contract.
+func (s *Store) AttachCDC(r keyspace.Range, ing core.Ingester) (detach func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := 0
+	if n := len(s.taps); n > 0 {
+		id = s.taps[n-1].id + 1
+	}
+	s.taps = append(s.taps, tap{id: id, ing: ing, rng: r})
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, t := range s.taps {
+			if t.id == id {
+				s.taps = append(s.taps[:i], s.taps[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Get returns the value of k at version at (0 = latest), the version that
+// wrote it, and whether the key exists at that snapshot.
+func (s *Store) Get(k keyspace.Key, at core.Version) ([]byte, core.Version, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if at == core.NoVersion {
+		at = s.version
+	}
+	if at < s.horizon {
+		return nil, 0, false, fmt.Errorf("%w: %v < %v", ErrVersionGCed, at, s.horizon)
+	}
+	h := s.keys.find(k)
+	if h == nil {
+		return nil, 0, false, nil
+	}
+	vv, ok := h.at(at)
+	if !ok || vv.deleted {
+		return nil, 0, false, nil
+	}
+	return vv.value, vv.version, true, nil
+}
+
+// Scan returns the live entries of r at version at (0 = latest) in key
+// order, up to limit (0 = unlimited).
+func (s *Store) Scan(r keyspace.Range, at core.Version, limit int) ([]core.Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if at == core.NoVersion {
+		at = s.version
+	}
+	if at < s.horizon {
+		return nil, fmt.Errorf("%w: %v < %v", ErrVersionGCed, at, s.horizon)
+	}
+	var out []core.Entry
+	s.keys.ascend(r, func(k keyspace.Key, h *history) bool {
+		vv, ok := h.at(at)
+		if ok && !vv.deleted {
+			out = append(out, core.Entry{Key: k, Value: vv.value, Version: vv.version})
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// SnapshotRange implements core.Snapshotter: a consistent snapshot of r at
+// the current version. This is the read path resyncing watchers use.
+func (s *Store) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, error) {
+	s.mu.RLock()
+	at := s.version
+	s.mu.RUnlock()
+	entries, err := s.Scan(r, at, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return entries, at, nil
+}
+
+// ValueAt returns the value of k exactly as of version v — the oracle the
+// consistency checkers use. ok is false when the key had no live value at v.
+func (s *Store) ValueAt(k keyspace.Key, v core.Version) (val []byte, ok bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v < s.horizon {
+		return nil, false, fmt.Errorf("%w: %v < %v", ErrVersionGCed, v, s.horizon)
+	}
+	h := s.keys.find(k)
+	if h == nil {
+		return nil, false, nil
+	}
+	vv, found := h.at(v)
+	if !found || vv.deleted {
+		return nil, false, nil
+	}
+	return vv.value, true, nil
+}
+
+// CurrentVersion returns the last committed version.
+func (s *Store) CurrentVersion() core.Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// GCBefore discards version history no longer needed to serve snapshots at
+// or above v, and raises the horizon to v. For each key the newest version
+// at or below v is retained (it is still visible at v); fully deleted keys
+// whose tombstone predates v are dropped entirely.
+func (s *Store) GCBefore(v core.Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.version {
+		v = s.version
+	}
+	if v <= s.horizon {
+		return
+	}
+	s.horizon = v
+	s.keys.ascend(keyspace.Full(), func(k keyspace.Key, h *history) bool {
+		// Find the newest index with version <= v; everything before it is
+		// invisible to any snapshot >= v.
+		keepFrom := 0
+		for i, vv := range h.versions {
+			if vv.version <= v {
+				keepFrom = i
+			} else {
+				break
+			}
+		}
+		if keepFrom > 0 {
+			s.versionsHeld -= int64(keepFrom)
+			h.versions = append([]versionedValue(nil), h.versions[keepFrom:]...)
+		}
+		// A lone tombstone below the horizon serves no snapshot.
+		if len(h.versions) == 1 && h.versions[0].deleted && h.versions[0].version <= v {
+			s.versionsHeld--
+			h.versions = nil
+		}
+		return true
+	})
+}
+
+// Stats returns store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Commits:      s.commits,
+		Keys:         s.keys.size,
+		VersionsHeld: s.versionsHeld,
+		BytesWritten: s.bytesWritten,
+		Horizon:      s.horizon,
+		Version:      s.version,
+	}
+}

@@ -1,0 +1,146 @@
+package mvcc
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+)
+
+func TestViewClipsRange(t *testing.T) {
+	s := NewStore()
+	s.Put(keyspace.NumericKey(5), []byte("in"))
+	s.Put(keyspace.NumericKey(500), []byte("secret"))
+
+	v := NewView(s, keyspace.NumericRange(0, 100), nil)
+	entries, _, err := v.SnapshotRange(keyspace.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Key != keyspace.NumericKey(5) {
+		t.Fatalf("view leaked: %v", entries)
+	}
+	// Disjoint request yields nothing.
+	entries, _, _ = v.SnapshotRange(keyspace.NumericRange(400, 600))
+	if len(entries) != 0 {
+		t.Fatalf("disjoint request leaked: %v", entries)
+	}
+}
+
+func TestViewTransformProjectsValues(t *testing.T) {
+	s := NewStore()
+	s.Put("user/1", []byte("name=ada;ssn=123"))
+	s.Put("user/2", []byte("name=bob;ssn=456"))
+	s.Put("user/3", []byte("hidden"))
+
+	// Expose only the name field; drop entries without one.
+	v := NewView(s, keyspace.Prefix("user/"), func(e core.Entry) (core.Entry, bool) {
+		i := bytes.Index(e.Value, []byte(";"))
+		if i < 0 || !bytes.HasPrefix(e.Value, []byte("name=")) {
+			return core.Entry{}, false
+		}
+		e.Value = e.Value[:i]
+		return e, true
+	})
+	entries, _, err := v.SnapshotRange(keyspace.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %v", entries)
+	}
+	for _, e := range entries {
+		if strings.Contains(string(e.Value), "ssn") {
+			t.Fatalf("view exposed internals: %q", e.Value)
+		}
+	}
+}
+
+func TestViewCDCTransformsAndDeletes(t *testing.T) {
+	s := NewStore()
+	v := NewView(s, keyspace.Prefix("user/"), func(e core.Entry) (core.Entry, bool) {
+		if bytes.Equal(e.Value, []byte("hide")) {
+			return core.Entry{}, false
+		}
+		e.Value = append([]byte("pub:"), e.Value...)
+		return e, true
+	})
+	var mu sync.Mutex
+	var events []core.ChangeEvent
+	v.AttachCDC(ingesterFuncs{
+		append: func(ev core.ChangeEvent) error {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+			return nil
+		},
+		progress: func(core.ProgressEvent) error { return nil },
+	})
+	s.Put("user/1", []byte("x"))
+	s.Put("user/1", []byte("hide")) // view drops it → consumers see delete
+	s.Put("other", []byte("out of view"))
+	s.Delete("user/1")
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 3 {
+		t.Fatalf("events = %v", events)
+	}
+	if string(events[0].Mut.Value) != "pub:x" {
+		t.Fatalf("transform not applied: %q", events[0].Mut.Value)
+	}
+	if events[1].Mut.Op != core.OpDelete {
+		t.Fatalf("hidden entry must surface as delete: %v", events[1])
+	}
+	if events[2].Mut.Op != core.OpDelete {
+		t.Fatalf("raw delete passes through: %v", events[2])
+	}
+}
+
+func TestWatchableStoreEndToEnd(t *testing.T) {
+	ws := NewWatchableStore(core.HubConfig{})
+	defer ws.Close()
+
+	ws.Put("a", []byte("1"))
+	entries, at, err := ws.SnapshotRange(keyspace.Full())
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("snapshot = %v, %v", entries, err)
+	}
+
+	var mu sync.Mutex
+	var got []core.ChangeEvent
+	cancel, err := ws.Watch(keyspace.Full(), at, core.Funcs{
+		Event: func(ev core.ChangeEvent) { mu.Lock(); got = append(got, ev); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	ws.Put("b", []byte("2"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch event not delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Key != "b" || string(got[0].Mut.Value) != "2" {
+		t.Fatalf("event = %v", got[0])
+	}
+	if ws.Hub().Stats().Appends != 2 {
+		t.Fatalf("hub appends = %d", ws.Hub().Stats().Appends)
+	}
+}

@@ -1,0 +1,295 @@
+// Package pubsub implements the baseline under critique: a Kafka-class
+// publish-subscribe broker with partitioned durable logs, consumer groups,
+// bounded retention with background garbage collection, key compaction,
+// free consumers, seek/replay and dead-letter queues.
+//
+// The broker is implemented sympathetically — it provides exactly the
+// guarantees real systems provide (per-partition ordering, at-least-once
+// delivery to consumer groups, durable buffering) — so that the failures the
+// experiments measure are consequences of the pubsub *contract* the paper
+// analyzes, not of a strawman implementation:
+//
+//   - retention GC destroys unconsumed messages without informing consumers
+//     (§3.1): the broker silently resets a backlogged group's offsets to the
+//     new log start, exactly like auto.offset.reset=earliest;
+//   - compaction erases intermediate versions unseen by slow subscribers;
+//   - routing is static (key-hash → partition → assigned member) and cannot
+//     follow dynamically sharded consumers (§3.2.2);
+//   - per-partition serial delivery means one slow message blocks every key
+//     sharing the partition (§3.2.3 head-of-line blocking).
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/wal"
+)
+
+// Broker errors.
+var (
+	ErrNoTopic   = errors.New("pubsub: no such topic")
+	ErrTopicUsed = errors.New("pubsub: topic already exists")
+	ErrClosed    = errors.New("pubsub: broker closed")
+)
+
+// Message is one delivered message.
+type Message struct {
+	Topic       string
+	Partition   int
+	Offset      int64
+	Key         keyspace.Key
+	Value       []byte
+	PublishTime time.Time
+	Attempt     int // delivery attempt number for this subscription (1 = first)
+}
+
+// TopicConfig configures a topic at creation.
+type TopicConfig struct {
+	// Partitions is the number of partitions (default 4). Partitioning is
+	// static for the topic's lifetime, as in production systems.
+	Partitions int
+	// Retention bounds message age; 0 keeps messages forever. GC runs in the
+	// background at whole-segment granularity.
+	Retention time.Duration
+	// RetentionBytes bounds per-partition log size; 0 is unlimited.
+	RetentionBytes int64
+	// Compacted enables key compaction: history older than CompactionLag
+	// collapses to the last value per key.
+	Compacted bool
+	// CompactionLag is the dirty window within which every version is kept
+	// (default 1 minute when Compacted).
+	CompactionLag time.Duration
+	// Segment tunes the underlying logs.
+	Segment wal.Config
+}
+
+func (c *TopicConfig) applyDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Compacted && c.CompactionLag <= 0 {
+		c.CompactionLag = time.Minute
+	}
+}
+
+// BrokerConfig configures the broker.
+type BrokerConfig struct {
+	// Clock drives publish timestamps, retention and compaction. Defaults to
+	// the real clock; experiments inject a fake one.
+	Clock clockwork.Clock
+	// GCInterval is how often retention/compaction run (default 1s).
+	GCInterval time.Duration
+}
+
+// Broker is an in-process pubsub broker. Safe for concurrent use.
+type Broker struct {
+	clock clockwork.Clock
+
+	mu     sync.Mutex
+	topics map[string]*topic
+	closed bool
+	stopGC chan struct{}
+	gcDone chan struct{}
+}
+
+// newTopicCond builds the condition variable waking blocked consumers.
+func newTopicCond(t *topic) *sync.Cond { return sync.NewCond(&t.mu) }
+
+// topic bundles the partition logs and the groups subscribed to them.
+type topic struct {
+	name string
+	cfg  TopicConfig
+
+	mu        sync.Mutex
+	parts     []*wal.Log
+	groups    map[string]*Group
+	published int64
+	// cond wakes blocking consumers when new data or assignments arrive.
+	cond *sync.Cond
+}
+
+// NewBroker starts a broker; Close releases its background GC loop.
+func NewBroker(cfg BrokerConfig) *Broker {
+	if cfg.Clock == nil {
+		cfg.Clock = clockwork.Real()
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = time.Second
+	}
+	b := &Broker{
+		clock:  cfg.Clock,
+		topics: make(map[string]*topic),
+		stopGC: make(chan struct{}),
+		gcDone: make(chan struct{}),
+	}
+	go b.gcLoop(cfg.GCInterval)
+	return b
+}
+
+// CreateTopic registers a topic.
+func (b *Broker) CreateTopic(name string, cfg TopicConfig) error {
+	cfg.applyDefaults()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.topics[name]; ok {
+		return fmt.Errorf("%w: %q", ErrTopicUsed, name)
+	}
+	t := &topic{name: name, cfg: cfg, groups: make(map[string]*Group)}
+	t.cond = newTopicCond(t)
+	for i := 0; i < cfg.Partitions; i++ {
+		t.parts = append(t.parts, wal.NewLog(cfg.Segment))
+	}
+	b.topics[name] = t
+	return nil
+}
+
+func (b *Broker) topic(name string) (*topic, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTopic, name)
+	}
+	return t, nil
+}
+
+// Publish appends a message. Keyed messages go to the key's hash partition —
+// the static routing §3 analyzes; unkeyed messages round-robin.
+func (b *Broker) Publish(topicName string, key keyspace.Key, value []byte) (partition int, offset int64, err error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, 0, err
+	}
+	now := b.clock.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if key != "" {
+		partition = keyspace.HashPartition(key, len(t.parts))
+	} else {
+		partition = int(t.published % int64(len(t.parts)))
+	}
+	offset = t.parts[partition].Append(key, value, now)
+	t.published++
+	t.cond.Broadcast()
+	return partition, offset, nil
+}
+
+// Partitions returns the partition count of a topic.
+func (b *Broker) Partitions(topicName string) (int, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.parts), nil
+}
+
+// gcLoop applies retention and compaction on every tick, like a broker's
+// log-cleaner thread. Consumers are not consulted and not informed.
+func (b *Broker) gcLoop(interval time.Duration) {
+	defer close(b.gcDone)
+	tick := b.clock.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.stopGC:
+			return
+		case <-tick.C():
+			b.RunGC()
+		}
+	}
+}
+
+// RunGC applies retention and compaction once, immediately. The GC ticker
+// calls it periodically; deterministic tests call it directly.
+func (b *Broker) RunGC() {
+	b.mu.Lock()
+	topics := make([]*topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.Unlock()
+	now := b.clock.Now()
+	for _, t := range topics {
+		t.mu.Lock()
+		for _, p := range t.parts {
+			if t.cfg.Retention > 0 {
+				p.RetainSince(now.Add(-t.cfg.Retention))
+			}
+			if t.cfg.RetentionBytes > 0 {
+				p.RetainBytes(t.cfg.RetentionBytes)
+			}
+			if t.cfg.Compacted {
+				p.Compact(now.Add(-t.cfg.CompactionLag))
+			}
+		}
+		t.cond.Broadcast() // wake consumers so they observe resets promptly
+		t.mu.Unlock()
+	}
+}
+
+// TopicStats aggregates a topic's counters; the GC-loss oracle in the
+// experiments reads GCedRecords/CompactedAway from here — information the
+// pubsub contract gives the operator but never the consumer.
+type TopicStats struct {
+	Published     int64
+	Retained      int
+	GCedRecords   int64
+	CompactedAway int64
+	BytesAppended int64 // hard-state write volume (E10)
+	BytesRetained int64
+	Groups        int
+}
+
+// Stats returns a topic's counters.
+func (b *Broker) Stats(topicName string) (TopicStats, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return TopicStats{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TopicStats{Published: t.published, Groups: len(t.groups)}
+	for _, p := range t.parts {
+		ps := p.Stats()
+		st.Retained += ps.Records
+		st.GCedRecords += ps.GCedRecords
+		st.CompactedAway += ps.CompactedAway
+		st.BytesAppended += ps.BytesAppended
+		st.BytesRetained += ps.Bytes
+	}
+	return st, nil
+}
+
+// Close stops the broker's GC loop and rejects further operations.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	topics := make([]*topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.Unlock()
+	close(b.stopGC)
+	<-b.gcDone
+	// Wake any blocked consumers so they observe closure.
+	for _, t := range topics {
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}
+}

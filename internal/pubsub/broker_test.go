@@ -1,0 +1,678 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/keyspace"
+)
+
+func newTestBroker(t *testing.T, clock clockwork.Clock) *Broker {
+	t.Helper()
+	b := NewBroker(BrokerConfig{Clock: clock})
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestPublishPartitioning(t *testing.T) {
+	b := newTestBroker(t, nil)
+	if err := b.CreateTopic("t", TopicConfig{Partitions: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("t", TopicConfig{}); !errors.Is(err, ErrTopicUsed) {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	// Keyed messages are stable per key.
+	p1, _, err := b.Publish("t", "user/alpha", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, o2, _ := b.Publish("t", "user/alpha", []byte("b"))
+	if p1 != p2 {
+		t.Fatalf("same key landed on partitions %d and %d", p1, p2)
+	}
+	if o2 != 1 {
+		t.Fatalf("offset = %d, want 1", o2)
+	}
+	// Unkeyed messages round-robin.
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		p, _, _ := b.Publish("t", "", []byte("x"))
+		seen[p] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("round robin stuck on %v", seen)
+	}
+	if _, _, err := b.Publish("missing", "k", nil); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("missing topic = %v", err)
+	}
+}
+
+func TestGroupDeliveryAndAck(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 2})
+	g, err := b.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Join("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Publish("t", keyspace.NumericKey(i), []byte{byte(i)})
+	}
+	got := map[string]bool{}
+	for len(got) < 10 {
+		msg, ok, err := c.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("stalled after %d messages", len(got))
+		}
+		if msg.Attempt != 1 {
+			t.Fatalf("attempt = %d", msg.Attempt)
+		}
+		got[string(msg.Key)] = true
+		if !c.Ack(msg) {
+			t.Fatal("ack rejected")
+		}
+	}
+	if st := g.Stats(); st.Delivered != 10 || st.Acked != 10 || st.Lag != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Nothing further.
+	if _, ok, _ := c.Poll(); ok {
+		t.Fatal("poll past head returned a message")
+	}
+}
+
+func TestGroupSerialPerPartition(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	c, _ := g.Join("m1")
+	b.Publish("t", "a", []byte("1"))
+	b.Publish("t", "b", []byte("2"))
+
+	msg1, ok, _ := c.Poll()
+	if !ok {
+		t.Fatal("no first message")
+	}
+	// Second message is blocked behind the unacked first: the ordering
+	// contract that creates head-of-line blocking.
+	if _, ok, _ := c.Poll(); ok {
+		t.Fatal("partition delivered concurrently")
+	}
+	c.Ack(msg1)
+	msg2, ok, _ := c.Poll()
+	if !ok || msg2.Offset != msg1.Offset+1 {
+		t.Fatalf("second message = %+v ok=%v", msg2, ok)
+	}
+}
+
+func TestGroupAtLeastOnceRedelivery(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	c, _ := g.Join("m1")
+	b.Publish("t", "k", []byte("v"))
+
+	msg, _, _ := c.Poll()
+	c.Nack(msg)
+	again, ok, _ := c.Poll()
+	if !ok || again.Offset != msg.Offset || again.Attempt != 2 {
+		t.Fatalf("redelivery = %+v ok=%v", again, ok)
+	}
+	if st := g.Stats(); st.Redelivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGroupRebalanceRedeliversInflight(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 2})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	c1, _ := g.Join("m1")
+	for i := 0; i < 4; i++ {
+		b.Publish("t", keyspace.NumericKey(i), []byte{byte(i)})
+	}
+	msg, ok, _ := c1.Poll()
+	if !ok {
+		t.Fatal("no message")
+	}
+	// m2 joins; rebalance drops inflight. m1's stale ack must be rejected if
+	// the partition moved.
+	c2, _ := g.Join("m2")
+	assign := g.Assignment()
+	if len(assign) != 2 || assign[0] == assign[1] {
+		t.Fatalf("assignment after rebalance = %v", assign)
+	}
+	if assign[msg.Partition] != "m1" {
+		if c1.Ack(msg) {
+			t.Fatal("stale ack accepted after partition moved")
+		}
+	}
+	// All four messages are eventually delivered and acked across members.
+	acked := map[int64]bool{}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(acked) < 4 && time.Now().Before(deadline) {
+		for _, c := range []*Consumer{c1, c2} {
+			m, ok, err := c.Poll()
+			if err != nil || !ok {
+				continue
+			}
+			if c.Ack(m) {
+				acked[int64(m.Partition)<<32|m.Offset] = true
+			}
+		}
+	}
+	if len(acked) != 4 {
+		t.Fatalf("acked %d/4", len(acked))
+	}
+	c2.Leave()
+	c2.Leave() // idempotent
+	if _, _, err := c2.Poll(); !errors.Is(err, ErrLeft) {
+		t.Fatalf("poll after leave = %v", err)
+	}
+}
+
+func TestGroupJoinDuplicate(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{})
+	g, _ := b.Group("t", "g", GroupConfig{})
+	if _, err := g.Join("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Join("m"); !errors.Is(err, ErrDupMember) {
+		t.Fatalf("dup join = %v", err)
+	}
+}
+
+func TestGroupStartAtHeadVsEarliest(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	b.Publish("t", "k", []byte("old"))
+
+	gHead, _ := b.Group("t", "head", GroupConfig{})
+	cHead, _ := gHead.Join("m")
+	if _, ok, _ := cHead.Poll(); ok {
+		t.Fatal("head group saw pre-join message")
+	}
+	gEarly, _ := b.Group("t", "early", GroupConfig{StartAtEarliest: true})
+	cEarly, _ := gEarly.Join("m")
+	if msg, ok, _ := cEarly.Poll(); !ok || string(msg.Value) != "old" {
+		t.Fatalf("earliest group = %+v ok=%v", msg, ok)
+	}
+}
+
+func TestRetentionGCSilentLoss(t *testing.T) {
+	clock := clockwork.NewFake()
+	b := newTestBroker(t, clock)
+	b.CreateTopic("t", TopicConfig{
+		Partitions: 1,
+		Retention:  24 * time.Hour,
+		Segment:    walSmallSegments(),
+	})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	c, _ := g.Join("m")
+
+	// Publish 100 messages, consume 10, then stall for three days.
+	for i := 0; i < 100; i++ {
+		b.Publish("t", keyspace.NumericKey(i%10), []byte{byte(i)})
+	}
+	for i := 0; i < 10; i++ {
+		msg, ok, _ := c.Poll()
+		if !ok {
+			t.Fatal("stalled early")
+		}
+		c.Ack(msg)
+	}
+	clock.Advance(72 * time.Hour)
+	b.RunGC()
+
+	st, _ := b.Stats("t")
+	if st.GCedRecords == 0 {
+		t.Fatal("retention GC did not run")
+	}
+	// The consumer resumes: no error, no signal — just silently skipped
+	// messages.
+	msg, ok, err := c.Poll()
+	if err != nil {
+		t.Fatalf("consumer saw an error (it must not): %v", err)
+	}
+	gs := g.Stats()
+	if gs.SilentResets == 0 || gs.SkippedMessages == 0 {
+		t.Fatalf("no silent reset recorded: %+v (msg=%v ok=%v)", gs, msg, ok)
+	}
+}
+
+func TestCompactedTopicLosesIntermediateVersions(t *testing.T) {
+	clock := clockwork.NewFake()
+	b := newTestBroker(t, clock)
+	b.CreateTopic("t", TopicConfig{
+		Partitions:    1,
+		Compacted:     true,
+		CompactionLag: time.Hour,
+		Segment:       walSmallSegments(),
+	})
+	// Many versions of few keys, all older than the dirty window.
+	for i := 0; i < 40; i++ {
+		b.Publish("t", keyspace.Key(fmt.Sprintf("k%d", i%4)), []byte{byte(i)})
+	}
+	clock.Advance(2 * time.Hour)
+	b.Publish("t", "fresh", []byte("new")) // dirty tail
+	b.RunGC()
+
+	st, _ := b.Stats("t")
+	if st.CompactedAway == 0 {
+		t.Fatal("compaction did not run")
+	}
+	// A late subscriber sees only last versions; nothing tells it that
+	// intermediate versions ever existed.
+	g, _ := b.Group("t", "late", GroupConfig{StartAtEarliest: true})
+	c, _ := g.Join("m")
+	versions := map[keyspace.Key]int{}
+	for {
+		msg, ok, _ := c.Poll()
+		if !ok {
+			break
+		}
+		versions[msg.Key]++
+		c.Ack(msg)
+	}
+	for k, n := range versions {
+		if k != "fresh" && n != 1 {
+			t.Fatalf("key %q delivered %d versions after compaction", string(k), n)
+		}
+	}
+}
+
+func TestDeadLetterQueue(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	b.CreateTopic("t-dlq", TopicConfig{Partitions: 1})
+	g, _ := b.Group("t", "g", GroupConfig{
+		StartAtEarliest: true,
+		MaxDeliveries:   3,
+		DeadLetterTopic: "t-dlq",
+	})
+	c, _ := g.Join("m")
+	b.Publish("t", "poison", []byte("bad"))
+	b.Publish("t", "good", []byte("ok"))
+
+	// Fail the poison message repeatedly.
+	for i := 0; i < 3; i++ {
+		msg, ok, _ := c.Poll()
+		if !ok || msg.Key != "poison" {
+			t.Fatalf("iteration %d: %+v ok=%v", i, msg, ok)
+		}
+		c.Nack(msg)
+	}
+	// Poison is dead-lettered; the good message flows.
+	msg, ok, _ := c.Poll()
+	if !ok || msg.Key != "good" {
+		t.Fatalf("after DLQ: %+v ok=%v", msg, ok)
+	}
+	if st := g.Stats(); st.DeadLettered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	dg, _ := b.Group("t-dlq", "reader", GroupConfig{StartAtEarliest: true})
+	dc, _ := dg.Join("m")
+	dmsg, ok, _ := dc.Poll()
+	if !ok || dmsg.Key != "poison" {
+		t.Fatalf("dlq content = %+v ok=%v", dmsg, ok)
+	}
+}
+
+func TestSeekAndSnapshotReplay(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	c, _ := g.Join("m")
+	for i := 0; i < 5; i++ {
+		b.Publish("t", "k", []byte{byte(i)})
+	}
+	snap := g.Snapshot()
+	for i := 0; i < 5; i++ {
+		msg, _, _ := c.Poll()
+		c.Ack(msg)
+	}
+	if g.Lag() != 0 {
+		t.Fatal("lag nonzero after drain")
+	}
+	if err := g.SeekSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	msg, ok, _ := c.Poll()
+	if !ok || msg.Offset != 0 {
+		t.Fatalf("replay start = %+v ok=%v", msg, ok)
+	}
+	if err := g.Seek(99, 0); err == nil {
+		t.Fatal("seek to bad partition accepted")
+	}
+}
+
+func TestFreeConsumerSeesEverything(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 2})
+	for i := 0; i < 10; i++ {
+		b.Publish("t", keyspace.NumericKey(i), []byte{byte(i)})
+	}
+	total := 0
+	for p := 0; p < 2; p++ {
+		fc, err := b.NewFreeConsumer("t", p, FromEarliest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, ok := fc.Poll()
+			if !ok {
+				break
+			}
+			total++
+		}
+	}
+	if total != 10 {
+		t.Fatalf("free consumers saw %d/10", total)
+	}
+	if _, err := b.NewFreeConsumer("t", 9, FromEarliest); err == nil {
+		t.Fatal("bad partition accepted")
+	}
+}
+
+func TestFreeConsumerFromLatestAndSilentSkip(t *testing.T) {
+	clock := clockwork.NewFake()
+	b := newTestBroker(t, clock)
+	b.CreateTopic("t", TopicConfig{Partitions: 1, Retention: time.Hour, Segment: walSmallSegments()})
+	b.Publish("t", "k", []byte("old"))
+	fc, _ := b.NewFreeConsumer("t", 0, FromLatest)
+	if _, ok := fc.Poll(); ok {
+		t.Fatal("FromLatest saw history")
+	}
+	// Build a backlog under the stalled consumer, then GC it away.
+	for i := 0; i < 50; i++ {
+		b.Publish("t", "k", []byte{byte(i)})
+	}
+	clock.Advance(3 * time.Hour)
+	b.Publish("t", "k", []byte("fresh"))
+	b.RunGC()
+	// Whole sealed segments were destroyed; the consumer silently resumes at
+	// the surviving tail (the active segment can hold a few old records).
+	var last Message
+	n := 0
+	for {
+		msg, ok := fc.Poll()
+		if !ok {
+			break
+		}
+		last = msg
+		n++
+	}
+	if string(last.Value) != "fresh" {
+		t.Fatalf("tail = %+v", last)
+	}
+	if n >= 50 {
+		t.Fatalf("nothing was skipped (%d delivered)", n)
+	}
+	if st := fc.Stats(); st.Skipped == 0 || st.Resets != 1 {
+		t.Fatalf("silent skip not recorded: %+v", st)
+	}
+}
+
+func TestBackgroundGCRunsOnFakeClock(t *testing.T) {
+	clock := clockwork.NewFake()
+	b := newTestBroker(t, clock)
+	b.CreateTopic("t", TopicConfig{Partitions: 1, Retention: time.Minute, Segment: walSmallSegments()})
+	for i := 0; i < 50; i++ {
+		b.Publish("t", "k", []byte{byte(i)})
+	}
+	// Advance in GC-interval steps so the background ticker fires.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clock.Advance(time.Minute)
+		st, _ := b.Stats("t")
+		if st.GCedRecords > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background GC never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPollBlockingWakesOnPublish(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	g, _ := b.Group("t", "g", GroupConfig{})
+	c, _ := g.Join("m")
+
+	done := make(chan Message, 1)
+	go func() {
+		msg, ok, _ := c.PollBlocking(nil)
+		if ok {
+			done <- msg
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish("t", "k", []byte("wake"))
+	select {
+	case msg := <-done:
+		if string(msg.Value) != "wake" {
+			t.Fatalf("msg = %+v", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PollBlocking never woke")
+	}
+}
+
+func TestPollBlockingStops(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	g, _ := b.Group("t", "g", GroupConfig{})
+	c, _ := g.Join("m")
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok, _ := c.PollBlocking(stop)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("stopped poll returned a message")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PollBlocking ignored stop")
+	}
+}
+
+func TestBrokerClose(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	b.CreateTopic("t", TopicConfig{})
+	b.Close()
+	b.Close() // idempotent
+	if err := b.CreateTopic("u", TopicConfig{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create after close = %v", err)
+	}
+	if _, _, err := b.Publish("t", "k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("publish after close = %v", err)
+	}
+}
+
+func TestMoreMembersThanPartitions(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 2})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	var consumers []*Consumer
+	for i := 0; i < 4; i++ {
+		c, err := g.Join(fmt.Sprintf("m%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumers = append(consumers, c)
+	}
+	// Only two members can own partitions; the others idle — a real and
+	// often-surprising consequence of partition-granular assignment.
+	assign := g.Assignment()
+	owners := map[string]bool{}
+	for _, m := range assign {
+		owners[m] = true
+	}
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v, want exactly 2", owners)
+	}
+	for i := 0; i < 10; i++ {
+		b.Publish("t", keyspace.NumericKey(i), nil)
+	}
+	got := 0
+	for drained := false; !drained; {
+		drained = true
+		for _, c := range consumers {
+			if msg, ok, _ := c.Poll(); ok {
+				c.Ack(msg)
+				got++
+				drained = false
+			}
+		}
+	}
+	if got != 10 {
+		t.Fatalf("delivered %d of 10", got)
+	}
+}
+
+func TestGroupsAreIndependent(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	g1, _ := b.Group("t", "g1", GroupConfig{StartAtEarliest: true})
+	g2, _ := b.Group("t", "g2", GroupConfig{StartAtEarliest: true})
+	c1, _ := g1.Join("m")
+	c2, _ := g2.Join("m")
+	b.Publish("t", "k", []byte("v"))
+
+	m1, ok1, _ := c1.Poll()
+	m2, ok2, _ := c2.Poll()
+	if !ok1 || !ok2 {
+		t.Fatal("both groups must receive the message independently")
+	}
+	c1.Ack(m1)
+	// g2 not acking does not affect g1.
+	if g1.Lag() != 0 {
+		t.Fatalf("g1 lag = %d", g1.Lag())
+	}
+	if g2.Lag() != 1 {
+		t.Fatalf("g2 lag = %d (unacked)", g2.Lag())
+	}
+	_ = m2
+	// Same group handle returned for same name.
+	g1b, _ := b.Group("t", "g1", GroupConfig{})
+	if g1b != g1 {
+		t.Fatal("group lookup returned a different handle")
+	}
+}
+
+func TestRetentionBytesTopic(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{
+		Partitions:     1,
+		RetentionBytes: 200,
+		Segment:        walSmallSegments(),
+	})
+	for i := 0; i < 100; i++ {
+		b.Publish("t", "key", []byte("0123456789"))
+	}
+	b.RunGC()
+	st, _ := b.Stats("t")
+	if st.GCedRecords == 0 {
+		t.Fatal("size-based retention did not run")
+	}
+	if st.BytesRetained > 400 { // some slack for the active segment
+		t.Fatalf("retained %d bytes", st.BytesRetained)
+	}
+}
+
+func TestLagAccounting(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 2})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	c, _ := g.Join("m")
+	for i := 0; i < 10; i++ {
+		b.Publish("t", keyspace.NumericKey(i), nil)
+	}
+	if lag := g.Lag(); lag != 10 {
+		t.Fatalf("lag = %d, want 10", lag)
+	}
+	for i := 0; i < 4; i++ {
+		msg, ok, _ := c.Poll()
+		if !ok {
+			t.Fatal("stalled")
+		}
+		c.Ack(msg)
+	}
+	if lag := g.Lag(); lag != 6 {
+		t.Fatalf("lag = %d, want 6", lag)
+	}
+}
+
+func TestSaveRestoreTopic(t *testing.T) {
+	b := newTestBroker(t, nil)
+	b.CreateTopic("t", TopicConfig{Partitions: 3})
+	for i := 0; i < 30; i++ {
+		b.Publish("t", keyspace.NumericKey(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	img, err := b.SaveTopic("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SaveTopic("missing"); err == nil {
+		t.Fatal("saved a missing topic")
+	}
+
+	// A new broker (a restarted node) restores the topic and serves it.
+	b2 := newTestBroker(t, nil)
+	if err := b2.RestoreTopic("t", TopicConfig{Partitions: 3}, img); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := b2.Group("t", "g", GroupConfig{StartAtEarliest: true})
+	c, _ := g.Join("m")
+	seen := map[string]string{}
+	for {
+		msg, ok, err := c.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seen[string(msg.Key)] = string(msg.Value)
+		c.Ack(msg)
+	}
+	if len(seen) != 30 {
+		t.Fatalf("restored topic served %d messages", len(seen))
+	}
+	// Appends continue from the preserved offsets.
+	_, off, err := b2.Publish("t", keyspace.NumericKey(0), []byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off == 0 {
+		t.Fatal("offsets reset after restore")
+	}
+	// Validation paths.
+	if err := b2.RestoreTopic("t", TopicConfig{Partitions: 3}, img); err == nil {
+		t.Fatal("restore over existing topic accepted")
+	}
+	if err := b2.RestoreTopic("u", TopicConfig{Partitions: 2}, img); err == nil {
+		t.Fatal("partition-count mismatch accepted")
+	}
+	if err := b2.RestoreTopic("v", TopicConfig{Partitions: 3}, []byte("junk")); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+}

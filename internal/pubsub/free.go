@@ -1,0 +1,114 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+
+	"unbundle/internal/wal"
+)
+
+// Sentinel start positions for free consumers.
+const (
+	// FromEarliest starts at the oldest retained message.
+	FromEarliest int64 = -1
+	// FromLatest starts at the head (only new messages).
+	FromLatest int64 = -2
+)
+
+// FreeConsumer reads every message of one partition without group
+// coordination — the paper's "free consumer" ([26] terminology, §2). Cache
+// fleets that subscribe every server to the entire feed use one free
+// consumer per partition per server, which is the fallback §3.2.2 notes
+// "does not scale as update rates increase": every server pays for every
+// message. E10 measures exactly that.
+type FreeConsumer struct {
+	t         *topic
+	partition int
+	offset    int64
+	delivered int64
+	skipped   int64 // messages lost to GC under this consumer's cursor
+	resets    int64
+}
+
+// NewFreeConsumer opens a free consumer on one partition. from is an offset,
+// FromEarliest or FromLatest.
+func (b *Broker) NewFreeConsumer(topicName string, partition int, from int64) (*FreeConsumer, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if partition < 0 || partition >= len(t.parts) {
+		return nil, fmt.Errorf("pubsub: partition %d out of range for %q", partition, topicName)
+	}
+	fc := &FreeConsumer{t: t, partition: partition}
+	switch from {
+	case FromEarliest:
+		fc.offset = t.parts[partition].EarliestOffset()
+	case FromLatest:
+		fc.offset = t.parts[partition].NextOffset()
+	default:
+		fc.offset = from
+	}
+	return fc, nil
+}
+
+// Poll returns the next message, auto-resetting (silently) if the cursor was
+// garbage collected away.
+func (fc *FreeConsumer) Poll() (Message, bool) {
+	fc.t.mu.Lock()
+	defer fc.t.mu.Unlock()
+	log := fc.t.parts[fc.partition]
+	for {
+		recs, next, err := log.ReadBatch(fc.offset, 1)
+		var oor *wal.OutOfRangeError
+		if errors.As(err, &oor) {
+			if oor.Earliest > fc.offset {
+				fc.skipped += oor.Earliest - fc.offset
+				fc.offset = oor.Earliest
+				fc.resets++
+				continue
+			}
+			return Message{}, false
+		}
+		if err != nil || len(recs) == 0 {
+			return Message{}, false
+		}
+		rec := recs[0]
+		fc.offset = rec.Offset + 1
+		_ = next
+		fc.delivered++
+		return Message{
+			Topic:       fc.t.name,
+			Partition:   fc.partition,
+			Offset:      rec.Offset,
+			Key:         rec.Key,
+			Value:       rec.Value,
+			PublishTime: rec.Time,
+			Attempt:     1,
+		}, true
+	}
+}
+
+// SeekTo moves the cursor.
+func (fc *FreeConsumer) SeekTo(offset int64) {
+	fc.t.mu.Lock()
+	defer fc.t.mu.Unlock()
+	fc.offset = offset
+}
+
+// FreeConsumerStats reports the consumer's counters.
+type FreeConsumerStats struct {
+	Delivered int64
+	Skipped   int64
+	Resets    int64
+	Offset    int64
+}
+
+// Stats returns counters.
+func (fc *FreeConsumer) Stats() FreeConsumerStats {
+	fc.t.mu.Lock()
+	defer fc.t.mu.Unlock()
+	return FreeConsumerStats{Delivered: fc.delivered, Skipped: fc.skipped, Resets: fc.resets, Offset: fc.offset}
+}

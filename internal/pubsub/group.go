@@ -1,0 +1,399 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"unbundle/internal/wal"
+)
+
+// Group errors.
+var (
+	ErrLeft      = errors.New("pubsub: consumer has left the group")
+	ErrDupMember = errors.New("pubsub: member id already in group")
+)
+
+// GroupConfig configures a consumer group.
+type GroupConfig struct {
+	// MaxDeliveries bounds redelivery attempts per message; 0 means retry
+	// forever (which is where unbounded head-of-line blocking comes from).
+	MaxDeliveries int
+	// DeadLetterTopic, when set with MaxDeliveries, receives messages that
+	// exhausted their attempts — the §3.3 "ad hoc API" that patches over the
+	// blocking problem by converting it into silent sidelining.
+	DeadLetterTopic string
+	// StartAtEarliest makes a new group begin at the log start instead of
+	// the head.
+	StartAtEarliest bool
+}
+
+// Group is a consumer group over one topic: each partition is owned by at
+// most one member, messages are delivered serially per partition, and a
+// message is redelivered until acknowledged (at-least-once).
+type Group struct {
+	name   string
+	t      *topic
+	broker *Broker
+	cfg    GroupConfig
+
+	// All group state is guarded by t.mu (the topic lock), so publishes,
+	// rebalances and polls serialize naturally and t.cond can wake waiters.
+	members    []string
+	generation int
+	assignment map[int]string // partition -> member id
+	committed  []int64        // next offset to deliver, per partition
+	inflight   []int64        // outstanding offset per partition, -1 = none
+	attempts   []int          // attempts for the offset at committed[p]
+	lastTried  []int64        // offset the attempts counter refers to
+
+	delivered    int64
+	acked        int64
+	redelivered  int64
+	deadLettered int64
+	silentResets int64
+	skippedMsgs  int64 // messages jumped over by silent resets (GC loss)
+}
+
+// Group returns (creating if needed) the named consumer group on a topic.
+// The configuration is fixed by the first creator.
+func (b *Broker) Group(topicName, groupName string, cfg GroupConfig) (*Group, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g, ok := t.groups[groupName]; ok {
+		return g, nil
+	}
+	g := &Group{
+		name:       groupName,
+		t:          t,
+		broker:     b,
+		cfg:        cfg,
+		assignment: make(map[int]string),
+		committed:  make([]int64, len(t.parts)),
+		inflight:   make([]int64, len(t.parts)),
+		attempts:   make([]int, len(t.parts)),
+		lastTried:  make([]int64, len(t.parts)),
+	}
+	for p := range t.parts {
+		g.inflight[p] = -1
+		g.lastTried[p] = -1
+		if cfg.StartAtEarliest {
+			g.committed[p] = t.parts[p].EarliestOffset()
+		} else {
+			g.committed[p] = t.parts[p].NextOffset()
+		}
+	}
+	t.groups[groupName] = g
+	return g, nil
+}
+
+// Consumer is one group member's handle.
+type Consumer struct {
+	g    *Group
+	id   string
+	rr   int // round-robin cursor over partitions
+	left bool
+}
+
+// Join adds a member and rebalances. Uncommitted in-flight messages on
+// reassigned partitions will be redelivered to their new owners.
+func (g *Group) Join(memberID string) (*Consumer, error) {
+	g.t.mu.Lock()
+	defer g.t.mu.Unlock()
+	for _, m := range g.members {
+		if m == memberID {
+			return nil, fmt.Errorf("%w: %q", ErrDupMember, memberID)
+		}
+	}
+	g.members = append(g.members, memberID)
+	g.rebalanceLocked()
+	return &Consumer{g: g, id: memberID}, nil
+}
+
+// rebalanceLocked redistributes partitions round-robin over sorted members,
+// bumps the generation and drops in-flight deliveries (their offsets remain
+// uncommitted, so the new owners redeliver them: at-least-once).
+func (g *Group) rebalanceLocked() {
+	sort.Strings(g.members)
+	g.generation++
+	g.assignment = make(map[int]string)
+	for p := range g.t.parts {
+		if len(g.members) > 0 {
+			g.assignment[p] = g.members[p%len(g.members)]
+		}
+		g.inflight[p] = -1
+	}
+	g.t.cond.Broadcast()
+}
+
+// Leave removes the member and rebalances.
+func (c *Consumer) Leave() {
+	c.g.t.mu.Lock()
+	defer c.g.t.mu.Unlock()
+	if c.left {
+		return
+	}
+	c.left = true
+	for i, m := range c.g.members {
+		if m == c.id {
+			c.g.members = append(c.g.members[:i], c.g.members[i+1:]...)
+			break
+		}
+	}
+	c.g.rebalanceLocked()
+}
+
+// Poll returns the next available message from one of the member's assigned
+// partitions (round-robin), or ok=false when nothing is deliverable right
+// now. Delivery is serial per partition: a partition with an unacknowledged
+// message delivers nothing further — the ordering guarantee that causes
+// head-of-line blocking (§3.2.3).
+func (c *Consumer) Poll() (Message, bool, error) {
+	c.g.t.mu.Lock()
+	defer c.g.t.mu.Unlock()
+	return c.pollLocked()
+}
+
+func (c *Consumer) pollLocked() (Message, bool, error) {
+	g := c.g
+	if c.left {
+		return Message{}, false, ErrLeft
+	}
+	n := len(g.t.parts)
+	for i := 0; i < n; i++ {
+		p := (c.rr + i) % n
+		if g.assignment[p] != c.id || g.inflight[p] != -1 {
+			continue
+		}
+		msg, ok := g.readLocked(p)
+		if !ok {
+			continue
+		}
+		c.rr = p + 1
+		return msg, true, nil
+	}
+	return Message{}, false, nil
+}
+
+// readLocked fetches the record at the committed cursor of partition p,
+// handling GC resets silently, exactly as auto.offset.reset does.
+func (g *Group) readLocked(p int) (Message, bool) {
+	log := g.t.parts[p]
+	for {
+		recs, _, err := log.ReadBatch(g.committed[p], 1)
+		var oor *wal.OutOfRangeError
+		if errors.As(err, &oor) {
+			// The backlog was garbage collected. The consumer is *not*
+			// informed; the group's cursor silently jumps to the new start
+			// of the log and the skipped messages are simply gone (§3.1).
+			if oor.Earliest > g.committed[p] {
+				g.skippedMsgs += oor.Earliest - g.committed[p]
+				g.committed[p] = oor.Earliest
+				g.silentResets++
+				continue
+			}
+			return Message{}, false
+		}
+		if err != nil || len(recs) == 0 {
+			return Message{}, false
+		}
+		rec := recs[0]
+		if g.lastTried[p] == rec.Offset {
+			g.attempts[p]++
+			g.redelivered++
+		} else {
+			g.lastTried[p] = rec.Offset
+			g.attempts[p] = 1
+		}
+		g.inflight[p] = rec.Offset
+		g.delivered++
+		return Message{
+			Topic:       g.t.name,
+			Partition:   p,
+			Offset:      rec.Offset,
+			Key:         rec.Key,
+			Value:       rec.Value,
+			PublishTime: rec.Time,
+			Attempt:     g.attempts[p],
+		}, true
+	}
+}
+
+// Ack commits the message's offset. Acks for messages the member no longer
+// owns (it was rebalanced away) are ignored and report false — the stale-
+// owner acknowledgment of Figure 2 is accepted only while the pubsub system
+// still believes the old owner is the owner, which is precisely the window
+// the experiment exploits.
+func (c *Consumer) Ack(msg Message) bool {
+	g := c.g
+	g.t.mu.Lock()
+	defer g.t.mu.Unlock()
+	p := msg.Partition
+	if p < 0 || p >= len(g.t.parts) || c.left || g.assignment[p] != c.id || g.inflight[p] != msg.Offset {
+		return false
+	}
+	g.committed[p] = msg.Offset + 1
+	g.inflight[p] = -1
+	g.acked++
+	g.t.cond.Broadcast()
+	return true
+}
+
+// Nack abandons the delivery attempt. The message is redelivered unless it
+// has exhausted MaxDeliveries, in which case it is moved to the dead-letter
+// topic (if configured) and committed past.
+func (c *Consumer) Nack(msg Message) {
+	g := c.g
+	dlqPublish := false
+	g.t.mu.Lock()
+	p := msg.Partition
+	if p >= 0 && p < len(g.t.parts) && !c.left && g.assignment[p] == c.id && g.inflight[p] == msg.Offset {
+		g.inflight[p] = -1
+		if g.cfg.MaxDeliveries > 0 && g.attempts[p] >= g.cfg.MaxDeliveries && g.cfg.DeadLetterTopic != "" {
+			g.committed[p] = msg.Offset + 1
+			g.deadLettered++
+			dlqPublish = true
+		}
+		g.t.cond.Broadcast()
+	}
+	g.t.mu.Unlock()
+	if dlqPublish {
+		// Publish outside the topic lock; the DLQ is just another topic.
+		_, _, _ = g.broker.Publish(g.cfg.DeadLetterTopic, msg.Key, msg.Value)
+	}
+}
+
+// PollBlocking waits until a message is available, the stop channel closes,
+// or the consumer leaves.
+func (c *Consumer) PollBlocking(stop <-chan struct{}) (Message, bool, error) {
+	// A waker goroutine converts stop-channel closure into a broadcast.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-stop:
+			c.g.t.mu.Lock()
+			c.g.t.cond.Broadcast()
+			c.g.t.mu.Unlock()
+		case <-done:
+		}
+	}()
+	c.g.t.mu.Lock()
+	defer c.g.t.mu.Unlock()
+	for {
+		select {
+		case <-stop:
+			return Message{}, false, nil
+		default:
+		}
+		msg, ok, err := c.pollLocked()
+		if ok || err != nil {
+			return msg, ok, err
+		}
+		c.g.t.cond.Wait()
+	}
+}
+
+// Seek moves a partition's cursor (the GCP-style replay API of §3.3). Any
+// in-flight delivery on the partition is dropped.
+func (g *Group) Seek(partition int, offset int64) error {
+	g.t.mu.Lock()
+	defer g.t.mu.Unlock()
+	if partition < 0 || partition >= len(g.t.parts) {
+		return fmt.Errorf("pubsub: partition %d out of range", partition)
+	}
+	g.committed[partition] = offset
+	g.inflight[partition] = -1
+	g.t.cond.Broadcast()
+	return nil
+}
+
+// Snapshot captures the group's committed offsets (GCP's "snapshot").
+func (g *Group) Snapshot() map[int]int64 {
+	g.t.mu.Lock()
+	defer g.t.mu.Unlock()
+	out := make(map[int]int64, len(g.committed))
+	for p, off := range g.committed {
+		out[p] = off
+	}
+	return out
+}
+
+// SeekSnapshot rewinds the group to a snapshot taken earlier.
+func (g *Group) SeekSnapshot(snap map[int]int64) error {
+	for p, off := range snap {
+		if err := g.Seek(p, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lag returns the total number of retained messages not yet committed — the
+// backlog. It cannot count messages already GC-ed from under the group;
+// SkippedMessages reports those after the fact.
+func (g *Group) Lag() int64 {
+	g.t.mu.Lock()
+	defer g.t.mu.Unlock()
+	var lag int64
+	for p, log := range g.t.parts {
+		next := log.NextOffset()
+		cur := g.committed[p]
+		if cur < log.EarliestOffset() {
+			cur = log.EarliestOffset()
+		}
+		if next > cur {
+			lag += next - cur
+		}
+	}
+	return lag
+}
+
+// GroupStats reports group counters. SilentResets and SkippedMessages are
+// oracle-side observability: the *consumer-visible* API carries no error,
+// which is the paper's point.
+type GroupStats struct {
+	Members         int
+	Generation      int
+	Delivered       int64
+	Acked           int64
+	Redelivered     int64
+	DeadLettered    int64
+	SilentResets    int64
+	SkippedMessages int64
+	Lag             int64
+}
+
+// Stats returns the group's counters.
+func (g *Group) Stats() GroupStats {
+	lag := g.Lag()
+	g.t.mu.Lock()
+	defer g.t.mu.Unlock()
+	return GroupStats{
+		Members:         len(g.members),
+		Generation:      g.generation,
+		Delivered:       g.delivered,
+		Acked:           g.acked,
+		Redelivered:     g.redelivered,
+		DeadLettered:    g.deadLettered,
+		SilentResets:    g.silentResets,
+		SkippedMessages: g.skippedMsgs,
+		Lag:             lag,
+	}
+}
+
+// Assignment returns the current partition→member map (for test assertions
+// and the experiments' routing oracle).
+func (g *Group) Assignment() map[int]string {
+	g.t.mu.Lock()
+	defer g.t.mu.Unlock()
+	out := make(map[int]string, len(g.assignment))
+	for p, m := range g.assignment {
+		out[p] = m
+	}
+	return out
+}

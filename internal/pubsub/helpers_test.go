@@ -1,0 +1,9 @@
+package pubsub
+
+import "unbundle/internal/wal"
+
+// walSmallSegments makes segments roll quickly so retention/compaction (which
+// operate on sealed segments) have material to work with in small tests.
+func walSmallSegments() wal.Config {
+	return wal.Config{SegmentMaxRecords: 8}
+}

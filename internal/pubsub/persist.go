@@ -1,0 +1,77 @@
+package pubsub
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"unbundle/internal/wal"
+)
+
+// topicImage is the serialized form of a topic: one WAL blob per partition.
+// Group offsets are deliberately not part of the image — in real systems
+// they live in their own (also truncatable) store, and restoring a topic
+// without its groups is exactly the situation in which consumers discover
+// how little the offset contract protects them.
+type topicImage struct {
+	Partitions [][]byte
+}
+
+// SaveTopic serializes a topic's retained log contents (all partitions).
+func (b *Broker) SaveTopic(name string) ([]byte, error) {
+	t, err := b.topic(name)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	img := topicImage{Partitions: make([][]byte, len(t.parts))}
+	for i, p := range t.parts {
+		data, err := p.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("pubsub: save %q partition %d: %w", name, i, err)
+		}
+		img.Partitions[i] = data
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("pubsub: save %q: %w", name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreTopic creates a topic from a SaveTopic image. The topic must not
+// already exist; cfg's partition count must match the image.
+func (b *Broker) RestoreTopic(name string, cfg TopicConfig, data []byte) error {
+	var img topicImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return fmt.Errorf("pubsub: restore %q: %w", name, err)
+	}
+	cfg.applyDefaults()
+	if cfg.Partitions != len(img.Partitions) {
+		return fmt.Errorf("pubsub: restore %q: config has %d partitions, image has %d",
+			name, cfg.Partitions, len(img.Partitions))
+	}
+	parts := make([]*wal.Log, len(img.Partitions))
+	var published int64
+	for i, blob := range img.Partitions {
+		log, err := wal.Unmarshal(blob, cfg.Segment)
+		if err != nil {
+			return fmt.Errorf("pubsub: restore %q partition %d: %w", name, i, err)
+		}
+		parts[i] = log
+		published += log.NextOffset()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.topics[name]; ok {
+		return fmt.Errorf("%w: %q", ErrTopicUsed, name)
+	}
+	t := &topic{name: name, cfg: cfg, groups: make(map[string]*Group), parts: parts, published: published}
+	t.cond = newTopicCond(t)
+	b.topics[name] = t
+	return nil
+}

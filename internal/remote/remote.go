@@ -1,0 +1,486 @@
+// Package remote serves the watch contract over a network: a Server
+// exposes any core.Watchable + core.Snapshotter on a TCP listener, and a
+// Client implements the same interfaces against it, so entire consumer
+// stacks (caches, replicas, workers) run unchanged against a remote watch
+// system — the "standalone watch system" of the paper's §5 made standalone
+// in fact.
+//
+// The wire protocol is length-free gob framing over one connection per
+// client: requests flow client→server (watch, cancel, snapshot); events,
+// progress, resyncs and snapshot results flow back, multiplexed by watch ID.
+// A write stall for one slow client cannot wedge the watch system: frames
+// queue in a bounded per-connection buffer and overflow converts each of the
+// client's watches into a resync — the same lag-or-resync contract the hub
+// itself provides (§4.4), applied at the transport layer.
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+)
+
+// frame is the single wire message; exactly one pointer field is set.
+type frame struct {
+	// Client → server.
+	Watch    *watchReq
+	Cancel   *cancelReq
+	Snapshot *snapshotReq
+
+	// Server → client.
+	Event      *eventMsg
+	Progress   *progressMsg
+	Resync     *resyncMsg
+	SnapResult *snapshotResp
+}
+
+type watchReq struct {
+	ID   uint64
+	Low  keyspace.Key
+	High keyspace.Key
+	From core.Version
+}
+
+type cancelReq struct{ ID uint64 }
+
+type snapshotReq struct {
+	ID   uint64
+	Low  keyspace.Key
+	High keyspace.Key
+}
+
+type eventMsg struct {
+	ID uint64
+	Ev core.ChangeEvent
+}
+
+type progressMsg struct {
+	ID uint64
+	P  core.ProgressEvent
+}
+
+type resyncMsg struct {
+	ID uint64
+	R  core.ResyncEvent
+}
+
+type snapshotResp struct {
+	ID      uint64
+	Entries []core.Entry
+	At      core.Version
+	Err     string
+}
+
+// Server exposes a watch system and its recovery snapshots on a listener.
+type Server struct {
+	watch core.Watchable
+	snap  core.Snapshotter
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0"). The returned server
+// is already accepting; Addr reports the bound address.
+func Serve(addr string, watch core.Watchable, snap core.Snapshotter) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen: %w", err)
+	}
+	s := &Server{watch: watch, snap: snap, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serverConn is the per-connection state: a bounded outbound queue drained
+// by one writer goroutine, and the active watches.
+type serverConn struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []frame
+	dead    bool
+	watches map[uint64]serverWatch
+}
+
+type serverWatch struct {
+	cancel core.Cancel
+	rng    keyspace.Range
+}
+
+// outboundLimit bounds the per-connection frame queue; beyond it the
+// client's watches are resynced rather than buffered without bound.
+const outboundLimit = 8192
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	sc := &serverConn{conn: conn, watches: make(map[uint64]serverWatch)}
+	sc.cond = sync.NewCond(&sc.mu)
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		sc.writeLoop()
+	}()
+
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			break // client gone (or sent garbage): tear the connection down
+		}
+		s.handleFrame(sc, f)
+	}
+	// Reader done: cancel watches, stop the writer, drop the connection.
+	sc.mu.Lock()
+	watches := sc.watches
+	sc.watches = map[uint64]serverWatch{}
+	sc.dead = true
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+	for _, w := range watches {
+		w.cancel()
+	}
+	conn.Close()
+	writerWG.Wait()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleFrame(sc *serverConn, f frame) {
+	switch {
+	case f.Watch != nil:
+		req := *f.Watch
+		r := keyspace.Range{Low: req.Low, High: req.High}
+		id := req.ID
+		cancel, err := s.watch.Watch(r, req.From, core.Funcs{
+			Event:    func(ev core.ChangeEvent) { sc.send(frame{Event: &eventMsg{ID: id, Ev: ev}}) },
+			Progress: func(p core.ProgressEvent) { sc.send(frame{Progress: &progressMsg{ID: id, P: p}}) },
+			Resync:   func(rs core.ResyncEvent) { sc.send(frame{Resync: &resyncMsg{ID: id, R: rs}}) },
+		})
+		if err != nil {
+			// Report the failure as an immediate resync carrying the reason;
+			// the consumer's recovery path handles it uniformly.
+			sc.send(frame{Resync: &resyncMsg{ID: id, R: core.ResyncEvent{Range: r, Reason: "watch rejected: " + err.Error()}}})
+			return
+		}
+		sc.mu.Lock()
+		if sc.dead {
+			sc.mu.Unlock()
+			cancel()
+			return
+		}
+		sc.watches[id] = serverWatch{cancel: cancel, rng: r}
+		sc.mu.Unlock()
+
+	case f.Cancel != nil:
+		sc.mu.Lock()
+		w, ok := sc.watches[f.Cancel.ID]
+		delete(sc.watches, f.Cancel.ID)
+		sc.mu.Unlock()
+		if ok {
+			w.cancel()
+		}
+
+	case f.Snapshot != nil:
+		req := *f.Snapshot
+		resp := snapshotResp{ID: req.ID}
+		entries, at, err := s.snap.SnapshotRange(keyspace.Range{Low: req.Low, High: req.High})
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Entries = entries
+			resp.At = at
+		}
+		sc.send(frame{SnapResult: &resp})
+	}
+}
+
+// send enqueues a frame for the writer. Overflow lags the whole connection
+// out: the queue is replaced by per-watch resyncs.
+func (sc *serverConn) send(f frame) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.dead {
+		return
+	}
+	if len(sc.queue) >= outboundLimit && f.SnapResult == nil && f.Resync == nil {
+		resyncs := make([]frame, 0, len(sc.watches))
+		for id, w := range sc.watches {
+			resyncs = append(resyncs, frame{Resync: &resyncMsg{ID: id, R: core.ResyncEvent{
+				Range:  w.rng,
+				Reason: "remote: connection outbound buffer overflow",
+			}}})
+		}
+		sc.queue = resyncs
+	} else {
+		sc.queue = append(sc.queue, f)
+	}
+	sc.cond.Signal()
+}
+
+func (sc *serverConn) writeLoop() {
+	enc := gob.NewEncoder(sc.conn)
+	for {
+		sc.mu.Lock()
+		for len(sc.queue) == 0 && !sc.dead {
+			sc.cond.Wait()
+		}
+		if sc.dead {
+			sc.mu.Unlock()
+			return
+		}
+		batch := sc.queue
+		sc.queue = nil
+		sc.mu.Unlock()
+		for _, f := range batch {
+			if err := enc.Encode(&f); err != nil {
+				sc.mu.Lock()
+				sc.dead = true
+				sc.cond.Broadcast()
+				sc.mu.Unlock()
+				sc.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting, drops every connection and cancels their watches.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client errors.
+var (
+	ErrClientClosed = errors.New("remote: client closed")
+)
+
+// Client implements core.Watchable and core.Snapshotter against a Server.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	mu      sync.Mutex
+	encMu   sync.Mutex
+	nextID  uint64
+	watches map[uint64]core.WatchCallback
+	snaps   map[uint64]chan snapshotResp
+	closed  bool
+	readErr error
+}
+
+var (
+	_ core.Watchable   = (*Client)(nil)
+	_ core.Snapshotter = (*Client)(nil)
+)
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		watches: make(map[uint64]core.WatchCallback),
+		snaps:   make(map[uint64]chan snapshotResp),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			c.fail(err)
+			return
+		}
+		switch {
+		case f.Event != nil:
+			if cb := c.callback(f.Event.ID); cb != nil {
+				cb.OnEvent(f.Event.Ev)
+			}
+		case f.Progress != nil:
+			if cb := c.callback(f.Progress.ID); cb != nil {
+				cb.OnProgress(f.Progress.P)
+			}
+		case f.Resync != nil:
+			if cb := c.callback(f.Resync.ID); cb != nil {
+				cb.OnResync(f.Resync.R)
+			}
+		case f.SnapResult != nil:
+			c.mu.Lock()
+			ch := c.snaps[f.SnapResult.ID]
+			delete(c.snaps, f.SnapResult.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- *f.SnapResult
+			}
+		}
+	}
+}
+
+// fail tears the client down: every active watch receives a resync telling
+// its consumer to recover through a new client — a connection loss is loss
+// of soft state, nothing more.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	watches := c.watches
+	c.watches = map[uint64]core.WatchCallback{}
+	snaps := c.snaps
+	c.snaps = map[uint64]chan snapshotResp{}
+	c.mu.Unlock()
+	for _, cb := range watches {
+		cb.OnResync(core.ResyncEvent{Range: keyspace.Full(), Reason: "remote: connection lost: " + err.Error()})
+	}
+	for _, ch := range snaps {
+		close(ch)
+	}
+}
+
+func (c *Client) callback(id uint64) core.WatchCallback {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.watches[id]
+}
+
+func (c *Client) sendFrame(f frame) error {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	return c.enc.Encode(&f)
+}
+
+// Watch implements core.Watchable over the wire.
+func (c *Client) Watch(r keyspace.Range, from core.Version, cb core.WatchCallback) (core.Cancel, error) {
+	if cb == nil {
+		return nil, fmt.Errorf("%w: nil callback", core.ErrBadWatch)
+	}
+	if r.Empty() {
+		return nil, fmt.Errorf("%w: empty range %v", core.ErrBadWatch, r)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.watches[id] = cb
+	c.mu.Unlock()
+
+	if err := c.sendFrame(frame{Watch: &watchReq{ID: id, Low: r.Low, High: r.High, From: from}}); err != nil {
+		c.mu.Lock()
+		delete(c.watches, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("remote: watch: %w", err)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			delete(c.watches, id)
+			c.mu.Unlock()
+			_ = c.sendFrame(frame{Cancel: &cancelReq{ID: id}})
+		})
+	}, nil
+}
+
+// SnapshotRange implements core.Snapshotter over the wire: the recovery read
+// travels through the same connection, so a consumer needs only the client.
+func (c *Client) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, error) {
+	ch := make(chan snapshotResp, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.snaps[id] = ch
+	c.mu.Unlock()
+
+	if err := c.sendFrame(frame{Snapshot: &snapshotReq{ID: id, Low: r.Low, High: r.High}}); err != nil {
+		c.mu.Lock()
+		delete(c.snaps, id)
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("remote: snapshot: %w", err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, 0, fmt.Errorf("remote: snapshot: %w", io.ErrUnexpectedEOF)
+	}
+	if resp.Err != "" {
+		return nil, 0, fmt.Errorf("remote: snapshot: %s", resp.Err)
+	}
+	return resp.Entries, resp.At, nil
+}
+
+// Close drops the connection; active watches receive a final resync.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.conn.Close()
+}

@@ -1,0 +1,391 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/workload"
+)
+
+// runScript commits txns to a fresh source through the replicator, stepping
+// appliers and sampling ACL pairs along the way. Returns the checker.
+func runScript(t *testing.T, strategy Strategy, rounds int) (*Replicator, *Checker, *mvcc.Store) {
+	t.Helper()
+	src := mvcc.NewStore()
+	repl, err := New(Config{Strategy: strategy, Seed: 7}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := NewChecker(src)
+	txns := workload.ACLScript(3, rounds, 6)
+	round := 0
+	for i, txn := range txns {
+		_, err := src.Commit(func(tx *mvcc.Tx) error {
+			for _, op := range txn.Ops {
+				if op.Value == nil {
+					tx.Delete(op.Key)
+				} else {
+					tx.Put(op.Key, op.Value)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repl.Step(4)
+		// Sample aggressively while the pipeline is mid-flight.
+		if i%2 == 0 {
+			for r := 0; r <= round && r < rounds; r++ {
+				check.SampleACLPair(repl, r)
+			}
+		}
+		if len(txn.Label) > 5 && txn.Label[:5] == "grant" {
+			round++
+		}
+	}
+	repl.Drain()
+	for r := 0; r < rounds; r++ {
+		check.SampleACLPair(repl, r)
+	}
+	return repl, check, src
+}
+
+func TestSerialIsConsistent(t *testing.T) {
+	repl, check, _ := runScript(t, Serial, 10)
+	defer repl.Close()
+	if check.SnapshotViolations != 0 {
+		t.Fatalf("serial produced %d snapshot violations", check.SnapshotViolations)
+	}
+	div, err := check.EventualDivergence(repl)
+	if err != nil || div != 0 {
+		t.Fatalf("serial diverged: %d (%v)", div, err)
+	}
+}
+
+func TestPartitionedViolatesSnapshotNotEventual(t *testing.T) {
+	var violations int64
+	// The race is probabilistic per run; accumulate across seeds.
+	for seed := int64(0); seed < 5; seed++ {
+		src := mvcc.NewStore()
+		repl, err := New(Config{Strategy: Partitioned, Partitions: 8, Seed: seed}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := NewChecker(src)
+		txns := workload.ACLScript(seed, 20, 6)
+		round := 0
+		for _, txn := range txns {
+			src.Commit(func(tx *mvcc.Tx) error {
+				for _, op := range txn.Ops {
+					if op.Value == nil {
+						tx.Delete(op.Key)
+					} else {
+						tx.Put(op.Key, op.Value)
+					}
+				}
+				return nil
+			})
+			repl.Step(3)
+			for r := 0; r <= round && r < 20; r++ {
+				check.SampleACLPair(repl, r)
+			}
+			if len(txn.Label) > 5 && txn.Label[:5] == "grant" {
+				round++
+			}
+		}
+		repl.Drain()
+		// Eventual consistency holds: per-key order is preserved.
+		div, err := check.EventualDivergence(repl)
+		if err != nil || div != 0 {
+			t.Fatalf("partitioned diverged eventually: %d (%v)", div, err)
+		}
+		violations += check.SnapshotViolations
+		repl.Close()
+	}
+	if violations == 0 {
+		t.Fatal("partitioned replication never violated snapshot consistency — the anomaly did not reproduce")
+	}
+}
+
+func TestConcurrentBlindViolatesEventual(t *testing.T) {
+	src := mvcc.NewStore()
+	repl, err := New(Config{Strategy: ConcurrentBlind, Window: 64, Seed: 3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Close()
+	// Rapid rewrites of a small key set inside the permutation window:
+	// reordering must leave stale winners or resurrected deletes.
+	for i := 0; i < 400; i++ {
+		k := keyspace.NumericKey(i % 5)
+		if i%17 == 0 {
+			src.Delete(k)
+		} else {
+			src.Put(k, []byte(fmt.Sprintf("v%d", i)))
+		}
+		// Step rarely, with a small budget: the applier pool runs behind the
+		// producer, so the permutation window has rewrites to reorder.
+		if i%10 == 0 {
+			repl.Step(4)
+		}
+	}
+	repl.Drain()
+	check := NewChecker(src)
+	div, err := check.EventualDivergence(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == 0 {
+		t.Fatal("blind concurrent apply converged — reordering had no effect?")
+	}
+}
+
+func TestConcurrentCheckedConvergesButViolatesSnapshot(t *testing.T) {
+	// Eventual consistency restored by version checks + tombstones.
+	src := mvcc.NewStore()
+	repl, err := New(Config{Strategy: ConcurrentChecked, Window: 64, Seed: 3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		k := keyspace.NumericKey(i % 5)
+		if i%17 == 0 {
+			src.Delete(k)
+		} else {
+			src.Put(k, []byte(fmt.Sprintf("v%d", i)))
+		}
+		if i%10 == 0 {
+			repl.Step(4)
+		}
+	}
+	repl.Drain()
+	check := NewChecker(src)
+	div, err := check.EventualDivergence(repl)
+	if err != nil || div != 0 {
+		t.Fatalf("checked concurrent diverged: %d (%v)", div, err)
+	}
+	repl.Close()
+
+	// But snapshot consistency is still violated on the ACL workload.
+	var violations int64
+	for seed := int64(0); seed < 5; seed++ {
+		src := mvcc.NewStore()
+		repl, err := New(Config{Strategy: ConcurrentChecked, Window: 64, Seed: seed}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := NewChecker(src)
+		txns := workload.ACLScript(seed, 20, 6)
+		round := 0
+		for i, txn := range txns {
+			src.Commit(func(tx *mvcc.Tx) error {
+				for _, op := range txn.Ops {
+					if op.Value == nil {
+						tx.Delete(op.Key)
+					} else {
+						tx.Put(op.Key, op.Value)
+					}
+				}
+				return nil
+			})
+			// Step less often than commits arrive so the racing worker pool
+			// has a backlog to permute.
+			if i%3 == 0 {
+				repl.Step(2)
+			}
+			for r := 0; r <= round && r < 20; r++ {
+				check.SampleACLPair(repl, r)
+			}
+			if len(txn.Label) > 5 && txn.Label[:5] == "grant" {
+				round++
+			}
+		}
+		repl.Drain()
+		violations += check.SnapshotViolations
+		repl.Close()
+	}
+	if violations == 0 {
+		t.Fatal("version checks should not restore snapshot consistency, yet no violations observed")
+	}
+}
+
+func TestWatchIsSnapshotConsistentAndConverges(t *testing.T) {
+	repl, check, _ := runScript(t, Watch, 10)
+	defer repl.Close()
+	if check.SnapshotViolations != 0 {
+		t.Fatalf("watch produced %d snapshot violations over %d samples",
+			check.SnapshotViolations, check.PairSamples)
+	}
+	div, err := check.EventualDivergence(repl)
+	if err != nil || div != 0 {
+		t.Fatalf("watch diverged: %d (%v)", div, err)
+	}
+	if repl.Applied() == 0 {
+		t.Fatal("watch applied nothing")
+	}
+}
+
+func TestWatchExternalizationIsAlwaysPointInTime(t *testing.T) {
+	// Stronger than the ACL predicate: every externalized pair must match
+	// some exact source version, verified against full history.
+	src := mvcc.NewStore()
+	repl, err := New(Config{Strategy: Watch, Partitions: 4, Seed: 1}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Close()
+	check := NewChecker(src)
+	a, b := keyspace.NumericKey(1), keyspace.NumericKey(3001) // different shards
+	for i := 0; i < 100; i++ {
+		src.Commit(func(tx *mvcc.Tx) error { // cross-shard transaction
+			tx.Put(a, []byte(fmt.Sprintf("a%d", i)))
+			tx.Put(b, []byte(fmt.Sprintf("b%d", i)))
+			return nil
+		})
+		av, bv, aok, bok := repl.ReadPair(a, b)
+		consistent, err := check.VerifyPairAgainstHistory(a, b, av, bv, aok, bok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !consistent {
+			t.Fatalf("iteration %d externalized (%q,%v)/(%q,%v): no source version matches",
+				i, av, aok, bv, bok)
+		}
+	}
+	repl.Drain()
+}
+
+func TestEncodeDecodeEvent(t *testing.T) {
+	cases := []core.ChangeEvent{
+		{Key: "k", Mut: core.Mutation{Op: core.OpPut, Value: []byte("hello")}, Version: 42},
+		{Key: "k", Mut: core.Mutation{Op: core.OpPut, Value: []byte{}}, Version: 1},
+		{Key: "gone", Mut: core.Mutation{Op: core.OpDelete}, Version: 7},
+	}
+	for _, ev := range cases {
+		back, err := DecodeEvent(ev.Key, EncodeEvent(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Version != ev.Version || back.Mut.Op != ev.Mut.Op || string(back.Mut.Value) != string(ev.Mut.Value) {
+			t.Fatalf("roundtrip: %+v vs %+v", ev, back)
+		}
+	}
+	if _, err := DecodeEvent("k", []byte("short")); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestTargetVersionChecks(t *testing.T) {
+	tgt := NewTarget(true)
+	tgt.Apply(core.ChangeEvent{Key: "k", Mut: core.Mutation{Op: core.OpPut, Value: []byte("new")}, Version: 10})
+	tgt.Apply(core.ChangeEvent{Key: "k", Mut: core.Mutation{Op: core.OpPut, Value: []byte("old")}, Version: 5})
+	if v, ok := tgt.Read("k"); !ok || string(v) != "new" {
+		t.Fatalf("stale overwrite: %q/%v", v, ok)
+	}
+	// Tombstone beats an older reordered put.
+	tgt.Apply(core.ChangeEvent{Key: "g", Mut: core.Mutation{Op: core.OpDelete}, Version: 20})
+	tgt.Apply(core.ChangeEvent{Key: "g", Mut: core.Mutation{Op: core.OpPut, Value: []byte("zombie")}, Version: 15})
+	if _, ok := tgt.Read("g"); ok {
+		t.Fatal("resurrected delete")
+	}
+	_, stale := tgt.Applied()
+	if stale != 2 {
+		t.Fatalf("stale count = %d", stale)
+	}
+	// Blind target: last arrival wins, deletes can resurrect.
+	blind := NewTarget(false)
+	blind.Apply(core.ChangeEvent{Key: "g", Mut: core.Mutation{Op: core.OpDelete}, Version: 20})
+	blind.Apply(core.ChangeEvent{Key: "g", Mut: core.Mutation{Op: core.OpPut, Value: []byte("zombie")}, Version: 15})
+	if _, ok := blind.Read("g"); !ok {
+		t.Fatal("blind target should have resurrected the row")
+	}
+}
+
+func TestWatchTargetFrontierGating(t *testing.T) {
+	wt := NewWatchTarget()
+	wt.Apply(core.ChangeEvent{Key: "a", Mut: core.Mutation{Op: core.OpPut, Value: []byte("a1")}, Version: 1})
+	wt.Apply(core.ChangeEvent{Key: "a", Mut: core.Mutation{Op: core.OpPut, Value: []byte("a2")}, Version: 5})
+	// No progress yet: nothing is externalized.
+	if _, ok := wt.Read("a"); ok {
+		t.Fatal("read before any progress")
+	}
+	wt.Progress(keyspace.Full(), 1)
+	if v, ok := wt.Read("a"); !ok || string(v) != "a1" {
+		t.Fatalf("read at frontier 1 = %q/%v", v, ok)
+	}
+	wt.Progress(keyspace.Full(), 5)
+	if v, _ := wt.Read("a"); string(v) != "a2" {
+		t.Fatalf("read at frontier 5 = %q", v)
+	}
+	// Partial progress gates on the minimum across ranges.
+	wt2 := NewWatchTarget()
+	wt2.Apply(core.ChangeEvent{Key: "a", Mut: core.Mutation{Op: core.OpPut, Value: []byte("x")}, Version: 3})
+	wt2.Progress(keyspace.Range{Low: "", High: "m"}, 3)
+	if wt2.ExternalVersion() != core.NoVersion {
+		t.Fatalf("partial coverage externalized %v", wt2.ExternalVersion())
+	}
+}
+
+// TestWatchReplicatorSurvivesHubWipe injects the watch system's worst
+// failure — total soft-state loss mid-replication — and requires the
+// replicator to recover via resync and still converge exactly.
+func TestWatchReplicatorSurvivesHubWipe(t *testing.T) {
+	src := mvcc.NewStore()
+	repl, err := New(Config{Strategy: Watch, Partitions: 4, Seed: 1}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Close()
+	for i := 0; i < 200; i++ {
+		k := keyspace.NumericKey(i % 20)
+		if i%13 == 0 {
+			src.Delete(k)
+		} else {
+			src.Put(k, []byte(fmt.Sprintf("v%d", i)))
+		}
+		if i == 100 {
+			repl.Hub().Wipe() // lose every retained event and the frontier
+		}
+	}
+	repl.Drain()
+	if repl.Resyncs() == 0 {
+		t.Fatal("wipe did not trigger resyncs")
+	}
+	check := NewChecker(src)
+	div, err := check.EventualDivergence(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != 0 {
+		t.Fatalf("diverged after wipe recovery: %d keys", div)
+	}
+}
+
+// TestWatchReplicatorRecoversDeletes: a key deleted while the watcher was
+// dead must not survive in the target after recovery (the snapshot, not
+// tombstone bookkeeping, is the authority).
+func TestWatchReplicatorRecoversDeletes(t *testing.T) {
+	src := mvcc.NewStore()
+	repl, err := New(Config{Strategy: Watch, Partitions: 2, Seed: 1}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Close()
+	src.Put(keyspace.NumericKey(1), []byte("doomed"))
+	repl.Drain()
+	repl.Hub().Wipe()
+	src.Delete(keyspace.NumericKey(1)) // happens while watch state is gone
+	src.Put(keyspace.NumericKey(2), []byte("alive"))
+	repl.Drain()
+	tbl := repl.Table()
+	if _, ok := tbl[keyspace.NumericKey(1)]; ok {
+		t.Fatalf("deleted key resurrected after recovery: %v", tbl)
+	}
+	if tbl[keyspace.NumericKey(2)] != "alive" {
+		t.Fatalf("post-wipe write lost: %v", tbl)
+	}
+}

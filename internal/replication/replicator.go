@@ -1,0 +1,404 @@
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/pubsub"
+)
+
+// Strategy selects a replication pipeline.
+type Strategy int
+
+const (
+	// Serial publishes every change to a single partition applied by a
+	// single consumer in commit order.
+	Serial Strategy = iota
+	// Partitioned hashes keys over P partitions, each applied serially but
+	// independently — pubsub's standard scaling answer.
+	Partitioned
+	// ConcurrentBlind applies a prefetched window of messages in random
+	// order with no safeguards.
+	ConcurrentBlind
+	// ConcurrentChecked is ConcurrentBlind plus version checks + tombstones.
+	ConcurrentChecked
+	// Watch replicates through a watch hub with R range-partitioned
+	// appliers; reads externalize at the progress frontier.
+	Watch
+)
+
+// String names the strategy for result tables.
+func (s Strategy) String() string {
+	switch s {
+	case Serial:
+		return "pubsub-serial"
+	case Partitioned:
+		return "pubsub-partitioned"
+	case ConcurrentBlind:
+		return "pubsub-concurrent"
+	case ConcurrentChecked:
+		return "pubsub-conc+vers"
+	case Watch:
+		return "watch"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+const replTopic = "cdc"
+
+// Config tunes a Replicator.
+type Config struct {
+	Strategy   Strategy
+	Partitions int // pubsub partitions / watch range appliers (default 4)
+	// Window is the concurrent strategies' prefetch window: messages within
+	// a window apply in a random permutation, modelling a racing worker
+	// pool (default 32).
+	Window int
+	// Seed drives the permutations and applier skew.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+}
+
+// Replicator wires a source store to a target through the chosen pipeline.
+// Drive it by committing to the source (events flow automatically into the
+// transport) and calling Step to let the appliers make progress; the
+// interleaving of commits, Steps and reads is the experiment's schedule.
+type Replicator struct {
+	cfg    Config
+	src    *mvcc.Store
+	rng    *rand.Rand
+	detach func()
+
+	// pubsub transport
+	broker      *pubsub.Broker
+	consumers   []*pubsub.Consumer
+	buffer      []pubsub.Message // concurrent strategies' prefetch window
+	bufConsumer *pubsub.Consumer
+
+	// targets
+	target   *Target      // pubsub strategies
+	wt       *WatchTarget // watch strategy
+	hub      *core.Hub
+	watchers []*core.ResyncWatcher
+}
+
+// shardApplier adapts a WatchTarget shard to core.SyncedConsumer.
+type shardApplier struct {
+	wt *WatchTarget
+}
+
+func (a *shardApplier) ResetSnapshot(r keyspace.Range, entries []core.Entry, at core.Version) {
+	a.wt.ResetRange(r, entries, at)
+}
+
+func (a *shardApplier) ApplyChange(ev core.ChangeEvent) { a.wt.Apply(ev) }
+
+func (a *shardApplier) AdvanceFrontier(p core.ProgressEvent) {
+	a.wt.Progress(p.Range, p.Version)
+}
+
+// New builds a replicator over src.
+func New(cfg Config, src *mvcc.Store) (*Replicator, error) {
+	cfg.applyDefaults()
+	r := &Replicator{cfg: cfg, src: src, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	switch cfg.Strategy {
+	case Watch:
+		r.wt = NewWatchTarget()
+		// Retention and buffers sized to hold any experiment run: the
+		// replication scenarios study ordering, not hub overflow (that's E2).
+		r.hub = core.NewHub(core.HubConfig{Retention: 1 << 20, WatcherBuffer: 1 << 20})
+		r.detach = src.AttachCDC(keyspace.Full(), r.hub)
+		// R range-partitioned appliers, each independently applying its
+		// share and reporting progress — the scalable shape of §4.3.
+		for _, shard := range keyspace.EvenSplit(cfg.Partitions*1000, cfg.Partitions) {
+			// Each shard applier is a full snapshot-then-watch consumer: if
+			// it lags or the hub loses its soft state, it recovers from the
+			// source via the §4.4 protocol and keeps replicating.
+			rw := core.NewResyncWatcher(src, r.hub, shard, &shardApplier{wt: r.wt})
+			if err := rw.Start(); err != nil {
+				return nil, err
+			}
+			r.watchers = append(r.watchers, rw)
+		}
+		return r, nil
+	default:
+		parts := cfg.Partitions
+		if cfg.Strategy == Serial || cfg.Strategy == ConcurrentBlind || cfg.Strategy == ConcurrentChecked {
+			parts = 1 // the transport is one ordered stream
+		}
+		r.broker = pubsub.NewBroker(pubsub.BrokerConfig{})
+		if err := r.broker.CreateTopic(replTopic, pubsub.TopicConfig{Partitions: parts}); err != nil {
+			return nil, err
+		}
+		r.target = NewTarget(cfg.Strategy == ConcurrentChecked)
+		group, err := r.broker.Group(replTopic, "repl", pubsub.GroupConfig{StartAtEarliest: true})
+		if err != nil {
+			return nil, err
+		}
+		switch cfg.Strategy {
+		case Partitioned:
+			// One member per partition: per-partition serial appliers.
+			for i := 0; i < parts; i++ {
+				c, err := group.Join(fmt.Sprintf("applier-%02d", i))
+				if err != nil {
+					return nil, err
+				}
+				r.consumers = append(r.consumers, c)
+			}
+		default:
+			c, err := group.Join("applier-00")
+			if err != nil {
+				return nil, err
+			}
+			r.bufConsumer = c
+			r.consumers = []*pubsub.Consumer{c}
+		}
+		// CDC → publish: the producer side of the pipeline.
+		r.detach = src.AttachCDC(keyspace.Full(), publishIngester{broker: r.broker})
+		return r, nil
+	}
+}
+
+// publishIngester forwards CDC events into the pubsub topic. Progress events
+// are dropped on the floor: the pubsub transport has nowhere to put them,
+// which is precisely why its targets cannot gate externalization.
+type publishIngester struct {
+	broker *pubsub.Broker
+}
+
+func (p publishIngester) Append(ev core.ChangeEvent) error {
+	_, _, err := p.broker.Publish(replTopic, ev.Key, EncodeEvent(ev))
+	return err
+}
+
+func (p publishIngester) Progress(core.ProgressEvent) error { return nil }
+
+// EncodeEvent serializes a change event for transport: version (8 bytes,
+// big endian) | op (1 byte) | value.
+func EncodeEvent(ev core.ChangeEvent) []byte {
+	out := make([]byte, 9+len(ev.Mut.Value))
+	binary.BigEndian.PutUint64(out, uint64(ev.Version))
+	out[8] = byte(ev.Mut.Op)
+	copy(out[9:], ev.Mut.Value)
+	return out
+}
+
+// DecodeEvent reverses EncodeEvent.
+func DecodeEvent(key keyspace.Key, b []byte) (core.ChangeEvent, error) {
+	if len(b) < 9 {
+		return core.ChangeEvent{}, fmt.Errorf("replication: short event payload (%d bytes)", len(b))
+	}
+	ev := core.ChangeEvent{
+		Key:     key,
+		Version: core.Version(binary.BigEndian.Uint64(b)),
+		Mut:     core.Mutation{Op: core.Op(b[8])},
+	}
+	if ev.Mut.Op == core.OpPut {
+		ev.Mut.Value = append([]byte(nil), b[9:]...)
+	}
+	return ev, nil
+}
+
+// Step lets the appliers make bounded progress: each applier processes up to
+// budget messages, with per-applier random skew so parallel pipelines
+// interleave (that skew is where cross-partition reordering comes from).
+// It reports whether any work was done.
+func (r *Replicator) Step(budget int) bool {
+	if budget <= 0 {
+		budget = 16
+	}
+	switch r.cfg.Strategy {
+	case Watch:
+		// The hub pushes asynchronously; stepping is a no-op. Report no
+		// work so Drain terminates; callers observe progress via the
+		// frontier instead.
+		return false
+	case ConcurrentBlind, ConcurrentChecked:
+		return r.stepConcurrent(budget)
+	default:
+		worked := false
+		for _, c := range r.consumers {
+			// Skew: an applier may process nothing this step (it is busy,
+			// GC-pausing, on a slow node, …). Uneven applier progress across
+			// partitions is exactly what reorders cross-partition
+			// transactions in real deployments.
+			n := r.rng.Intn(budget + 1)
+			for i := 0; i < n; i++ {
+				msg, ok, err := c.Poll()
+				if err != nil || !ok {
+					break
+				}
+				ev, err := DecodeEvent(msg.Key, msg.Value)
+				if err == nil {
+					r.target.Apply(ev)
+				}
+				c.Ack(msg)
+				worked = true
+			}
+		}
+		return worked
+	}
+}
+
+// stepConcurrent prefetches a window of messages and applies a random
+// permutation of it — the racing worker pool.
+func (r *Replicator) stepConcurrent(budget int) bool {
+	for len(r.buffer) < r.cfg.Window {
+		msg, ok, err := r.bufConsumer.Poll()
+		if err != nil || !ok {
+			break
+		}
+		r.bufConsumer.Ack(msg) // workers ack on handoff; application races
+		r.buffer = append(r.buffer, msg)
+	}
+	if len(r.buffer) == 0 {
+		return false
+	}
+	n := budget
+	if n > len(r.buffer) {
+		n = len(r.buffer)
+	}
+	// Apply n messages chosen in random order from the window.
+	r.rng.Shuffle(len(r.buffer), func(i, j int) {
+		r.buffer[i], r.buffer[j] = r.buffer[j], r.buffer[i]
+	})
+	for _, msg := range r.buffer[:n] {
+		if ev, err := DecodeEvent(msg.Key, msg.Value); err == nil {
+			r.target.Apply(ev)
+		}
+	}
+	r.buffer = r.buffer[n:]
+	return true
+}
+
+// Drain steps until the pipeline quiesces. For the watch strategy it waits
+// until the target's frontier reaches the source's current version.
+func (r *Replicator) Drain() {
+	switch r.cfg.Strategy {
+	case Watch:
+		want := r.src.CurrentVersion()
+		for r.wt.ExternalVersion() < want {
+			// The hub delivers on its own goroutines; wait until caught up.
+			time.Sleep(50 * time.Microsecond)
+		}
+	case ConcurrentBlind, ConcurrentChecked:
+		for {
+			for len(r.buffer) < r.cfg.Window {
+				msg, ok, err := r.bufConsumer.Poll()
+				if err != nil || !ok {
+					break
+				}
+				r.bufConsumer.Ack(msg)
+				r.buffer = append(r.buffer, msg)
+			}
+			if len(r.buffer) == 0 {
+				return
+			}
+			// Apply the remaining window, still in racing order.
+			r.rng.Shuffle(len(r.buffer), func(i, j int) {
+				r.buffer[i], r.buffer[j] = r.buffer[j], r.buffer[i]
+			})
+			for _, msg := range r.buffer {
+				if ev, err := DecodeEvent(msg.Key, msg.Value); err == nil {
+					r.target.Apply(ev)
+				}
+			}
+			r.buffer = nil
+		}
+	default:
+		for {
+			worked := false
+			for _, c := range r.consumers {
+				for {
+					msg, ok, err := c.Poll()
+					if err != nil || !ok {
+						break
+					}
+					if ev, err := DecodeEvent(msg.Key, msg.Value); err == nil {
+						r.target.Apply(ev)
+					}
+					c.Ack(msg)
+					worked = true
+				}
+			}
+			if !worked {
+				return
+			}
+		}
+	}
+}
+
+// ReadPair externalizes two keys the way a reader of this strategy's target
+// would see them (the watch target pins both to one frontier version).
+func (r *Replicator) ReadPair(a, b keyspace.Key) (av, bv []byte, aok, bok bool) {
+	if r.cfg.Strategy == Watch {
+		v := r.wt.ExternalVersion()
+		av, aok = r.wt.ReadAt(a, v)
+		bv, bok = r.wt.ReadAt(b, v)
+		return
+	}
+	av, aok = r.target.Read(a)
+	bv, bok = r.target.Read(b)
+	return
+}
+
+// Table dumps the target's externalized rows.
+func (r *Replicator) Table() map[keyspace.Key]string {
+	if r.cfg.Strategy == Watch {
+		return r.wt.Dump()
+	}
+	return r.target.Dump()
+}
+
+// Applied returns how many events the target has applied.
+func (r *Replicator) Applied() int64 {
+	if r.cfg.Strategy == Watch {
+		return r.wt.Applied()
+	}
+	n, _ := r.target.Applied()
+	return n
+}
+
+// Resyncs sums resync counts across the watch strategy's shard appliers.
+func (r *Replicator) Resyncs() int64 {
+	var n int64
+	for _, rw := range r.watchers {
+		n += rw.Resyncs()
+	}
+	return n
+}
+
+// Hub exposes the watch strategy's hub for failure injection (nil for the
+// pubsub strategies).
+func (r *Replicator) Hub() *core.Hub { return r.hub }
+
+// Close releases the transport.
+func (r *Replicator) Close() {
+	if r.detach != nil {
+		r.detach()
+	}
+	for _, rw := range r.watchers {
+		rw.Stop()
+	}
+	if r.hub != nil {
+		r.hub.Close()
+	}
+	if r.broker != nil {
+		r.broker.Close()
+	}
+}

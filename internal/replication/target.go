@@ -1,0 +1,231 @@
+// Package replication implements the §3.2.1 scenario: replicating a source
+// MVCC store into a target store through a change feed, five ways:
+//
+//	serial pubsub        — one partition, one applier: consistent, unscalable
+//	partitioned pubsub   — key-hash partitions applied in parallel: per-key
+//	                       order holds, cross-partition transaction order
+//	                       doesn't → snapshot violations
+//	concurrent (blind)   — a worker pool applies out of order: stale
+//	                       overwrites and resurrected deletes → eventual
+//	                       consistency violations
+//	concurrent (checked) — version checks + tombstones repair eventual
+//	                       consistency, but externalized states still never
+//	                       existed at the source → snapshot violations
+//	watch                — range-partitioned appliers, externalization gated
+//	                       by the progress frontier: scalable AND snapshot
+//	                       consistent (§4.3)
+//
+// The ACL workload of workload.ACLScript provides transactions whose
+// reordering is detectable: a member-removal followed by a document-grant,
+// where observing both "member present" and "grant present" is a state the
+// source never externalized.
+package replication
+
+import (
+	"sync"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+)
+
+// row is one key's state in a pubsub-replicated target.
+type row struct {
+	value     []byte
+	version   core.Version
+	tombstone bool
+}
+
+// Target is the destination store for the pubsub strategies. Readers see its
+// current rows directly — there is no mechanism to gate externalization,
+// because the pubsub feed carries no progress information.
+type Target struct {
+	mu      sync.Mutex
+	rows    map[keyspace.Key]row
+	checked bool // version checks + tombstones enabled
+
+	applied int64
+	stale   int64 // events rejected by version checks
+}
+
+// NewTarget creates a target store. checked enables version checks and
+// tombstones (the §3.2.1 mitigation that fixes eventual but not snapshot
+// consistency).
+func NewTarget(checked bool) *Target {
+	return &Target{rows: make(map[keyspace.Key]row), checked: checked}
+}
+
+// Apply installs one change event.
+func (t *Target) Apply(ev core.ChangeEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.applied++
+	cur, exists := t.rows[ev.Key]
+	if t.checked && exists && ev.Version <= cur.version {
+		// A newer write (or tombstone) already landed; this event is stale.
+		t.stale++
+		return
+	}
+	switch ev.Mut.Op {
+	case core.OpDelete:
+		if t.checked {
+			// Tombstones must persist: a blind delete would let an older,
+			// reordered put resurrect the row.
+			t.rows[ev.Key] = row{version: ev.Version, tombstone: true}
+		} else {
+			delete(t.rows, ev.Key)
+		}
+	default:
+		t.rows[ev.Key] = row{value: ev.Mut.Value, version: ev.Version}
+	}
+}
+
+// Read externalizes one key as a target reader sees it right now.
+func (t *Target) Read(k keyspace.Key) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rows[k]
+	if !ok || r.tombstone {
+		return nil, false
+	}
+	return r.value, true
+}
+
+// Dump returns the live rows (for the eventual-consistency check).
+func (t *Target) Dump() map[keyspace.Key]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[keyspace.Key]string, len(t.rows))
+	for k, r := range t.rows {
+		if !r.tombstone {
+			out[k] = string(r.value)
+		}
+	}
+	return out
+}
+
+// Applied returns (applied, rejected-as-stale) counters.
+func (t *Target) Applied() (int64, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.applied, t.stale
+}
+
+// WatchTarget is the destination store for the watch strategy: per-key
+// version chains plus a range-scoped progress frontier. Externalized reads
+// are served at the frontier version, so every observable state is a
+// consistent snapshot of the source — by construction, not by luck.
+type WatchTarget struct {
+	mu       sync.Mutex
+	chains   map[keyspace.Key][]row
+	frontier core.VersionMap
+	applied  int64
+}
+
+// NewWatchTarget creates an empty watch target.
+func NewWatchTarget() *WatchTarget {
+	return &WatchTarget{chains: make(map[keyspace.Key][]row)}
+}
+
+// Apply installs one change event (idempotent per version; order within a
+// key must be non-decreasing, which the watch contract provides).
+func (wt *WatchTarget) Apply(ev core.ChangeEvent) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	wt.applied++
+	chain := wt.chains[ev.Key]
+	if n := len(chain); n > 0 && chain[n-1].version >= ev.Version {
+		return
+	}
+	wt.chains[ev.Key] = append(chain, row{
+		value:     ev.Mut.Value,
+		version:   ev.Version,
+		tombstone: ev.Mut.Op == core.OpDelete,
+	})
+}
+
+// ResetRange replaces all state in r with a snapshot taken at version at:
+// the recovery path after a resync. Chains in r are rebuilt from the
+// snapshot (which also removes rows the source deleted while the watcher was
+// away), and the frontier over r jumps to the snapshot version.
+func (wt *WatchTarget) ResetRange(r keyspace.Range, entries []core.Entry, at core.Version) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	for k := range wt.chains {
+		if r.Contains(k) {
+			delete(wt.chains, k)
+		}
+	}
+	for _, e := range entries {
+		wt.chains[e.Key] = []row{{value: e.Value, version: e.Version}}
+	}
+	wt.frontier.Raise(r, at)
+}
+
+// Progress raises the frontier over r to v.
+func (wt *WatchTarget) Progress(r keyspace.Range, v core.Version) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	wt.frontier.Raise(r, v)
+}
+
+// ExternalVersion is the version at which reads externalize: complete
+// knowledge over the whole keyspace.
+func (wt *WatchTarget) ExternalVersion() core.Version {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	return wt.frontier.MinOver(keyspace.Full())
+}
+
+// Read externalizes k at the frontier.
+func (wt *WatchTarget) Read(k keyspace.Key) ([]byte, bool) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	v := wt.frontier.MinOver(keyspace.Full())
+	return wt.readAtLocked(k, v)
+}
+
+// ReadAt externalizes k at an explicit version (used by the pair sampler so
+// both keys of a pair read at one version).
+func (wt *WatchTarget) ReadAt(k keyspace.Key, v core.Version) ([]byte, bool) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	return wt.readAtLocked(k, v)
+}
+
+func (wt *WatchTarget) readAtLocked(k keyspace.Key, v core.Version) ([]byte, bool) {
+	chain := wt.chains[k]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].version <= v {
+			if chain[i].tombstone {
+				return nil, false
+			}
+			return chain[i].value, true
+		}
+	}
+	return nil, false
+}
+
+// Dump returns the live rows at the frontier.
+func (wt *WatchTarget) Dump() map[keyspace.Key]string {
+	wt.mu.Lock()
+	v := wt.frontier.MinOver(keyspace.Full())
+	keys := make([]keyspace.Key, 0, len(wt.chains))
+	for k := range wt.chains {
+		keys = append(keys, k)
+	}
+	wt.mu.Unlock()
+	out := make(map[keyspace.Key]string, len(keys))
+	for _, k := range keys {
+		if val, ok := wt.ReadAt(k, v); ok {
+			out[k] = string(val)
+		}
+	}
+	return out
+}
+
+// Applied returns the applied-event count.
+func (wt *WatchTarget) Applied() int64 {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	return wt.applied
+}

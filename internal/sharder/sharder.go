@@ -1,0 +1,595 @@
+// Package sharder implements a Slicer/Shard-Manager-style auto-sharder: it
+// dynamically assigns key ranges to pods, splits and moves ranges in
+// response to load and membership changes, and notifies interested parties
+// of assignment changes — each with its own configurable propagation delay.
+//
+// Two properties matter for the paper's arguments:
+//
+//   - Assignments are *dynamic key ranges*, which pubsub's static key-hash →
+//     partition → member routing cannot follow (§3.1, §3.2.2). The watch
+//     model's range-scoped subscriptions can.
+//
+//   - Different observers learn about a reassignment at different times. The
+//     Figure 2 race exists precisely because the new owner pod can learn
+//     about a handoff before the pubsub system's routing does. The
+//     per-subscriber notification delay models that skew directly.
+//
+// An optional lease mode serializes handoffs (at most one owner at a time,
+// with an ownerless gap) — the mitigation §3.2.2 describes, whose
+// availability cost experiment E6 measures.
+package sharder
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/keyspace"
+)
+
+// Pod identifies a serving process.
+type Pod string
+
+// NoPod is returned when a key currently has no owner (lease gap, or no pods).
+const NoPod Pod = ""
+
+// Assignment maps one range to its owner. Generation increases with every
+// assignment-table change, so observers can order what they see.
+type Assignment struct {
+	Range      keyspace.Range
+	Pod        Pod
+	Generation int64
+	// ActiveAt is when the owner may begin serving. In lease mode a moved
+	// range's new owner activates only after the old lease expires.
+	ActiveAt time.Time
+}
+
+// Table is a complete assignment snapshot, sorted by range, covering the
+// entire keyspace.
+type Table struct {
+	Generation  int64
+	Assignments []Assignment
+}
+
+// Owner returns the pod owning k at time now (NoPod during a lease gap).
+func (t Table) Owner(k keyspace.Key, now time.Time) Pod {
+	for _, a := range t.Assignments {
+		if a.Range.Contains(k) {
+			if now.Before(a.ActiveAt) {
+				return NoPod
+			}
+			return a.Pod
+		}
+	}
+	return NoPod
+}
+
+// RangesOf returns the ranges owned by pod in this table (regardless of
+// activation time).
+func (t Table) RangesOf(pod Pod) []keyspace.Range {
+	var out []keyspace.Range
+	for _, a := range t.Assignments {
+		if a.Pod == pod {
+			out = append(out, a.Range)
+		}
+	}
+	return out
+}
+
+// Config tunes the sharder.
+type Config struct {
+	// Clock drives activation times and notification delays.
+	Clock clockwork.Clock
+	// LeaseDuration, when positive, enables lease mode: a moved range has no
+	// active owner until this long after the move. Zero disables leases (the
+	// new owner is active immediately — and the old owner may still think it
+	// owns the range until its notification arrives).
+	LeaseDuration time.Duration
+	// InitialShards is how many ranges the keyspace starts split into
+	// (default: one per pod, minimum 1).
+	InitialShards int
+	// CoalesceRanges merges adjacent same-owner ranges after every change,
+	// as production sharders do, bounding table fragmentation under heavy
+	// move traffic.
+	CoalesceRanges bool
+}
+
+// Sharder assigns key ranges to pods.
+type Sharder struct {
+	clock    clockwork.Clock
+	lease    time.Duration
+	coalesce bool
+
+	mu         sync.Mutex
+	asgs       []Assignment // sorted by Range.Low, covering the keyspace
+	pods       []Pod        // sorted
+	generation int64
+	listeners  map[int]*listener
+	nextLID    int
+	moves      int64
+	splits     int64
+	closed     bool
+}
+
+// Errors returned by the sharder.
+var (
+	ErrNoSuchPod = errors.New("sharder: no such pod")
+	ErrClosed    = errors.New("sharder: closed")
+)
+
+// New creates a sharder over the given pods with the keyspace split evenly
+// (by the numeric-key convention) into InitialShards ranges.
+func New(cfg Config, pods ...Pod) *Sharder {
+	if cfg.Clock == nil {
+		cfg.Clock = clockwork.Real()
+	}
+	shards := cfg.InitialShards
+	if shards <= 0 {
+		shards = len(pods)
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	s := &Sharder{
+		clock:     cfg.Clock,
+		lease:     cfg.LeaseDuration,
+		coalesce:  cfg.CoalesceRanges,
+		listeners: make(map[int]*listener),
+	}
+	s.pods = append(s.pods, pods...)
+	sort.Slice(s.pods, func(i, j int) bool { return s.pods[i] < s.pods[j] })
+	now := s.clock.Now()
+	for i, r := range keyspace.EvenSplit(shards*1000, shards) {
+		pod := NoPod
+		if len(s.pods) > 0 {
+			pod = s.pods[i%len(s.pods)]
+		}
+		s.asgs = append(s.asgs, Assignment{Range: r, Pod: pod, Generation: 1, ActiveAt: now})
+	}
+	s.generation = 1
+	return s
+}
+
+// Subscribe registers fn to receive every future assignment table, each
+// delivered delay after the change occurs (modelling propagation skew).
+// Tables are delivered in order on a dedicated goroutine. The current table
+// is delivered immediately as the first notification. Returns an unsubscribe
+// function.
+func (s *Sharder) Subscribe(delay time.Duration, fn func(Table)) (unsubscribe func()) {
+	s.mu.Lock()
+	id := s.nextLID
+	s.nextLID++
+	l := newListener(s.clock, delay, fn)
+	s.listeners[id] = l
+	l.enqueue(s.tableLocked(), s.clock.Now()) // immediate initial table
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		if ll, ok := s.listeners[id]; ok {
+			delete(s.listeners, id)
+			ll.stop()
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Sharder) tableLocked() Table {
+	t := Table{Generation: s.generation, Assignments: make([]Assignment, len(s.asgs))}
+	copy(t.Assignments, s.asgs)
+	return t
+}
+
+// Table returns the current assignment snapshot.
+func (s *Sharder) Table() Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tableLocked()
+}
+
+// Owner returns the pod currently serving k (NoPod during a lease gap).
+// Unlike Table().Owner it does not copy the assignment table, so it is the
+// right call on read hot paths.
+func (s *Sharder) Owner(k keyspace.Key) Pod {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.asgs {
+		if a.Range.Contains(k) {
+			if now.Before(a.ActiveAt) {
+				return NoPod
+			}
+			return a.Pod
+		}
+	}
+	return NoPod
+}
+
+// notifyLocked bumps the generation and fans the new table out.
+func (s *Sharder) notifyLocked() {
+	if s.coalesce {
+		s.coalesceLocked()
+	}
+	s.generation++
+	for i := range s.asgs {
+		s.asgs[i].Generation = s.generation
+	}
+	t := s.tableLocked()
+	now := s.clock.Now()
+	for _, l := range s.listeners {
+		l.enqueue(t, now)
+	}
+}
+
+// coalesceLocked merges adjacent assignments with the same owner, provided
+// their activation states agree: either identical ActiveAt (same lease
+// window) or both already active.
+func (s *Sharder) coalesceLocked() {
+	now := s.clock.Now()
+	out := s.asgs[:0]
+	for _, a := range s.asgs {
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			bothActive := !now.Before(prev.ActiveAt) && !now.Before(a.ActiveAt)
+			if prev.Pod == a.Pod && prev.Range.Adjacent(a.Range) &&
+				(prev.ActiveAt.Equal(a.ActiveAt) || bothActive) {
+				prev.Range = prev.Range.Union(a.Range)
+				if a.ActiveAt.After(prev.ActiveAt) {
+					prev.ActiveAt = a.ActiveAt
+				}
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	s.asgs = out
+}
+
+// MoveRange reassigns the exact range r to pod. Ranges are split as needed
+// so r's boundaries exist. In lease mode the new owner activates after the
+// lease duration.
+func (s *Sharder) MoveRange(r keyspace.Range, to Pod) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.hasPodLocked(to) {
+		return fmt.Errorf("%w: %q", ErrNoSuchPod, to)
+	}
+	s.splitAtLocked(r.Low)
+	if r.High < keyspace.Inf { // bounded: the upper boundary must exist too
+		s.splitAtLocked(r.High)
+	}
+	now := s.clock.Now()
+	activeAt := now
+	changed := false
+	for i := range s.asgs {
+		a := &s.asgs[i]
+		if !r.ContainsRange(a.Range) {
+			continue
+		}
+		if a.Pod == to {
+			continue
+		}
+		if s.lease > 0 {
+			a.ActiveAt = now.Add(s.lease)
+		} else {
+			a.ActiveAt = activeAt
+		}
+		a.Pod = to
+		changed = true
+		s.moves++
+	}
+	if changed {
+		s.notifyLocked()
+	}
+	return nil
+}
+
+// Split introduces a shard boundary at key k (no-op if one exists).
+func (s *Sharder) Split(k keyspace.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.splitAtLocked(k) {
+		s.splits++
+		s.notifyLocked()
+	}
+}
+
+func (s *Sharder) splitAtLocked(k keyspace.Key) bool {
+	if k == "" || k >= keyspace.Inf {
+		return false
+	}
+	for i, a := range s.asgs {
+		if !a.Range.Contains(k) || a.Range.Low == k {
+			continue
+		}
+		left, right := a.Range.Split(k)
+		la, ra := a, a
+		la.Range, ra.Range = left, right
+		s.asgs = append(s.asgs[:i], append([]Assignment{la, ra}, s.asgs[i+1:]...)...)
+		return true
+	}
+	return false
+}
+
+// AddPod adds a pod and rebalances: ranges are redistributed round-robin
+// over the sorted pod list; only ranges whose owner changes move.
+func (s *Sharder) AddPod(p Pod) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.hasPodLocked(p) {
+		return fmt.Errorf("sharder: pod %q already present", p)
+	}
+	s.pods = append(s.pods, p)
+	sort.Slice(s.pods, func(i, j int) bool { return s.pods[i] < s.pods[j] })
+	s.rebalanceLocked()
+	return nil
+}
+
+// RemovePod drains a pod: its ranges move to the remaining pods.
+func (s *Sharder) RemovePod(p Pod) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.hasPodLocked(p) {
+		return fmt.Errorf("%w: %q", ErrNoSuchPod, p)
+	}
+	for i, pod := range s.pods {
+		if pod == p {
+			s.pods = append(s.pods[:i], s.pods[i+1:]...)
+			break
+		}
+	}
+	s.rebalanceLocked()
+	return nil
+}
+
+func (s *Sharder) hasPodLocked(p Pod) bool {
+	for _, pod := range s.pods {
+		if pod == p {
+			return true
+		}
+	}
+	return false
+}
+
+// rebalanceLocked redistributes ranges with minimal movement (sticky
+// assignment, as Slicer does): only as many ranges move as are needed to
+// even out counts and to drain departed pods. Minimal movement is what
+// preserves consumer affinity across membership changes — the property
+// pubsub's modulo-style rebalancing lacks (§3.2.4).
+func (s *Sharder) rebalanceLocked() {
+	now := s.clock.Now()
+	changed := false
+	assign := func(i int, want Pod) {
+		if s.asgs[i].Pod == want {
+			return
+		}
+		s.asgs[i].Pod = want
+		if s.lease > 0 {
+			s.asgs[i].ActiveAt = now.Add(s.lease)
+		} else {
+			s.asgs[i].ActiveAt = now
+		}
+		s.moves++
+		changed = true
+	}
+	if len(s.pods) == 0 {
+		for i := range s.asgs {
+			assign(i, NoPod)
+		}
+		if changed {
+			s.notifyLocked()
+		}
+		return
+	}
+	valid := make(map[Pod]bool, len(s.pods))
+	for _, p := range s.pods {
+		valid[p] = true
+	}
+	count := make(map[Pod]int, len(s.pods))
+	var orphans []int // ranges owned by departed pods (or unowned)
+	for i, a := range s.asgs {
+		if valid[a.Pod] {
+			count[a.Pod]++
+		} else {
+			orphans = append(orphans, i)
+		}
+	}
+	// Capacity per pod: ceil for the first (R mod n) pods in sorted order.
+	n := len(s.pods)
+	base := len(s.asgs) / n
+	extra := len(s.asgs) % n
+	cap := make(map[Pod]int, n)
+	for i, p := range s.pods {
+		cap[p] = base
+		if i < extra {
+			cap[p]++
+		}
+	}
+	// Shed overflow from pods above capacity.
+	for i, a := range s.asgs {
+		if valid[a.Pod] && count[a.Pod] > cap[a.Pod] {
+			count[a.Pod]--
+			orphans = append(orphans, i)
+		}
+	}
+	// Hand orphans to pods with spare capacity, in sorted-pod order.
+	for _, idx := range orphans {
+		for _, p := range s.pods {
+			if count[p] < cap[p] {
+				assign(idx, p)
+				count[p]++
+				break
+			}
+		}
+	}
+	if changed {
+		s.notifyLocked()
+	}
+}
+
+// Balance applies load reports: the single hottest range (by reported load)
+// is split at its midpoint when its load exceeds splitThreshold, and moved
+// to the least-loaded pod otherwise. Load is an opaque per-range scalar
+// (requests, bytes, anything). Returns whether the table changed.
+func (s *Sharder) Balance(load map[Pod]float64, hottest keyspace.Range, hotLoad, splitThreshold float64, splitAt keyspace.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.pods) == 0 {
+		return false
+	}
+	if hotLoad > splitThreshold && hottest.Contains(splitAt) && splitAt != hottest.Low {
+		if s.splitAtLocked(splitAt) {
+			s.splits++
+			s.notifyLocked()
+			return true
+		}
+		return false
+	}
+	// Move the hottest range to the coolest pod.
+	coolest := s.pods[0]
+	for _, p := range s.pods[1:] {
+		if load[p] < load[coolest] {
+			coolest = p
+		}
+	}
+	now := s.clock.Now()
+	for i := range s.asgs {
+		if s.asgs[i].Range == hottest && s.asgs[i].Pod != coolest {
+			s.asgs[i].Pod = coolest
+			if s.lease > 0 {
+				s.asgs[i].ActiveAt = now.Add(s.lease)
+			} else {
+				s.asgs[i].ActiveAt = now
+			}
+			s.moves++
+			s.notifyLocked()
+			return true
+		}
+	}
+	return false
+}
+
+// SharderStats reports counters.
+type SharderStats struct {
+	Generation int64
+	Moves      int64
+	Splits     int64
+	Ranges     int
+	Pods       int
+}
+
+// Stats returns counters.
+func (s *Sharder) Stats() SharderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SharderStats{
+		Generation: s.generation,
+		Moves:      s.moves,
+		Splits:     s.splits,
+		Ranges:     len(s.asgs),
+		Pods:       len(s.pods),
+	}
+}
+
+// Close stops all listener dispatchers.
+func (s *Sharder) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for id, l := range s.listeners {
+		l.stop()
+		delete(s.listeners, id)
+	}
+}
+
+// listener delivers tables in order after a fixed delay.
+type listener struct {
+	clock clockwork.Clock
+	delay time.Duration
+	fn    func(Table)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []delayedTable
+	stopped  bool
+	stopc    chan struct{}
+	stopOnce sync.Once
+}
+
+type delayedTable struct {
+	table     Table
+	deliverAt time.Time
+}
+
+func newListener(clock clockwork.Clock, delay time.Duration, fn func(Table)) *listener {
+	l := &listener{clock: clock, delay: delay, fn: fn, stopc: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	return l
+}
+
+func (l *listener) enqueue(t Table, now time.Time) {
+	l.mu.Lock()
+	l.queue = append(l.queue, delayedTable{table: t, deliverAt: now.Add(l.delay)})
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+func (l *listener) stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.stopOnce.Do(func() { close(l.stopc) })
+}
+
+func (l *listener) run() {
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.stopped {
+			l.cond.Wait()
+		}
+		if l.stopped {
+			l.mu.Unlock()
+			return
+		}
+		item := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		// Wait out the propagation delay on the (possibly fake) clock.
+		for {
+			now := l.clock.Now()
+			if !now.Before(item.deliverAt) {
+				break
+			}
+			timer := l.clock.NewTimer(item.deliverAt.Sub(now))
+			select {
+			case <-timer.C():
+			case <-l.stopc:
+				timer.Stop()
+				return
+			}
+		}
+		select {
+		case <-l.stopc:
+			return
+		default:
+		}
+		l.fn(item.table)
+	}
+}

@@ -1,0 +1,460 @@
+package sharder
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/keyspace"
+)
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestInitialAssignmentCoversKeyspace(t *testing.T) {
+	s := New(Config{}, "p0", "p1", "p2")
+	defer s.Close()
+	tbl := s.Table()
+	set := keyspace.NewRangeSet()
+	owners := map[Pod]int{}
+	for _, a := range tbl.Assignments {
+		set = set.Add(a.Range)
+		owners[a.Pod]++
+	}
+	if !set.ContainsRange(keyspace.Full()) {
+		t.Fatalf("assignments do not cover keyspace: %v", set)
+	}
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v", owners)
+	}
+	for i := 0; i < 3000; i += 17 {
+		if s.Owner(keyspace.NumericKey(i)) == NoPod {
+			t.Fatalf("key %d unowned", i)
+		}
+	}
+}
+
+func TestMoveRangeSplitsAndReassigns(t *testing.T) {
+	s := New(Config{InitialShards: 1}, "p0", "p1")
+	defer s.Close()
+	k := keyspace.NumericKey(100)
+	before := s.Owner(k)
+	target := Pod("p1")
+	if before == target {
+		target = "p0"
+	}
+	r := keyspace.Range{Low: keyspace.NumericKey(50), High: keyspace.NumericKey(150)}
+	if err := s.MoveRange(r, target); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Owner(k); got != target {
+		t.Fatalf("owner after move = %q, want %q", got, target)
+	}
+	// Keys outside the moved range keep their owner.
+	if got := s.Owner(keyspace.NumericKey(10)); got != before {
+		t.Fatalf("outside key moved: %q -> %q", before, got)
+	}
+	if err := s.MoveRange(r, "ghost"); err == nil {
+		t.Fatal("move to unknown pod accepted")
+	}
+	st := s.Stats()
+	if st.Moves == 0 || st.Ranges < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	s := New(Config{InitialShards: 1}, "p0")
+	defer s.Close()
+	n0 := s.Stats().Ranges
+	s.Split(keyspace.NumericKey(123))
+	if got := s.Stats().Ranges; got != n0+1 {
+		t.Fatalf("ranges = %d, want %d", got, n0+1)
+	}
+	s.Split(keyspace.NumericKey(123)) // idempotent
+	if got := s.Stats().Ranges; got != n0+1 {
+		t.Fatalf("duplicate split changed table: %d", got)
+	}
+	// Coverage preserved.
+	set := keyspace.NewRangeSet()
+	for _, a := range s.Table().Assignments {
+		set = set.Add(a.Range)
+	}
+	if !set.ContainsRange(keyspace.Full()) {
+		t.Fatal("split broke coverage")
+	}
+}
+
+func TestAddRemovePodRebalances(t *testing.T) {
+	s := New(Config{InitialShards: 6}, "p0", "p1")
+	defer s.Close()
+	if err := s.AddPod("p2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPod("p2"); err == nil {
+		t.Fatal("duplicate AddPod accepted")
+	}
+	owners := map[Pod]int{}
+	for _, a := range s.Table().Assignments {
+		owners[a.Pod]++
+	}
+	if owners["p2"] == 0 {
+		t.Fatalf("new pod got nothing: %v", owners)
+	}
+	if err := s.RemovePod("p0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range s.Table().Assignments {
+		if a.Pod == "p0" {
+			t.Fatal("removed pod still owns ranges")
+		}
+	}
+	if err := s.RemovePod("ghost"); err == nil {
+		t.Fatal("removing unknown pod accepted")
+	}
+}
+
+func TestSubscribeImmediateAndOrdered(t *testing.T) {
+	s := New(Config{}, "p0", "p1")
+	defer s.Close()
+	var mu sync.Mutex
+	var gens []int64
+	unsub := s.Subscribe(0, func(tbl Table) {
+		mu.Lock()
+		gens = append(gens, tbl.Generation)
+		mu.Unlock()
+	})
+	defer unsub()
+	waitUntil(t, "initial table", func() bool { mu.Lock(); defer mu.Unlock(); return len(gens) == 1 })
+
+	for i := 0; i < 5; i++ {
+		s.Split(keyspace.NumericKey(100 + i))
+	}
+	waitUntil(t, "all updates", func() bool { mu.Lock(); defer mu.Unlock(); return len(gens) == 6 })
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(gens); i++ {
+		if gens[i] <= gens[i-1] {
+			t.Fatalf("generations out of order: %v", gens)
+		}
+	}
+}
+
+func TestSubscribeDelaySkew(t *testing.T) {
+	// The Figure 2 ingredient: a fast observer (the new pod) and a slow
+	// observer (the pubsub router) see the same move at different times.
+	clock := clockwork.NewFake()
+	s := New(Config{Clock: clock, InitialShards: 1}, "p0", "p1")
+	defer s.Close()
+
+	var mu sync.Mutex
+	fastGen, slowGen := int64(0), int64(0)
+	unsubFast := s.Subscribe(10*time.Millisecond, func(tbl Table) {
+		mu.Lock()
+		fastGen = tbl.Generation
+		mu.Unlock()
+	})
+	defer unsubFast()
+	unsubSlow := s.Subscribe(500*time.Millisecond, func(tbl Table) {
+		mu.Lock()
+		slowGen = tbl.Generation
+		mu.Unlock()
+	})
+	defer unsubSlow()
+	clock.Advance(time.Second) // initial tables land
+	waitUntil(t, "initial delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return fastGen == 1 && slowGen == 1
+	})
+
+	s.MoveRange(keyspace.NumericRange(0, 500), "p1")
+	clock.Advance(20 * time.Millisecond)
+	waitUntil(t, "fast observer", func() bool { mu.Lock(); defer mu.Unlock(); return fastGen == 2 })
+	// The slow observer still sees the old world: the race window is open.
+	mu.Lock()
+	if slowGen != 1 {
+		t.Fatalf("slow observer already updated: gen %d", slowGen)
+	}
+	mu.Unlock()
+	clock.Advance(500 * time.Millisecond)
+	waitUntil(t, "slow observer", func() bool { mu.Lock(); defer mu.Unlock(); return slowGen == 2 })
+}
+
+func TestLeaseModeOwnerlessWindow(t *testing.T) {
+	clock := clockwork.NewFake()
+	s := New(Config{Clock: clock, LeaseDuration: time.Minute, InitialShards: 1}, "p0", "p1")
+	defer s.Close()
+	k := keyspace.NumericKey(10)
+	old := s.Owner(k)
+	target := Pod("p1")
+	if old == target {
+		target = "p0"
+	}
+	s.MoveRange(keyspace.Full(), target)
+	// During the lease window nobody owns the key: the availability price of
+	// closing the invalidation race with leases.
+	if got := s.Owner(k); got != NoPod {
+		t.Fatalf("owner during lease window = %q, want none", got)
+	}
+	clock.Advance(time.Minute)
+	if got := s.Owner(k); got != target {
+		t.Fatalf("owner after lease = %q, want %q", got, target)
+	}
+}
+
+func TestBalanceMovesHotRange(t *testing.T) {
+	s := New(Config{InitialShards: 4}, "p0", "p1")
+	defer s.Close()
+	tbl := s.Table()
+	hot := tbl.Assignments[0].Range
+	hotOwner := tbl.Assignments[0].Pod
+	other := Pod("p0")
+	if hotOwner == other {
+		other = "p1"
+	}
+	load := map[Pod]float64{hotOwner: 100, other: 1}
+	if !s.Balance(load, hot, 50, 1000, "") {
+		t.Fatal("balance did not move the hot range")
+	}
+	for _, a := range s.Table().Assignments {
+		if a.Range == hot && a.Pod != other {
+			t.Fatalf("hot range still on %q", a.Pod)
+		}
+	}
+}
+
+func TestBalanceSplitsVeryHotRange(t *testing.T) {
+	s := New(Config{InitialShards: 2}, "p0", "p1")
+	defer s.Close()
+	tbl := s.Table()
+	hot := tbl.Assignments[0].Range
+	mid := keyspace.NumericKey(500)
+	if !hot.Contains(mid) {
+		t.Fatalf("test setup: %v does not contain %q", hot, string(mid))
+	}
+	before := s.Stats().Ranges
+	if !s.Balance(map[Pod]float64{}, hot, 5000, 1000, mid) {
+		t.Fatal("balance did not split")
+	}
+	if got := s.Stats().Ranges; got != before+1 {
+		t.Fatalf("ranges = %d, want %d", got, before+1)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	s := New(Config{}, "p0")
+	defer s.Close()
+	var mu sync.Mutex
+	count := 0
+	unsub := s.Subscribe(0, func(Table) { mu.Lock(); count++; mu.Unlock() })
+	waitUntil(t, "initial", func() bool { mu.Lock(); defer mu.Unlock(); return count == 1 })
+	unsub()
+	unsub() // idempotent
+	s.Split(keyspace.NumericKey(5))
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("delivery after unsubscribe: %d", count)
+	}
+}
+
+func TestCloseStopsEverything(t *testing.T) {
+	s := New(Config{}, "p0")
+	s.Subscribe(0, func(Table) {})
+	s.Close()
+	s.Close() // idempotent
+	if err := s.MoveRange(keyspace.Full(), "p0"); err != ErrClosed {
+		t.Fatalf("move after close = %v", err)
+	}
+	if err := s.AddPod("p9"); err != ErrClosed {
+		t.Fatalf("add after close = %v", err)
+	}
+}
+
+func TestTableOwnerHelpers(t *testing.T) {
+	s := New(Config{InitialShards: 4}, "p0", "p1")
+	defer s.Close()
+	tbl := s.Table()
+	now := time.Now().Add(time.Hour) // all active
+	for _, a := range tbl.Assignments {
+		if got := tbl.Owner(a.Range.Low, now); got != a.Pod {
+			t.Fatalf("Owner(%q) = %q, want %q", string(a.Range.Low), got, a.Pod)
+		}
+	}
+	r0 := tbl.RangesOf("p0")
+	r1 := tbl.RangesOf("p1")
+	if len(r0)+len(r1) != len(tbl.Assignments) {
+		t.Fatalf("RangesOf split wrong: %d + %d != %d", len(r0), len(r1), len(tbl.Assignments))
+	}
+}
+
+func TestStickyRebalanceMovesMinimally(t *testing.T) {
+	s := New(Config{InitialShards: 12}, "p0", "p1", "p2")
+	defer s.Close()
+	before := map[keyspace.Key]Pod{}
+	for _, a := range s.Table().Assignments {
+		before[a.Range.Low] = a.Pod
+	}
+	if err := s.AddPod("p3"); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, a := range s.Table().Assignments {
+		if before[a.Range.Low] != a.Pod {
+			moved++
+		}
+	}
+	// 12 ranges over 4 pods: the new pod needs exactly 3; nothing else moves.
+	if moved != 3 {
+		t.Fatalf("sticky rebalance moved %d ranges, want 3", moved)
+	}
+	// Counts are balanced.
+	counts := map[Pod]int{}
+	for _, a := range s.Table().Assignments {
+		counts[a.Pod]++
+	}
+	for p, c := range counts {
+		if c != 3 {
+			t.Fatalf("pod %q owns %d ranges, want 3 (%v)", p, c, counts)
+		}
+	}
+}
+
+func TestStickyRebalanceDrainsDepartedOnly(t *testing.T) {
+	s := New(Config{InitialShards: 9}, "p0", "p1", "p2")
+	defer s.Close()
+	before := map[keyspace.Key]Pod{}
+	for _, a := range s.Table().Assignments {
+		before[a.Range.Low] = a.Pod
+	}
+	if err := s.RemovePod("p1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range s.Table().Assignments {
+		if a.Pod == "p1" {
+			t.Fatal("departed pod still owns ranges")
+		}
+		// Survivors keep their ranges unless they came from p1 or overflow.
+		if before[a.Range.Low] != "p1" && before[a.Range.Low] != a.Pod {
+			// Allowed only if capacity rebalancing required it; with 9 ranges
+			// moving from 3 to 2 pods (cap 5/4), survivors keep all 3 each.
+			t.Fatalf("range %v moved from %q to %q unnecessarily",
+				a.Range, before[a.Range.Low], a.Pod)
+		}
+	}
+}
+
+// TestQuickAssignmentsAlwaysPartitionKeyspace: after any sequence of splits,
+// moves, and membership changes, the assignment table remains a disjoint
+// cover of the whole keyspace.
+func TestQuickAssignmentsAlwaysPartitionKeyspace(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(Config{InitialShards: 4}, "p0", "p1")
+		defer s.Close()
+		pods := []Pod{"p0", "p1"}
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				s.Split(keyspace.NumericKey(rng.Intn(4000)))
+			case 1:
+				lo := rng.Intn(3900)
+				target := pods[rng.Intn(len(pods))]
+				s.MoveRange(keyspace.NumericRange(lo, lo+rng.Intn(90)+10), target)
+			case 2:
+				p := Pod(fmt.Sprintf("p%d", rng.Intn(5)+2))
+				if s.AddPod(p) == nil {
+					pods = append(pods, p)
+				}
+			case 3:
+				if len(pods) > 1 {
+					idx := rng.Intn(len(pods))
+					if s.RemovePod(pods[idx]) == nil {
+						pods = append(pods[:idx], pods[idx+1:]...)
+					}
+				}
+			}
+		}
+		tbl := s.Table()
+		cover := keyspace.NewRangeSet()
+		for i, a := range tbl.Assignments {
+			if a.Range.Empty() {
+				return false
+			}
+			for j := i + 1; j < len(tbl.Assignments); j++ {
+				if a.Range.Overlaps(tbl.Assignments[j].Range) {
+					return false
+				}
+			}
+			cover = cover.Add(a.Range)
+		}
+		return cover.ContainsRange(keyspace.Full())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceRanges(t *testing.T) {
+	s := New(Config{InitialShards: 1, CoalesceRanges: true}, "p0", "p1")
+	defer s.Close()
+	// Carve a range out to p1 and back: with coalescing the table returns
+	// to a single assignment per contiguous owner run.
+	r := keyspace.NumericRange(100, 200)
+	owner := s.Owner(keyspace.NumericKey(150))
+	other := Pod("p1")
+	if owner == other {
+		other = "p0"
+	}
+	if err := s.MoveRange(r, other); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Ranges; got != 3 {
+		t.Fatalf("ranges after carve = %d, want 3", got)
+	}
+	if err := s.MoveRange(r, owner); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Ranges; got != 1 {
+		t.Fatalf("ranges after return = %d, want 1 (coalesced)", got)
+	}
+	// Coverage intact.
+	set := keyspace.NewRangeSet()
+	for _, a := range s.Table().Assignments {
+		set = set.Add(a.Range)
+	}
+	if !set.ContainsRange(keyspace.Full()) {
+		t.Fatal("coalescing broke coverage")
+	}
+}
+
+func TestCoalesceBoundedUnderMoveStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(Config{InitialShards: 8, CoalesceRanges: true}, "p0", "p1", "p2", "p3")
+	defer s.Close()
+	pods := []Pod{"p0", "p1", "p2", "p3"}
+	for i := 0; i < 500; i++ {
+		lo := rng.Intn(7900)
+		s.MoveRange(keyspace.NumericRange(lo, lo+rng.Intn(90)+10), pods[rng.Intn(4)])
+	}
+	// Without coalescing this storm would leave ~1000 ranges; with it the
+	// table stays near the number of owner alternations.
+	if got := s.Stats().Ranges; got > 300 {
+		t.Fatalf("table fragmented to %d ranges despite coalescing", got)
+	}
+}

@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"unbundle/internal/keyspace"
+)
+
+// The on-wire segment format, for durability and for shipping partitions
+// between broker replicas:
+//
+//	magic (4) | version (2) | earliest (8) | next (8) | recordCount (4)
+//	per record: offset (8) | unixNano (8) | keyLen (4) | key | valLen (4) | val
+//
+// earliest/next preserve the offset window exactly even when retention or
+// compaction emptied it or left holes at its start. valLen == 0xFFFFFFFF
+// encodes a nil value (a tombstone), which compaction treats differently
+// from an empty value.
+
+const (
+	codecMagic   = 0x57414C31 // "WAL1"
+	codecVersion = 1
+	nilValueLen  = ^uint32(0)
+)
+
+// Marshal encodes the log's retained records.
+func (l *Log) Marshal() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var recs []Record
+	for _, seg := range l.segments {
+		recs = append(recs, seg.records...)
+	}
+	var buf bytes.Buffer
+	w := func(v any) { binary.Write(&buf, binary.BigEndian, v) } // bytes.Buffer writes cannot fail
+	w(uint32(codecMagic))
+	w(uint16(codecVersion))
+	w(l.earliest)
+	w(l.next)
+	w(uint32(len(recs)))
+	for _, r := range recs {
+		w(r.Offset)
+		w(r.Time.UnixNano())
+		w(uint32(len(r.Key)))
+		buf.WriteString(string(r.Key))
+		if r.Value == nil {
+			w(nilValueLen)
+		} else {
+			w(uint32(len(r.Value)))
+			buf.Write(r.Value)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal rebuilds a log from Marshal output. The result has the same
+// retained records, earliest and next offsets; GC/compaction counters reset.
+func Unmarshal(data []byte, cfg Config) (*Log, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	var version uint16
+	var count uint32
+	if err := binary.Read(r, binary.BigEndian, &magic); err != nil {
+		return nil, fmt.Errorf("wal: truncated header: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("wal: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, fmt.Errorf("wal: truncated header: %w", err)
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("wal: unsupported version %d", version)
+	}
+	var earliest, next int64
+	if err := binary.Read(r, binary.BigEndian, &earliest); err != nil {
+		return nil, fmt.Errorf("wal: truncated header: %w", err)
+	}
+	if err := binary.Read(r, binary.BigEndian, &next); err != nil {
+		return nil, fmt.Errorf("wal: truncated header: %w", err)
+	}
+	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
+		return nil, fmt.Errorf("wal: truncated header: %w", err)
+	}
+	if earliest > next {
+		return nil, fmt.Errorf("wal: corrupt window [%d, %d)", earliest, next)
+	}
+	l := NewLog(cfg)
+	lastOffset := earliest - 1
+	for i := uint32(0); i < count; i++ {
+		rec, err := readRecord(r)
+		if err != nil {
+			return nil, fmt.Errorf("wal: record %d: %w", i, err)
+		}
+		if rec.Offset <= lastOffset || rec.Offset >= next {
+			return nil, fmt.Errorf("wal: record %d: offset %d outside window (after %d, next %d)", i, rec.Offset, lastOffset, next)
+		}
+		lastOffset = rec.Offset
+		seg := l.activeLocked()
+		seg.records = append(seg.records, rec)
+		seg.bytes += int64(len(rec.Key) + len(rec.Value))
+		seg.last = rec.Time
+		if len(seg.records) >= l.cfg.SegmentMaxRecords {
+			seg.sealed = true
+		}
+	}
+	l.earliest = earliest
+	l.next = next
+	return l, nil
+}
+
+func readRecord(r *bytes.Reader) (Record, error) {
+	var rec Record
+	var nanos int64
+	if err := binary.Read(r, binary.BigEndian, &rec.Offset); err != nil {
+		return rec, err
+	}
+	if err := binary.Read(r, binary.BigEndian, &nanos); err != nil {
+		return rec, err
+	}
+	rec.Time = time.Unix(0, nanos).UTC()
+	var klen uint32
+	if err := binary.Read(r, binary.BigEndian, &klen); err != nil {
+		return rec, err
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return rec, err
+	}
+	rec.Key = keyspace.Key(key)
+	var vlen uint32
+	if err := binary.Read(r, binary.BigEndian, &vlen); err != nil {
+		return rec, err
+	}
+	if vlen != nilValueLen {
+		val := make([]byte, vlen)
+		if _, err := io.ReadFull(r, val); err != nil {
+			return rec, err
+		}
+		rec.Value = val
+	}
+	return rec, nil
+}

@@ -1,0 +1,316 @@
+// Package wal implements the segmented append-only log that backs each
+// pubsub topic partition: offset-addressed records, whole-segment retention
+// garbage collection by age or size, and Kafka-style key compaction.
+//
+// This is the "bundled, durable message log" of the paper's §1/§3 — the
+// hidden hard-state storage layer whose GC policies (retention, compaction)
+// silently destroy unconsumed messages. The log itself is implemented
+// faithfully and efficiently; the pathologies the experiments measure are
+// consequences of the *contract* (offsets + bounded retention), not of any
+// artificial weakness here.
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"unbundle/internal/keyspace"
+)
+
+// Record is one log entry.
+type Record struct {
+	Offset int64
+	Key    keyspace.Key
+	Value  []byte
+	Time   time.Time // append time, used by time-based retention
+}
+
+// OutOfRangeError reports a read outside the retained window. Earliest and
+// Next bracket what is still readable. Consumers typically "auto-reset" to
+// Earliest — which is exactly how backlogged pubsub consumers silently skip
+// GC-ed messages (§3.1).
+type OutOfRangeError struct {
+	Requested int64
+	Earliest  int64
+	Next      int64
+}
+
+func (e *OutOfRangeError) Error() string {
+	return fmt.Sprintf("wal: offset %d out of range [%d, %d)", e.Requested, e.Earliest, e.Next)
+}
+
+// Config tunes segment rolling.
+type Config struct {
+	// SegmentMaxRecords rolls the active segment after this many records.
+	// Retention and compaction operate on whole sealed segments, as in
+	// Kafka. Default 1024.
+	SegmentMaxRecords int
+	// SegmentMaxBytes rolls the active segment after this many payload
+	// bytes. Default 1 MiB.
+	SegmentMaxBytes int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.SegmentMaxRecords <= 0 {
+		c.SegmentMaxRecords = 1024
+	}
+	if c.SegmentMaxBytes <= 0 {
+		c.SegmentMaxBytes = 1 << 20
+	}
+}
+
+// segment is a run of consecutive offsets. Only the last segment is active
+// (appendable). Compaction may leave holes in a sealed segment's offsets.
+type segment struct {
+	base    int64 // offset of the first record originally in the segment
+	records []Record
+	bytes   int64
+	last    time.Time // time of the newest record
+	sealed  bool
+}
+
+// Stats reports log counters; BytesAppended feeds the write-amplification
+// comparison in E10.
+type Stats struct {
+	Records       int // records currently retained
+	Segments      int
+	Bytes         int64 // payload bytes currently retained
+	BytesAppended int64 // lifetime payload bytes written (hard state)
+	Appended      int64 // lifetime records appended
+	GCedRecords   int64 // records dropped by retention GC
+	CompactedAway int64 // records dropped by compaction
+	Earliest      int64
+	Next          int64
+}
+
+// Log is an offset-addressed segmented log. Safe for concurrent use.
+type Log struct {
+	cfg Config
+
+	mu       sync.Mutex
+	segments []*segment
+	next     int64 // next offset to assign
+	earliest int64 // smallest retained offset (or == next when empty)
+
+	appended      int64
+	bytesAppended int64
+	gcedRecords   int64
+	compactedAway int64
+}
+
+// NewLog creates an empty log.
+func NewLog(cfg Config) *Log {
+	cfg.applyDefaults()
+	return &Log{cfg: cfg}
+}
+
+// Append adds a record and returns its offset. now is supplied by the
+// caller (the broker's clock) so retention works under virtual time.
+func (l *Log) Append(key keyspace.Key, value []byte, now time.Time) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seg := l.activeLocked()
+	off := l.next
+	l.next++
+	rec := Record{Offset: off, Key: key, Value: value, Time: now}
+	seg.records = append(seg.records, rec)
+	seg.bytes += int64(len(key) + len(value))
+	seg.last = now
+	l.appended++
+	l.bytesAppended += int64(len(key) + len(value))
+	if len(seg.records) >= l.cfg.SegmentMaxRecords || seg.bytes >= l.cfg.SegmentMaxBytes {
+		seg.sealed = true
+	}
+	return off
+}
+
+func (l *Log) activeLocked() *segment {
+	if n := len(l.segments); n > 0 && !l.segments[n-1].sealed {
+		return l.segments[n-1]
+	}
+	seg := &segment{base: l.next}
+	l.segments = append(l.segments, seg)
+	return seg
+}
+
+// ReadBatch returns up to max records starting at offset from, together with
+// the offset to resume from. Reading below the retained window returns
+// *OutOfRangeError; reading at the head returns an empty batch.
+func (l *Log) ReadBatch(from int64, max int) ([]Record, int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.earliest {
+		return nil, 0, &OutOfRangeError{Requested: from, Earliest: l.earliest, Next: l.next}
+	}
+	if from > l.next {
+		return nil, 0, &OutOfRangeError{Requested: from, Earliest: l.earliest, Next: l.next}
+	}
+	if max <= 0 {
+		max = 1 << 30
+	}
+	var out []Record
+	cursor := from
+	for _, seg := range l.segments {
+		if len(seg.records) == 0 {
+			continue
+		}
+		if seg.records[len(seg.records)-1].Offset < cursor {
+			continue
+		}
+		for _, r := range seg.records {
+			// Compaction leaves offset holes; skip below the cursor.
+			if r.Offset < cursor {
+				continue
+			}
+			out = append(out, r)
+			cursor = r.Offset + 1
+			if len(out) >= max {
+				return out, cursor, nil
+			}
+		}
+	}
+	return out, l.next, nil
+}
+
+// EarliestOffset returns the smallest retained offset.
+func (l *Log) EarliestOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.earliest
+}
+
+// NextOffset returns the offset the next append will receive.
+func (l *Log) NextOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// RetainSince drops sealed segments whose newest record is older than
+// cutoff — Kafka's retention.ms, applied at whole-segment granularity. It
+// returns how many records were destroyed. Nothing notifies consumers: the
+// silence is the point (§3.1).
+func (l *Log) RetainSince(cutoff time.Time) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var dropped int64
+	keep := l.segments[:0]
+	for _, seg := range l.segments {
+		if seg.sealed && seg.last.Before(cutoff) {
+			dropped += int64(len(seg.records))
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	l.segments = keep
+	l.afterGCLocked(dropped)
+	return dropped
+}
+
+// RetainBytes drops the oldest sealed segments until retained payload bytes
+// fall to at most max — Kafka's retention.bytes.
+func (l *Log) RetainBytes(max int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, seg := range l.segments {
+		total += seg.bytes
+	}
+	var dropped int64
+	for len(l.segments) > 0 && total > max {
+		seg := l.segments[0]
+		if !seg.sealed {
+			break
+		}
+		total -= seg.bytes
+		dropped += int64(len(seg.records))
+		l.segments = l.segments[1:]
+	}
+	l.afterGCLocked(dropped)
+	return dropped
+}
+
+func (l *Log) afterGCLocked(dropped int64) {
+	l.gcedRecords += dropped
+	// The window starts at the first retained record; compaction can leave
+	// leading segments empty, so scan past them rather than concluding the
+	// log is empty.
+	for _, seg := range l.segments {
+		if len(seg.records) > 0 {
+			if first := seg.records[0].Offset; first > l.earliest {
+				l.earliest = first
+			}
+			return
+		}
+	}
+	l.earliest = l.next
+}
+
+// Compact rewrites sealed segments older than dirtyHorizon so that only the
+// final record for each key (within the compacted prefix) survives; records
+// keep their original offsets, leaving holes. Keys whose newest compacted
+// record has a nil value (a tombstone) are dropped entirely. This mirrors
+// Kafka log compaction: every version within the dirty window is kept, but
+// history before it collapses to the last value — and, as §3.1 notes,
+// subscribers are never told that intermediate events vanished.
+func (l *Log) Compact(dirtyHorizon time.Time) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Latest offset per key across the compactable prefix.
+	latest := map[keyspace.Key]int64{}
+	var prefix []*segment
+	for _, seg := range l.segments {
+		if !seg.sealed || !seg.last.Before(dirtyHorizon) {
+			break
+		}
+		prefix = append(prefix, seg)
+		for _, r := range seg.records {
+			latest[r.Key] = r.Offset
+		}
+	}
+	var removed int64
+	for _, seg := range prefix {
+		kept := seg.records[:0]
+		var bytes int64
+		for _, r := range seg.records {
+			if latest[r.Key] != r.Offset {
+				removed++
+				continue
+			}
+			if r.Value == nil {
+				removed++ // tombstone whose key is fully compacted away
+				continue
+			}
+			kept = append(kept, r)
+			bytes += int64(len(r.Key) + len(r.Value))
+		}
+		seg.records = kept
+		seg.bytes = bytes
+	}
+	l.compactedAway += removed
+	// earliest is unchanged: compaction never truncates the window's start
+	// offset (a hole at the start still belongs to the same window).
+	return removed
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Segments:      len(l.segments),
+		BytesAppended: l.bytesAppended,
+		Appended:      l.appended,
+		GCedRecords:   l.gcedRecords,
+		CompactedAway: l.compactedAway,
+		Earliest:      l.earliest,
+		Next:          l.next,
+	}
+	for _, seg := range l.segments {
+		st.Records += len(seg.records)
+		st.Bytes += seg.bytes
+	}
+	return st
+}

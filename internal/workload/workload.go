@@ -1,0 +1,174 @@
+// Package workload provides the deterministic synthetic workloads driving
+// the experiments: skewed and uniform key pickers, self-describing payloads,
+// and transaction scripts (including the §3.2.1 ACL scenario whose
+// reordering violates snapshot consistency).
+//
+// Everything is seeded; two runs with the same seed produce byte-identical
+// streams, which keeps experiment output reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unbundle/internal/keyspace"
+)
+
+// KeyPicker yields keys from some distribution over a numeric key domain.
+type KeyPicker interface {
+	// Pick returns the next key.
+	Pick() keyspace.Key
+	// Domain returns the number of distinct keys.
+	Domain() int
+}
+
+// uniform picks keys uniformly from [0, n).
+type uniform struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewUniformKeys returns a uniform picker over n numeric keys.
+func NewUniformKeys(seed int64, n int) KeyPicker {
+	if n <= 0 {
+		panic("workload: non-positive key domain")
+	}
+	return &uniform{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+func (u *uniform) Pick() keyspace.Key { return keyspace.NumericKey(u.rng.Intn(u.n)) }
+func (u *uniform) Domain() int        { return u.n }
+
+// zipf picks keys Zipf-distributed over [0, n): a few keys are hot, the
+// tail is cold — the shape real invalidation and task streams have, and the
+// one that makes affinity matter (E8).
+type zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipfKeys returns a Zipf picker over n numeric keys with skew s > 1.
+func NewZipfKeys(seed int64, n int, s float64) KeyPicker {
+	if n <= 0 {
+		panic("workload: non-positive key domain")
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: n}
+}
+
+func (z *zipf) Pick() keyspace.Key { return keyspace.NumericKey(int(z.z.Uint64())) }
+func (z *zipf) Domain() int        { return z.n }
+
+// UpdateStream produces a deterministic stream of (key, value) updates where
+// each value encodes the key and a per-key sequence number, so any observer
+// can independently verify freshness and ordering.
+type UpdateStream struct {
+	picker KeyPicker
+	seq    map[keyspace.Key]int
+	count  int64
+}
+
+// NewUpdateStream wraps a picker into an update stream.
+func NewUpdateStream(picker KeyPicker) *UpdateStream {
+	return &UpdateStream{picker: picker, seq: make(map[keyspace.Key]int)}
+}
+
+// Next returns the next update.
+func (u *UpdateStream) Next() (keyspace.Key, []byte) {
+	return u.NextFor(u.picker.Pick())
+}
+
+// NextFor returns the next update targeted at a specific key — the
+// read-modify-write traffic pattern (read a row, then write it back) that
+// cache-invalidation workloads are full of.
+func (u *UpdateStream) NextFor(k keyspace.Key) (keyspace.Key, []byte) {
+	u.seq[k]++
+	u.count++
+	return k, Value(k, u.seq[k])
+}
+
+// Count returns how many updates have been produced.
+func (u *UpdateStream) Count() int64 { return u.count }
+
+// SeqOf returns the last sequence number produced for k (0 if none).
+func (u *UpdateStream) SeqOf(k keyspace.Key) int { return u.seq[k] }
+
+// Value encodes a self-describing payload for key k at sequence seq.
+func Value(k keyspace.Key, seq int) []byte {
+	return []byte(fmt.Sprintf("%s:seq=%06d", string(k), seq))
+}
+
+// SeqFromValue parses the sequence number out of a Value payload
+// (-1 when the payload is not in Value format).
+func SeqFromValue(v []byte) int {
+	var key string
+	var seq int
+	// The key itself contains no ':' (numeric keys), so Sscanf is unambiguous.
+	if _, err := fmt.Sscanf(string(v), "%12s:seq=%06d", &key, &seq); err != nil {
+		return -1
+	}
+	return seq
+}
+
+// Op is one operation of a transaction script.
+type Op struct {
+	Key   keyspace.Key
+	Value []byte // nil = delete
+}
+
+// Txn is one atomic transaction of a script.
+type Txn struct {
+	Ops []Op
+	// Label tags interesting transactions (e.g. the ACL pair) so checkers
+	// can report which scripted scenario a violation came from.
+	Label string
+}
+
+// ACLScript generates the paper's §3.2.1 anomaly workload: group-membership
+// and document-ACL tables where ordering matters. Each round k:
+//
+//	T(2k):   remove member M from group G        (delete member row)
+//	T(2k+1): grant group G access to document D  (put acl row)
+//
+// Applying T(2k+1) before T(2k) at the target externalizes a state — member
+// still in the group AND the group having document access — that never
+// existed at the source. Interleaved with filler traffic to give concurrent
+// appliers room to reorder.
+func ACLScript(seed int64, rounds, fillerPerRound int) []Txn {
+	rng := rand.New(rand.NewSource(seed))
+	var txns []Txn
+	for k := 0; k < rounds; k++ {
+		member := keyspace.Key(fmt.Sprintf("group/%04d/member/%04d", k, k))
+		doc := keyspace.Key(fmt.Sprintf("acl/doc%04d/group%04d", k, k))
+		// Establish membership (and no access) first.
+		txns = append(txns, Txn{
+			Label: fmt.Sprintf("setup-%d", k),
+			Ops:   []Op{{Key: member, Value: []byte("member")}},
+		})
+		for i := 0; i < fillerPerRound; i++ {
+			fk := keyspace.Key(fmt.Sprintf("filler/%06d", rng.Intn(10000)))
+			txns = append(txns, Txn{
+				Label: "filler",
+				Ops:   []Op{{Key: fk, Value: []byte(fmt.Sprintf("f%d", rng.Int()))}},
+			})
+		}
+		txns = append(txns, Txn{
+			Label: fmt.Sprintf("revoke-%d", k),
+			Ops:   []Op{{Key: member, Value: nil}}, // remove member from group
+		})
+		txns = append(txns, Txn{
+			Label: fmt.Sprintf("grant-%d", k),
+			Ops:   []Op{{Key: doc, Value: []byte("allowed")}}, // grant group access
+		})
+	}
+	return txns
+}
+
+// ACLPair names the two keys of round k, for the anomaly checker.
+func ACLPair(k int) (member, doc keyspace.Key) {
+	return keyspace.Key(fmt.Sprintf("group/%04d/member/%04d", k, k)),
+		keyspace.Key(fmt.Sprintf("acl/doc%04d/group%04d", k, k))
+}

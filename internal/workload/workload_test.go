@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"unbundle/internal/keyspace"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a := NewUniformKeys(7, 100)
+	b := NewUniformKeys(7, 100)
+	for i := 0; i < 50; i++ {
+		if a.Pick() != b.Pick() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.Domain() != 100 {
+		t.Fatalf("domain = %d", a.Domain())
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	p := NewZipfKeys(1, 1000, 1.2)
+	counts := map[keyspace.Key]int{}
+	for i := 0; i < 10000; i++ {
+		counts[p.Pick()]++
+	}
+	// The hottest key should carry far more than the uniform share (10).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Fatalf("hottest key only %d/10000 — not skewed", max)
+	}
+	// Degenerate skew falls back rather than panicking.
+	NewZipfKeys(1, 10, 0.5).Pick()
+}
+
+func TestUpdateStreamSequencesPerKey(t *testing.T) {
+	u := NewUpdateStream(NewUniformKeys(3, 5))
+	seen := map[keyspace.Key]int{}
+	for i := 0; i < 200; i++ {
+		k, v := u.Next()
+		seen[k]++
+		if got := SeqFromValue(v); got != seen[k] {
+			t.Fatalf("key %q: payload seq %d, want %d", string(k), got, seen[k])
+		}
+		if u.SeqOf(k) != seen[k] {
+			t.Fatalf("SeqOf mismatch")
+		}
+	}
+	if u.Count() != 200 {
+		t.Fatalf("count = %d", u.Count())
+	}
+}
+
+func TestSeqFromValueRejectsGarbage(t *testing.T) {
+	if got := SeqFromValue([]byte("not a value")); got != -1 {
+		t.Fatalf("garbage parsed to %d", got)
+	}
+}
+
+func TestACLScriptShape(t *testing.T) {
+	txns := ACLScript(1, 3, 2)
+	// Per round: setup + 2 filler + revoke + grant = 5.
+	if len(txns) != 15 {
+		t.Fatalf("script length = %d", len(txns))
+	}
+	// Round 1: revoke must precede grant, operating on the ACLPair keys.
+	member, doc := ACLPair(1)
+	revokeIdx, grantIdx := -1, -1
+	for i, txn := range txns {
+		for _, op := range txn.Ops {
+			if op.Key == member && op.Value == nil {
+				revokeIdx = i
+			}
+			if op.Key == doc {
+				grantIdx = i
+			}
+		}
+	}
+	if revokeIdx == -1 || grantIdx == -1 || revokeIdx >= grantIdx {
+		t.Fatalf("revoke at %d, grant at %d", revokeIdx, grantIdx)
+	}
+	// Deterministic.
+	again := ACLScript(1, 3, 2)
+	for i := range txns {
+		if txns[i].Label != again[i].Label || len(txns[i].Ops) != len(again[i].Ops) {
+			t.Fatal("script not deterministic")
+		}
+	}
+}
+
+func TestNextForTargetsKey(t *testing.T) {
+	u := NewUpdateStream(NewUniformKeys(1, 10))
+	k := keyspace.NumericKey(3)
+	_, v1 := u.NextFor(k)
+	_, v2 := u.NextFor(k)
+	if SeqFromValue(v1) != 1 || SeqFromValue(v2) != 2 {
+		t.Fatalf("targeted seqs = %d, %d", SeqFromValue(v1), SeqFromValue(v2))
+	}
+	// Interleaves correctly with the picker-driven stream.
+	for i := 0; i < 50; i++ {
+		u.Next()
+	}
+	if u.SeqOf(k) < 2 {
+		t.Fatal("targeted seq lost")
+	}
+	if u.Count() != 52 {
+		t.Fatalf("count = %d", u.Count())
+	}
+}

@@ -1,0 +1,309 @@
+package workqueue
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/pubsub"
+)
+
+// The §4.3 coordinator example: ensure every workload runs on its desired
+// number of virtual machines, while VMs crash and desired counts change
+// underneath. Two coordinators:
+//
+//   - EventCoordinator (the pubsub model): provisioning *tasks* are enqueued
+//     when a workload's desired count changes. The coordinator processes the
+//     task against the world as it is when the message arrives — but VM
+//     crashes produce no task, so drift between desired and actual state is
+//     invisible to it until the next desired-state change happens to pass by.
+//
+//   - WatchCoordinator (the watch model): watches BOTH the desired
+//     configuration and the actual VM state, and reconciles whenever either
+//     side changes. Drift is just another observed state change.
+//
+// Both share one store so the experiment can score them identically.
+
+// Key layout.
+const (
+	desiredPrefix = "desired/"
+	vmPrefix      = "vm/"
+)
+
+func desiredKey(workload string) keyspace.Key {
+	return keyspace.Key(desiredPrefix + workload)
+}
+
+func vmKey(workload string, i int) keyspace.Key {
+	return keyspace.Key(fmt.Sprintf("%s%s/%04d", vmPrefix, workload, i))
+}
+
+func vmRange(workload string) keyspace.Range {
+	return keyspace.Prefix(keyspace.Key(vmPrefix + workload + "/"))
+}
+
+// Fleet is the environment: the store holding desired and actual state, with
+// helpers for the chaos the experiment injects.
+type Fleet struct {
+	Store *mvcc.Store
+}
+
+// NewFleet creates an empty fleet store.
+func NewFleet() *Fleet {
+	return &Fleet{Store: mvcc.NewStore()}
+}
+
+// SetDesired declares the desired VM count for a workload.
+func (f *Fleet) SetDesired(workload string, replicas int) {
+	f.Store.Put(desiredKey(workload), []byte(strconv.Itoa(replicas)))
+}
+
+// CrashVM destroys one running VM of the workload (no event is emitted
+// anywhere — machines do not file tickets when they die).
+func (f *Fleet) CrashVM(workload string) bool {
+	entries, _ := f.Store.Scan(vmRange(workload), core.NoVersion, 1)
+	if len(entries) == 0 {
+		return false
+	}
+	f.Store.Delete(entries[0].Key)
+	return true
+}
+
+// Divergence counts workloads whose actual VM count differs from desired.
+func (f *Fleet) Divergence() int {
+	desired, _ := f.Store.Scan(keyspace.Prefix(desiredPrefix), core.NoVersion, 0)
+	n := 0
+	for _, d := range desired {
+		workload := string(d.Key[len(desiredPrefix):])
+		want, _ := strconv.Atoi(string(d.Value))
+		vms, _ := f.Store.Scan(vmRange(workload), core.NoVersion, 0)
+		if len(vms) != want {
+			n++
+		}
+	}
+	return n
+}
+
+// reconcile advances one workload's actual state toward desired: boot
+// missing VMs, tear down extras. Returns how many actions were taken.
+func reconcile(store *mvcc.Store, workload string) int {
+	dval, _, ok, _ := store.Get(desiredKey(workload), core.NoVersion)
+	want := 0
+	if ok {
+		want, _ = strconv.Atoi(string(dval))
+	}
+	vms, _ := store.Scan(vmRange(workload), core.NoVersion, 0)
+	actions := 0
+	// Boot missing VMs into the first free slots.
+	used := map[keyspace.Key]bool{}
+	for _, vm := range vms {
+		used[vm.Key] = true
+	}
+	for i := 0; len(vms)+actions < want; i++ {
+		k := vmKey(workload, i)
+		if used[k] {
+			continue
+		}
+		store.Put(k, []byte("running"))
+		used[k] = true
+		actions++
+	}
+	// Tear down extras from the top.
+	for i := len(vms) - 1; i >= want; i-- {
+		store.Delete(vms[i].Key)
+		actions++
+	}
+	return actions
+}
+
+// EventCoordinator drives provisioning from a task queue.
+type EventCoordinator struct {
+	fleet    *Fleet
+	broker   *pubsub.Broker
+	consumer *pubsub.Consumer
+	detach   func()
+	actions  int64
+}
+
+const provisionTopic = "provision-requests"
+
+// NewEventCoordinator wires desired-state changes into a provisioning topic
+// and starts consuming it.
+func NewEventCoordinator(fleet *Fleet) (*EventCoordinator, error) {
+	b := pubsub.NewBroker(pubsub.BrokerConfig{})
+	if err := b.CreateTopic(provisionTopic, pubsub.TopicConfig{Partitions: 1}); err != nil {
+		b.Close()
+		return nil, err
+	}
+	g, err := b.Group(provisionTopic, "coordinator", pubsub.GroupConfig{StartAtEarliest: true})
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	c, err := g.Join("coord-0")
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	ec := &EventCoordinator{fleet: fleet, broker: b, consumer: c}
+	// Desired-state changes become tasks. Nothing else does: a VM crash is
+	// not a change to the desired table, so no task is enqueued for it.
+	ec.detach = fleet.Store.AttachCDC(keyspace.Prefix(desiredPrefix), taskPublisher{broker: b})
+	return ec, nil
+}
+
+// taskPublisher converts desired-table CDC into provisioning tasks.
+type taskPublisher struct {
+	broker *pubsub.Broker
+}
+
+func (t taskPublisher) Append(ev core.ChangeEvent) error {
+	workload := string(ev.Key[len(desiredPrefix):])
+	_, _, err := t.broker.Publish(provisionTopic, keyspace.Key(workload), nil)
+	return err
+}
+
+func (t taskPublisher) Progress(core.ProgressEvent) error { return nil }
+
+// Step processes up to n queued provisioning tasks.
+func (ec *EventCoordinator) Step(n int) {
+	for i := 0; i < n; i++ {
+		msg, ok, err := ec.consumer.Poll()
+		if err != nil || !ok {
+			return
+		}
+		ec.actions += int64(reconcile(ec.fleet.Store, string(msg.Key)))
+		ec.consumer.Ack(msg)
+	}
+}
+
+// Actions returns the number of provisioning actions taken.
+func (ec *EventCoordinator) Actions() int64 { return ec.actions }
+
+// Close releases the broker.
+func (ec *EventCoordinator) Close() {
+	ec.detach()
+	ec.broker.Close()
+}
+
+// WatchCoordinator drives provisioning from observed state: it watches the
+// desired table AND the VM table, marking workloads dirty on any change.
+type WatchCoordinator struct {
+	fleet  *Fleet
+	hub    *core.Hub
+	detach func()
+	cancel core.Cancel
+
+	mu      sync.Mutex
+	dirty   map[string]bool
+	actions int64
+}
+
+// NewWatchCoordinator starts watching.
+func NewWatchCoordinator(fleet *Fleet) (*WatchCoordinator, error) {
+	wc := &WatchCoordinator{
+		fleet: fleet,
+		hub:   core.NewHub(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 16}),
+		dirty: make(map[string]bool),
+	}
+	wc.detach = fleet.Store.AttachCDC(keyspace.Full(), wc.hub)
+	// Seed: everything currently desired is dirty (initial reconcile pass).
+	desired, _ := fleet.Store.Scan(keyspace.Prefix(desiredPrefix), core.NoVersion, 0)
+	for _, d := range desired {
+		wc.dirty[string(d.Key[len(desiredPrefix):])] = true
+	}
+	cancel, err := wc.hub.Watch(keyspace.Full(), fleet.Store.CurrentVersion(), core.Funcs{
+		Event: func(ev core.ChangeEvent) {
+			if w, ok := workloadOf(ev.Key); ok {
+				wc.mu.Lock()
+				wc.dirty[w] = true
+				wc.mu.Unlock()
+			}
+		},
+		Resync: func(core.ResyncEvent) {
+			// Lost watch state: mark the whole world dirty and re-scan —
+			// the programmatic recovery path (§4.4).
+			desired, _ := fleet.Store.Scan(keyspace.Prefix(desiredPrefix), core.NoVersion, 0)
+			wc.mu.Lock()
+			for _, d := range desired {
+				wc.dirty[string(d.Key[len(desiredPrefix):])] = true
+			}
+			wc.mu.Unlock()
+		},
+	})
+	if err != nil {
+		wc.detach()
+		wc.hub.Close()
+		return nil, err
+	}
+	wc.cancel = cancel
+	return wc, nil
+}
+
+// workloadOf extracts the workload name from a desired or vm key.
+func workloadOf(k keyspace.Key) (string, bool) {
+	s := string(k)
+	if len(s) > len(desiredPrefix) && s[:len(desiredPrefix)] == desiredPrefix {
+		return s[len(desiredPrefix):], true
+	}
+	if len(s) > len(vmPrefix) && s[:len(vmPrefix)] == vmPrefix {
+		rest := s[len(vmPrefix):]
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '/' {
+				return rest[:i], true
+			}
+		}
+	}
+	return "", false
+}
+
+// Step reconciles up to n dirty workloads. Reconciling may itself dirty the
+// workload again (its own writes come back as events); that is harmless —
+// the next pass observes a converged state and takes no action.
+func (wc *WatchCoordinator) Step(n int) {
+	for i := 0; i < n; i++ {
+		wc.mu.Lock()
+		var pick string
+		for w := range wc.dirty {
+			pick = w
+			break
+		}
+		if pick == "" {
+			wc.mu.Unlock()
+			return
+		}
+		delete(wc.dirty, pick)
+		wc.mu.Unlock()
+		acted := reconcile(wc.fleet.Store, pick)
+		wc.mu.Lock()
+		wc.actions += int64(acted)
+		wc.mu.Unlock()
+	}
+}
+
+// DirtyCount returns how many workloads await reconciliation.
+func (wc *WatchCoordinator) DirtyCount() int {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return len(wc.dirty)
+}
+
+// Actions returns the number of provisioning actions taken.
+func (wc *WatchCoordinator) Actions() int64 {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.actions
+}
+
+// Hub exposes the coordinator's hub for failure injection.
+func (wc *WatchCoordinator) Hub() *core.Hub { return wc.hub }
+
+// Close stops watching.
+func (wc *WatchCoordinator) Close() {
+	wc.cancel()
+	wc.detach()
+	wc.hub.Close()
+}

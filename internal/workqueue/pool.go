@@ -1,0 +1,92 @@
+// Package workqueue implements the §3.2.4/§4.3 work-queueing scenario both
+// ways:
+//
+//   - PubSubPool: tasks are messages in a partitioned topic consumed by a
+//     worker group. Delivery is serial per partition and in offset order, so
+//     a slow task blocks every key behind it (head-of-line blocking), and a
+//     membership change reshuffles partition ownership wholesale, destroying
+//     per-key warm state (no affinitized dynamic sharding).
+//
+//   - WatchPool: work is *state* — entities in the store needing attention.
+//     Workers own sharder-assigned key ranges, learn of entities via watch,
+//     choose what to process next (priority mitigates head-of-line blocking
+//     entirely), coalesce redundant updates, and keep warm state across
+//     sticky rebalances.
+//
+// Both pools run on a virtual tick so throughput/latency comparisons are
+// deterministic. A separate Coordinator (coordinator.go) implements the
+// paper's VM-provisioning reconciler.
+package workqueue
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+)
+
+// Work describes one unit of submitted work for an entity.
+type Work struct {
+	Entity keyspace.Key
+	Seq    int   // per-entity sequence; the entity's state version
+	Cost   int   // ticks to process once warm
+	Submit int64 // tick at which it was submitted
+}
+
+// WarmCost is the extra ticks to build per-entity state on a cold worker
+// (the affinity benefit being measured).
+const WarmCost = 4
+
+// Pool is the common driver interface for both implementations.
+type Pool interface {
+	// Submit enqueues work for an entity.
+	Submit(w Work) error
+	// Tick advances virtual time by one unit: every idle worker may start a
+	// task; every busy worker makes one tick of progress.
+	Tick()
+	// AddWorker and RemoveWorker change membership (rebalancing semantics
+	// differ per implementation — that difference is the experiment).
+	AddWorker(name string) error
+	RemoveWorker(name string) error
+	// Done returns the highest processed Seq per entity.
+	Done() map[keyspace.Key]int
+	// Stats returns pool counters.
+	Stats() PoolStats
+	// Close releases resources.
+	Close()
+}
+
+// PoolStats aggregates pool behaviour.
+type PoolStats struct {
+	Completed   int64
+	Coalesced   int64 // submitted units subsumed by processing a newer state
+	WarmHits    int64
+	WarmMisses  int64
+	Latency     metrics.Snapshot // ticks from submit to completion
+	CheapLat    metrics.Snapshot // latency of cheap (non-slow) tasks only
+	Workers     int
+	Outstanding int64 // submitted entities visible but not yet picked up
+	Busy        int   // workers currently mid-task
+}
+
+// encodeWork serializes work for the pubsub transport.
+func encodeWork(w Work) []byte {
+	return []byte(fmt.Sprintf("%d|%d|%d", w.Seq, w.Cost, w.Submit))
+}
+
+// decodeWork reverses encodeWork.
+func decodeWork(entity keyspace.Key, b []byte) (Work, error) {
+	parts := strings.Split(string(b), "|")
+	if len(parts) != 3 {
+		return Work{}, fmt.Errorf("workqueue: bad payload %q", b)
+	}
+	seq, err1 := strconv.Atoi(parts[0])
+	cost, err2 := strconv.Atoi(parts[1])
+	submit, err3 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Work{}, fmt.Errorf("workqueue: bad payload %q", b)
+	}
+	return Work{Entity: entity, Seq: seq, Cost: cost, Submit: submit}, nil
+}

@@ -1,0 +1,192 @@
+package workqueue
+
+import (
+	"sync"
+
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+	"unbundle/internal/pubsub"
+)
+
+const taskTopic = "tasks"
+
+// PubSubPool runs workers as a consumer group over a task topic.
+type PubSubPool struct {
+	broker *pubsub.Broker
+	group  *pubsub.Group
+
+	mu      sync.Mutex
+	workers map[string]*psWorker
+	tick    int64
+	done    map[keyspace.Key]int
+
+	completed  int64
+	warmHits   int64
+	warmMisses int64
+	latency    *metrics.Histogram
+	cheapLat   *metrics.Histogram
+	slowCost   int // tasks with Cost >= slowCost count as slow
+}
+
+// psWorker is one group member: single-threaded, processing its delivered
+// messages strictly in order.
+type psWorker struct {
+	name     string
+	consumer *pubsub.Consumer
+	warm     map[keyspace.Key]bool
+
+	cur       *pubsub.Message
+	work      Work
+	remaining int
+	coldStart bool
+}
+
+// NewPubSubPool creates the baseline pool with the given topic partitioning.
+func NewPubSubPool(partitions, slowCost int) (*PubSubPool, error) {
+	b := pubsub.NewBroker(pubsub.BrokerConfig{})
+	if err := b.CreateTopic(taskTopic, pubsub.TopicConfig{Partitions: partitions}); err != nil {
+		b.Close()
+		return nil, err
+	}
+	g, err := b.Group(taskTopic, "workers", pubsub.GroupConfig{StartAtEarliest: true})
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return &PubSubPool{
+		broker:   b,
+		group:    g,
+		workers:  make(map[string]*psWorker),
+		done:     make(map[keyspace.Key]int),
+		latency:  metrics.NewHistogram(),
+		cheapLat: metrics.NewHistogram(),
+		slowCost: slowCost,
+	}, nil
+}
+
+var _ Pool = (*PubSubPool)(nil)
+
+// Submit implements Pool.
+func (p *PubSubPool) Submit(w Work) error {
+	_, _, err := p.broker.Publish(taskTopic, w.Entity, encodeWork(w))
+	return err
+}
+
+// AddWorker implements Pool. Joining rebalances the group: partitions move
+// between members and in-flight work is redelivered — and every moved
+// partition's keys arrive at a worker with cold state.
+func (p *PubSubPool) AddWorker(name string) error {
+	c, err := p.group.Join(name)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.workers[name] = &psWorker{name: name, consumer: c, warm: make(map[keyspace.Key]bool)}
+	p.mu.Unlock()
+	return nil
+}
+
+// RemoveWorker implements Pool.
+func (p *PubSubPool) RemoveWorker(name string) error {
+	p.mu.Lock()
+	w, ok := p.workers[name]
+	delete(p.workers, name)
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	w.consumer.Leave()
+	return nil
+}
+
+// Tick implements Pool.
+func (p *PubSubPool) Tick() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tick++
+	for _, w := range p.workers {
+		if w.cur == nil {
+			// Take the next delivered message, in order. No peeking, no
+			// reordering: the contract delivers by offset.
+			msg, ok, err := w.consumer.Poll()
+			if err != nil || !ok {
+				continue
+			}
+			work, derr := decodeWork(msg.Key, msg.Value)
+			if derr != nil {
+				w.consumer.Ack(msg)
+				continue
+			}
+			w.cur = &msg
+			w.work = work
+			w.remaining = work.Cost
+			w.coldStart = !w.warm[work.Entity]
+			if w.coldStart {
+				w.remaining += WarmCost
+				p.warmMisses++
+			} else {
+				p.warmHits++
+			}
+			w.warm[work.Entity] = true
+		}
+		if w.cur == nil {
+			continue
+		}
+		w.remaining--
+		if w.remaining <= 0 {
+			w.consumer.Ack(*w.cur)
+			p.completed++
+			if w.work.Seq > p.done[w.work.Entity] {
+				p.done[w.work.Entity] = w.work.Seq
+			}
+			lat := p.tick - w.work.Submit
+			p.latency.Observe(lat)
+			if w.work.Cost < p.slowCost {
+				p.cheapLat.Observe(lat)
+			}
+			w.cur = nil
+		}
+	}
+}
+
+// Done implements Pool.
+func (p *PubSubPool) Done() map[keyspace.Key]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[keyspace.Key]int, len(p.done))
+	for k, v := range p.done {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats implements Pool.
+func (p *PubSubPool) Stats() PoolStats {
+	lag := p.group.Lag()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	busy := 0
+	for _, w := range p.workers {
+		if w.cur != nil {
+			busy++
+		}
+	}
+	return PoolStats{
+		Completed:   p.completed,
+		WarmHits:    p.warmHits,
+		WarmMisses:  p.warmMisses,
+		Latency:     p.latency.Snapshot(),
+		CheapLat:    p.cheapLat.Snapshot(),
+		Workers:     len(p.workers),
+		Outstanding: lag,
+		Busy:        busy,
+	}
+}
+
+// Group exposes the underlying consumer group for assignment assertions.
+func (p *PubSubPool) Group() *pubsub.Group { return p.group }
+
+// Close implements Pool.
+func (p *PubSubPool) Close() {
+	p.broker.Close()
+}

@@ -1,0 +1,467 @@
+package workqueue
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/sharder"
+)
+
+// statusPrefix is where workers record per-entity completion in the store.
+// Completion is state too: any worker (including a new owner after a
+// handoff) can tell whether an entity still needs attention by comparing
+// the entity row with its status row — no delivery bookkeeping required.
+const statusPrefix = "status/"
+
+func statusKey(entity keyspace.Key) keyspace.Key {
+	return statusPrefix + entity
+}
+
+// WatchPool runs workers over watched entity state: the §4.3 model. Work is
+// "advance this entity to its desired state", discovered via snapshot +
+// watch over sharder-assigned ranges.
+type WatchPool struct {
+	store  *mvcc.Store
+	hub    *core.Hub
+	detach func()
+	shd    *sharder.Sharder
+
+	mu      sync.Mutex
+	workers map[string]*wWorker
+	unsubs  map[string]func()
+	tick    int64
+	done    map[keyspace.Key]int
+
+	completed  int64
+	coalesced  atomic.Int64 // updated from watch dispatch goroutines
+	warmHits   int64
+	warmMisses int64
+	latency    *metrics.Histogram
+	cheapLat   *metrics.Histogram
+	slowCost   int
+}
+
+var _ Pool = (*WatchPool)(nil)
+
+// NewWatchPool creates the watch-model pool. shards is the sharder's initial
+// range count (ranges move stickily as workers come and go).
+func NewWatchPool(shards, slowCost int) *WatchPool {
+	store := mvcc.NewStore()
+	hub := core.NewHub(core.HubConfig{Retention: 1 << 18, WatcherBuffer: 1 << 18})
+	detach := store.AttachCDC(keyspace.Full(), hub)
+	return &WatchPool{
+		store:    store,
+		hub:      hub,
+		detach:   detach,
+		shd:      sharder.New(sharder.Config{InitialShards: shards}),
+		workers:  make(map[string]*wWorker),
+		unsubs:   make(map[string]func()),
+		done:     make(map[keyspace.Key]int),
+		latency:  metrics.NewHistogram(),
+		cheapLat: metrics.NewHistogram(),
+		slowCost: slowCost,
+	}
+}
+
+// Submit implements Pool: desired state lands in the store; watches do the
+// rest. Re-submitting an entity before it is processed coalesces naturally.
+func (p *WatchPool) Submit(w Work) error {
+	p.store.Put(w.Entity, encodeWork(w))
+	return nil
+}
+
+// Store exposes the state store (the coordinator experiment shares it).
+func (p *WatchPool) Store() *mvcc.Store { return p.store }
+
+// Sharder exposes the sharder for churn scripting.
+func (p *WatchPool) Sharder() *sharder.Sharder { return p.shd }
+
+// AddWorker implements Pool: the sharder moves a minimal set of ranges to
+// the new worker; warm state elsewhere survives.
+func (p *WatchPool) AddWorker(name string) error {
+	w := newWWorker(name, p)
+	p.mu.Lock()
+	if _, dup := p.workers[name]; dup {
+		p.mu.Unlock()
+		return fmt.Errorf("workqueue: worker %q already exists", name)
+	}
+	p.workers[name] = w
+	p.mu.Unlock()
+	if err := p.shd.AddPod(sharder.Pod(name)); err != nil {
+		return err
+	}
+	unsub := p.shd.Subscribe(0, func(t sharder.Table) {
+		w.setRanges(t.RangesOf(sharder.Pod(name)))
+	})
+	p.mu.Lock()
+	p.unsubs[name] = unsub
+	p.mu.Unlock()
+	return nil
+}
+
+// RemoveWorker implements Pool.
+func (p *WatchPool) RemoveWorker(name string) error {
+	p.mu.Lock()
+	w, ok := p.workers[name]
+	delete(p.workers, name)
+	unsub := p.unsubs[name]
+	delete(p.unsubs, name)
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if unsub != nil {
+		unsub()
+	}
+	if err := p.shd.RemovePod(sharder.Pod(name)); err != nil {
+		return err
+	}
+	w.stop()
+	return nil
+}
+
+// now returns the pool's current virtual tick.
+func (p *WatchPool) now() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tick
+}
+
+// Tick implements Pool.
+func (p *WatchPool) Tick() {
+	p.mu.Lock()
+	p.tick++
+	tick := p.tick
+	workers := make([]*wWorker, 0, len(p.workers))
+	for _, w := range p.workers {
+		workers = append(workers, w)
+	}
+	p.mu.Unlock()
+	for _, w := range workers {
+		w.tickOnce(tick)
+	}
+}
+
+// recordCompletion is called by workers when an entity's work finishes.
+func (p *WatchPool) recordCompletion(w Work, tick int64, cold bool) {
+	p.store.Put(statusKey(w.Entity), []byte(fmt.Sprintf("%d", w.Seq)))
+	p.mu.Lock()
+	p.completed++
+	if cold {
+		p.warmMisses++
+	} else {
+		p.warmHits++
+	}
+	if w.Seq > p.done[w.Entity] {
+		p.done[w.Entity] = w.Seq
+	}
+	lat := tick - w.Submit
+	p.latency.Observe(lat)
+	if w.Cost < p.slowCost {
+		p.cheapLat.Observe(lat)
+	}
+	p.mu.Unlock()
+}
+
+// Done implements Pool.
+func (p *WatchPool) Done() map[keyspace.Key]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[keyspace.Key]int, len(p.done))
+	for k, v := range p.done {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats implements Pool.
+func (p *WatchPool) Stats() PoolStats {
+	p.mu.Lock()
+	workers := make([]*wWorker, 0, len(p.workers))
+	for _, w := range p.workers {
+		workers = append(workers, w)
+	}
+	st := PoolStats{
+		Completed:  p.completed,
+		Coalesced:  p.coalesced.Load(),
+		WarmHits:   p.warmHits,
+		WarmMisses: p.warmMisses,
+		Latency:    p.latency.Snapshot(),
+		CheapLat:   p.cheapLat.Snapshot(),
+		Workers:    len(p.workers),
+	}
+	p.mu.Unlock()
+	for _, w := range workers {
+		st.Outstanding += int64(w.pendingLen())
+		if w.busy() {
+			st.Busy++
+		}
+	}
+	return st
+}
+
+// Close implements Pool.
+func (p *WatchPool) Close() {
+	p.mu.Lock()
+	workers := make([]*wWorker, 0, len(p.workers))
+	for _, w := range p.workers {
+		workers = append(workers, w)
+	}
+	unsubs := make([]func(), 0, len(p.unsubs))
+	for _, u := range p.unsubs {
+		unsubs = append(unsubs, u)
+	}
+	p.workers = map[string]*wWorker{}
+	p.unsubs = map[string]func(){}
+	p.mu.Unlock()
+	for _, u := range unsubs {
+		u()
+	}
+	for _, w := range workers {
+		w.stop()
+	}
+	p.shd.Close()
+	p.detach()
+	p.hub.Close()
+}
+
+// wWorker is one watch-model worker: a pending set of entities needing
+// attention over its assigned ranges, a warm-state cache, and the freedom to
+// pick its next entity by priority.
+type wWorker struct {
+	name string
+	pool *WatchPool
+
+	mu       sync.Mutex
+	pending  map[keyspace.Key]Work
+	warm     map[keyspace.Key]bool
+	watchers map[string]*core.ResyncWatcher
+	ranges   keyspace.RangeSet
+
+	cur       *Work
+	remaining int
+	coldStart bool
+}
+
+var _ core.SyncedConsumer = (*wWorker)(nil)
+
+func newWWorker(name string, pool *WatchPool) *wWorker {
+	return &wWorker{
+		name:     name,
+		pool:     pool,
+		pending:  make(map[keyspace.Key]Work),
+		warm:     make(map[keyspace.Key]bool),
+		watchers: make(map[string]*core.ResyncWatcher),
+	}
+}
+
+// isEntityKey filters out bookkeeping rows sharing the keyspace.
+func isEntityKey(k keyspace.Key) bool {
+	return len(k) > 0 && k[0] >= '0' && k[0] <= '9'
+}
+
+// setRanges reconciles the worker's watchers with a new assignment.
+func (w *wWorker) setRanges(ranges []keyspace.Range) {
+	want := keyspace.NewRangeSet(ranges...)
+	w.mu.Lock()
+	have := w.ranges
+	w.ranges = want
+	var stop []*core.ResyncWatcher
+	for key, rw := range w.watchers {
+		keep := false
+		for _, r := range ranges {
+			if r.String() == key {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			stop = append(stop, rw)
+			delete(w.watchers, key)
+		}
+	}
+	w.mu.Unlock()
+	for _, rw := range stop {
+		rw.Stop()
+	}
+	for _, r := range have.Subtract(want).Ranges() {
+		w.mu.Lock()
+		for k := range w.pending {
+			if r.Contains(k) {
+				delete(w.pending, k)
+			}
+		}
+		for k := range w.warm {
+			if r.Contains(k) {
+				delete(w.warm, k) // moved away: warm state is useless now
+			}
+		}
+		w.mu.Unlock()
+	}
+	for _, r := range ranges {
+		key := r.String()
+		w.mu.Lock()
+		_, exists := w.watchers[key]
+		w.mu.Unlock()
+		if exists {
+			continue
+		}
+		rw := core.NewResyncWatcher(w.pool.store, w.pool.hub, r, w)
+		w.mu.Lock()
+		w.watchers[key] = rw
+		w.mu.Unlock()
+		_ = rw.Start()
+	}
+}
+
+// ResetSnapshot implements core.SyncedConsumer: every entity in the snapshot
+// is a candidate; already-done ones are skipped at processing time via the
+// status row (state-based de-duplication).
+func (w *wWorker) ResetSnapshot(r keyspace.Range, entries []core.Entry, at core.Version) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for k := range w.pending {
+		if r.Contains(k) {
+			delete(w.pending, k)
+		}
+	}
+	now := w.pool.now()
+	for _, e := range entries {
+		if !isEntityKey(e.Key) {
+			continue
+		}
+		if work, err := decodeWork(e.Key, e.Value); err == nil {
+			// Latency is measured from visibility: delivery transit (real
+			// time) is not virtual queueing time.
+			if work.Submit < now {
+				work.Submit = now
+			}
+			w.pending[e.Key] = work
+		}
+	}
+}
+
+// ApplyChange implements core.SyncedConsumer.
+func (w *wWorker) ApplyChange(ev core.ChangeEvent) {
+	if !isEntityKey(ev.Key) {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if ev.Mut.Op == core.OpDelete {
+		delete(w.pending, ev.Key)
+		return
+	}
+	work, err := decodeWork(ev.Key, ev.Mut.Value)
+	if err != nil {
+		return
+	}
+	if now := w.pool.now(); work.Submit < now {
+		work.Submit = now // latency counts from visibility, not transit
+	}
+	if _, had := w.pending[ev.Key]; had {
+		// A newer desired state subsumes the queued one: the state-based
+		// model coalesces redundant work instead of queueing it.
+		w.pool.coalesced.Add(1)
+	}
+	w.pending[ev.Key] = work
+}
+
+// AdvanceFrontier implements core.SyncedConsumer (unused: the worker acts on
+// state presence, not snapshot consistency).
+func (w *wWorker) AdvanceFrontier(core.ProgressEvent) {}
+
+// tickOnce advances the worker by one tick.
+func (w *wWorker) tickOnce(tick int64) {
+	w.mu.Lock()
+	if w.cur == nil {
+		w.pickLocked()
+	}
+	if w.cur == nil {
+		w.mu.Unlock()
+		return
+	}
+	w.remaining--
+	if w.remaining > 0 {
+		w.mu.Unlock()
+		return
+	}
+	work := *w.cur
+	cold := w.coldStart
+	w.cur = nil
+	w.mu.Unlock()
+	w.pool.recordCompletion(work, tick, cold)
+}
+
+// pickLocked selects the next entity: cheapest first (known-slow work never
+// blocks cheap work — the watch model's head-of-line mitigation), skipping
+// entities whose status row already covers the desired seq.
+func (w *wWorker) pickLocked() {
+	for {
+		var best *Work
+		for k := range w.pending {
+			work := w.pending[k]
+			if best == nil || work.Cost < best.Cost {
+				b := work
+				best = &b
+			}
+		}
+		if best == nil {
+			return
+		}
+		delete(w.pending, best.Entity)
+		if doneSeq := w.statusSeq(best.Entity); doneSeq >= best.Seq {
+			continue // already advanced by a previous owner
+		}
+		w.cur = best
+		w.remaining = best.Cost
+		w.coldStart = !w.warm[best.Entity]
+		if w.coldStart {
+			w.remaining += WarmCost
+		}
+		w.warm[best.Entity] = true
+		return
+	}
+}
+
+// statusSeq reads the entity's completion status from the store.
+func (w *wWorker) statusSeq(entity keyspace.Key) int {
+	val, _, ok, err := w.pool.store.Get(statusKey(entity), core.NoVersion)
+	if err != nil || !ok {
+		return 0
+	}
+	var seq int
+	fmt.Sscanf(string(val), "%d", &seq)
+	return seq
+}
+
+func (w *wWorker) pendingLen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// busy reports whether the worker is mid-task.
+func (w *wWorker) busy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cur != nil
+}
+
+func (w *wWorker) stop() {
+	w.mu.Lock()
+	ws := make([]*core.ResyncWatcher, 0, len(w.watchers))
+	for _, rw := range w.watchers {
+		ws = append(ws, rw)
+	}
+	w.watchers = map[string]*core.ResyncWatcher{}
+	w.mu.Unlock()
+	for _, rw := range ws {
+		rw.Stop()
+	}
+}

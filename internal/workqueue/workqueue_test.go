@@ -1,0 +1,383 @@
+package workqueue
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unbundle/internal/keyspace"
+)
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestWorkCodec(t *testing.T) {
+	w := Work{Entity: keyspace.NumericKey(7), Seq: 3, Cost: 9, Submit: 42}
+	back, err := decodeWork(w.Entity, encodeWork(w))
+	if err != nil || back != w {
+		t.Fatalf("roundtrip: %+v vs %+v (%v)", w, back, err)
+	}
+	if _, err := decodeWork("k", []byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := decodeWork("k", []byte("a|b|c")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+}
+
+// driveToCompletion submits n work units across entities and ticks the pool
+// until all entities reach their final seq.
+func driveToCompletion(t *testing.T, p Pool, entities, rounds int) {
+	t.Helper()
+	var tick int64
+	for r := 1; r <= rounds; r++ {
+		for e := 0; e < entities; e++ {
+			if err := p.Submit(Work{Entity: keyspace.NumericKey(e), Seq: r, Cost: 2, Submit: tick}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			p.Tick()
+			tick++
+		}
+	}
+	waitUntil(t, "all entities processed", func() bool {
+		p.Tick()
+		done := p.Done()
+		for e := 0; e < entities; e++ {
+			if done[keyspace.NumericKey(e)] < rounds {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestPubSubPoolProcessesAll(t *testing.T) {
+	p, err := NewPubSubPool(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		if err := p.AddWorker(fmt.Sprintf("w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driveToCompletion(t, p, 20, 3)
+	st := p.Stats()
+	if st.Completed < 60 {
+		t.Fatalf("completed = %d, want >= 60", st.Completed)
+	}
+	if st.Workers != 3 {
+		t.Fatalf("workers = %d", st.Workers)
+	}
+}
+
+func TestWatchPoolProcessesAllAndCoalesces(t *testing.T) {
+	p := NewWatchPool(8, 100)
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		if err := p.AddWorker(fmt.Sprintf("w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round 1 also establishes every watcher (the initial snapshot may
+	// absorb it); wait for it to finish so later rounds arrive as events.
+	for e := 0; e < 20; e++ {
+		p.Submit(Work{Entity: keyspace.NumericKey(e), Seq: 1, Cost: 2, Submit: 0})
+	}
+	waitUntil(t, "round 1 done", func() bool {
+		p.Tick()
+		done := p.Done()
+		for e := 0; e < 20; e++ {
+			if done[keyspace.NumericKey(e)] < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	// Rounds 2..4 back-to-back with no ticks in between: the state-based
+	// pool coalesces superseded rounds instead of queueing them.
+	for r := 2; r <= 4; r++ {
+		for e := 0; e < 20; e++ {
+			p.Submit(Work{Entity: keyspace.NumericKey(e), Seq: r, Cost: 2, Submit: 0})
+		}
+	}
+	waitUntil(t, "all entities at seq 4", func() bool {
+		p.Tick()
+		done := p.Done()
+		for e := 0; e < 20; e++ {
+			if done[keyspace.NumericKey(e)] < 4 {
+				return false
+			}
+		}
+		return true
+	})
+	st := p.Stats()
+	if st.Completed > 80 {
+		t.Fatalf("completed = %d — more completions than submissions?", st.Completed)
+	}
+	if st.Coalesced == 0 {
+		t.Fatal("coalesced = 0")
+	}
+}
+
+func TestPubSubHeadOfLineBlocking(t *testing.T) {
+	// One worker, one partition: a slow task ahead of cheap tasks delays
+	// them all; delivery order is the processing order.
+	p, err := NewPubSubPool(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.AddWorker("w0")
+	p.Submit(Work{Entity: keyspace.NumericKey(0), Seq: 1, Cost: 100, Submit: 0}) // slow
+	for e := 1; e <= 5; e++ {
+		p.Submit(Work{Entity: keyspace.NumericKey(e), Seq: 1, Cost: 1, Submit: 0})
+	}
+	for i := 0; i < 300; i++ {
+		p.Tick()
+	}
+	st := p.Stats()
+	// Every cheap task waited behind the 100-tick task.
+	if st.CheapLat.Min < 100 {
+		t.Fatalf("cheap min latency = %d, want >= 100 (blocked)", st.CheapLat.Min)
+	}
+}
+
+func TestWatchPoolPrioritizesAroundSlowTask(t *testing.T) {
+	p := NewWatchPool(4, 50)
+	defer p.Close()
+	p.AddWorker("w0")
+	p.Submit(Work{Entity: keyspace.NumericKey(0), Seq: 1, Cost: 100, Submit: 0}) // slow
+	for e := 1; e <= 5; e++ {
+		p.Submit(Work{Entity: keyspace.NumericKey(e), Seq: 1, Cost: 1, Submit: 0})
+	}
+	waitUntil(t, "all done", func() bool {
+		p.Tick()
+		done := p.Done()
+		for e := 0; e <= 5; e++ {
+			if done[keyspace.NumericKey(e)] < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	st := p.Stats()
+	// Cheap tasks ran first: even the worst cheap latency is far below the
+	// slow task's cost.
+	if st.CheapLat.Max >= 100 {
+		t.Fatalf("cheap max latency = %d, want < 100 (prioritized)", st.CheapLat.Max)
+	}
+}
+
+func TestChurnAffinity(t *testing.T) {
+	// Same workload, same churn; compare warm-state survival.
+	run := func(p Pool) (hits, misses int64) {
+		for i := 0; i < 4; i++ {
+			p.AddWorker(fmt.Sprintf("w%d", i))
+		}
+		var tick int64
+		seq := 0
+		submitRound := func() {
+			seq++
+			for e := 0; e < 64; e++ {
+				p.Submit(Work{Entity: keyspace.NumericKey(e * 50), Seq: seq, Cost: 1, Submit: tick})
+			}
+		}
+		drain := func() {
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				p.Tick()
+				tick++
+				done := p.Done()
+				ok := true
+				for e := 0; e < 64; e++ {
+					if done[keyspace.NumericKey(e*50)] < seq {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return
+				}
+			}
+			t.Fatal("drain timed out")
+		}
+		submitRound()
+		drain() // warm everything
+		// Churn: one worker joins.
+		p.AddWorker("w-late")
+		time.Sleep(20 * time.Millisecond) // let rebalance notifications land
+		before := p.Stats()
+		submitRound()
+		drain()
+		after := p.Stats()
+		return after.WarmHits - before.WarmHits, after.WarmMisses - before.WarmMisses
+	}
+
+	ps, err := NewPubSubPool(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psHits, psMisses := run(ps)
+	ps.Close()
+
+	wp := NewWatchPool(16, 100)
+	wpHits, wpMisses := run(wp)
+	wp.Close()
+
+	psRate := float64(psHits) / float64(psHits+psMisses)
+	wpRate := float64(wpHits) / float64(wpHits+wpMisses)
+	t.Logf("affinity after churn: pubsub %.2f (%d/%d), watch %.2f (%d/%d)",
+		psRate, psHits, psHits+psMisses, wpRate, wpHits, wpHits+wpMisses)
+	if wpRate <= psRate {
+		t.Fatalf("watch affinity (%.2f) should beat pubsub (%.2f) after churn", wpRate, psRate)
+	}
+}
+
+func TestWatchPoolWorkerChurnStillCompletes(t *testing.T) {
+	p := NewWatchPool(8, 100)
+	defer p.Close()
+	p.AddWorker("w0")
+	p.AddWorker("w1")
+	for e := 0; e < 30; e++ {
+		p.Submit(Work{Entity: keyspace.NumericKey(e), Seq: 1, Cost: 3, Submit: 0})
+	}
+	for i := 0; i < 10; i++ {
+		p.Tick()
+	}
+	// A worker dies mid-stream; its ranges move; work finishes elsewhere.
+	if err := p.RemoveWorker("w0"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "all done despite churn", func() bool {
+		p.Tick()
+		done := p.Done()
+		for e := 0; e < 30; e++ {
+			if done[keyspace.NumericKey(e)] < 1 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestCoordinatorEventVsWatchOnCrashes(t *testing.T) {
+	// Event-driven coordinator: converges on desired changes, blind to
+	// crashes. Watch coordinator: converges on both.
+	fleet := NewFleet()
+	ec, err := NewEventCoordinator(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ec.Close()
+
+	for i := 0; i < 5; i++ {
+		fleet.SetDesired(fmt.Sprintf("wl%d", i), 3)
+	}
+	ec.Step(100)
+	if d := fleet.Divergence(); d != 0 {
+		t.Fatalf("event coordinator did not converge on desired changes: %d", d)
+	}
+	// Crash some VMs: no events flow; the event coordinator has nothing to
+	// process and the fleet stays diverged.
+	fleet.CrashVM("wl0")
+	fleet.CrashVM("wl1")
+	ec.Step(100)
+	if d := fleet.Divergence(); d != 2 {
+		t.Fatalf("divergence after crashes = %d, want 2 (event coordinator is blind)", d)
+	}
+
+	// The watch coordinator sees the same store and fixes it.
+	wc, err := NewWatchCoordinator(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	waitUntil(t, "watch coordinator converges", func() bool {
+		wc.Step(50)
+		return fleet.Divergence() == 0
+	})
+
+	// Ongoing chaos: crashes and desired changes; the watch coordinator
+	// keeps converging.
+	fleet.SetDesired("wl2", 5)
+	fleet.CrashVM("wl3")
+	fleet.CrashVM("wl4")
+	waitUntil(t, "converges under chaos", func() bool {
+		wc.Step(50)
+		return fleet.Divergence() == 0
+	})
+	if wc.Actions() == 0 {
+		t.Fatal("watch coordinator took no actions")
+	}
+}
+
+func TestCoordinatorSurvivesHubWipe(t *testing.T) {
+	fleet := NewFleet()
+	wc, err := NewWatchCoordinator(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	fleet.SetDesired("wl0", 2)
+	waitUntil(t, "initial converge", func() bool {
+		wc.Step(20)
+		return fleet.Divergence() == 0
+	})
+	wc.Hub().Wipe()
+	fleet.CrashVM("wl0")
+	waitUntil(t, "converges after wipe", func() bool {
+		wc.Step(20)
+		return fleet.Divergence() == 0
+	})
+}
+
+func TestFleetHelpers(t *testing.T) {
+	fleet := NewFleet()
+	fleet.SetDesired("a", 2)
+	if fleet.CrashVM("a") {
+		t.Fatal("crashed a VM that does not exist")
+	}
+	if got := fleet.Divergence(); got != 1 {
+		t.Fatalf("divergence = %d, want 1", got)
+	}
+	if n := reconcile(fleet.Store, "a"); n != 2 {
+		t.Fatalf("reconcile actions = %d, want 2", n)
+	}
+	if got := fleet.Divergence(); got != 0 {
+		t.Fatalf("divergence after reconcile = %d", got)
+	}
+	// Scale down.
+	fleet.SetDesired("a", 1)
+	if n := reconcile(fleet.Store, "a"); n != 1 {
+		t.Fatalf("scale-down actions = %d, want 1", n)
+	}
+	if !fleet.CrashVM("a") {
+		t.Fatal("crash failed with a running VM")
+	}
+	if got := fleet.Divergence(); got != 1 {
+		t.Fatalf("divergence after crash = %d", got)
+	}
+	// workloadOf parsing.
+	if w, ok := workloadOf(desiredKey("x")); !ok || w != "x" {
+		t.Fatalf("workloadOf desired = %q/%v", w, ok)
+	}
+	if w, ok := workloadOf(vmKey("y", 3)); !ok || w != "y" {
+		t.Fatalf("workloadOf vm = %q/%v", w, ok)
+	}
+	if _, ok := workloadOf("unrelated"); ok {
+		t.Fatal("workloadOf accepted junk")
+	}
+}

@@ -1,0 +1,243 @@
+// Package unbundle is a from-scratch implementation of the storage-plus-
+// watch architecture proposed in "Understanding the limitations of pubsub
+// systems" (Adya, Bogle, Meek — HotOS 2025), together with the complete
+// pubsub baseline the paper critiques.
+//
+// The public API re-exports the building blocks:
+//
+//   - the watch contract (§4.2): ChangeEvent, ProgressEvent, resync signals,
+//     Watchable on the consumer side and Ingester on the store side;
+//   - Hub, a standalone watch system holding only recoverable soft state;
+//   - KnowledgeSet, the Figure 5 bookkeeping for snapshot-consistent serving;
+//   - ResyncWatcher, the snapshot-then-watch recovery loop;
+//   - Store, an MVCC producer store with monotonic commit versions, CDC and
+//     filtered views; IngestStore, an append-optimized ingestion store;
+//   - Broker, a Kafka-class pubsub broker (partitioned durable logs,
+//     consumer groups, retention GC, compaction, DLQs) — the baseline;
+//   - Sharder, a Slicer-style auto-sharder for dynamically sharded
+//     consumers.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	store := unbundle.NewWatchableStore(unbundle.HubConfig{})
+//	defer store.Close()
+//	store.Put("greeting", []byte("hello"))
+//	entries, at, _ := store.SnapshotRange(unbundle.FullRange())
+//	cancel, _ := store.Watch(unbundle.FullRange(), at, unbundle.Callbacks{
+//	    Event: func(ev unbundle.ChangeEvent) { fmt.Println(ev.Key, ev.Version) },
+//	})
+//	defer cancel()
+package unbundle
+
+import (
+	"unbundle/internal/core"
+	"unbundle/internal/ingeststore"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/pubsub"
+	"unbundle/internal/remote"
+	"unbundle/internal/sharder"
+)
+
+// Key and range vocabulary (see internal/keyspace).
+type (
+	// Key is an ordered byte-string key.
+	Key = keyspace.Key
+	// Range is a half-open key interval [Low, High).
+	Range = keyspace.Range
+	// RangeSet is a normalized set of ranges.
+	RangeSet = keyspace.RangeSet
+)
+
+// FullRange returns the range covering the whole keyspace.
+func FullRange() Range { return keyspace.Full() }
+
+// PrefixRange returns the range of keys with the given prefix.
+func PrefixRange(p Key) Range { return keyspace.Prefix(p) }
+
+// PointRange returns the range containing exactly k.
+func PointRange(k Key) Range { return keyspace.Point(k) }
+
+// The watch contract (§4.2 of the paper; see internal/core).
+type (
+	// Version is a monotonic transaction version from the source of truth.
+	Version = core.Version
+	// ChangeEvent reports a key change at a version.
+	ChangeEvent = core.ChangeEvent
+	// ProgressEvent reports range-scoped completeness up to a version.
+	ProgressEvent = core.ProgressEvent
+	// ResyncEvent tells a watcher to recover from the store.
+	ResyncEvent = core.ResyncEvent
+	// Mutation is a put or delete payload.
+	Mutation = core.Mutation
+	// WatchCallback receives a watch stream.
+	WatchCallback = core.WatchCallback
+	// Callbacks adapts plain functions to WatchCallback.
+	Callbacks = core.Funcs
+	// Cancel stops a watch.
+	Cancel = core.Cancel
+	// Watchable is the consumer-side contract.
+	Watchable = core.Watchable
+	// Ingester is the store-side contract.
+	Ingester = core.Ingester
+	// Snapshotter is the narrow store read view used for recovery.
+	Snapshotter = core.Snapshotter
+	// Entry is one key's state in a snapshot.
+	Entry = core.Entry
+	// Hub is a standalone watch system (soft state only).
+	Hub = core.Hub
+	// HubConfig tunes a Hub.
+	HubConfig = core.HubConfig
+	// KnowledgeSet tracks Figure 5 knowledge regions.
+	KnowledgeSet = core.KnowledgeSet
+	// KnowledgeRegion is one range × version-window region.
+	KnowledgeRegion = core.KnowledgeRegion
+	// ResyncWatcher runs the snapshot-then-watch recovery loop.
+	ResyncWatcher = core.ResyncWatcher
+	// SyncedConsumer is what a ResyncWatcher drives.
+	SyncedConsumer = core.SyncedConsumer
+	// VersionMap is an interval map from ranges to versions (frontiers).
+	VersionMap = core.VersionMap
+)
+
+// Mutation op codes.
+const (
+	OpPut    = core.OpPut
+	OpDelete = core.OpDelete
+)
+
+// NoVersion precedes every committed version.
+const NoVersion = core.NoVersion
+
+// NewHub creates a standalone watch system.
+func NewHub(cfg HubConfig) *Hub { return core.NewHub(cfg) }
+
+// NewKnowledgeSet creates empty Figure 5 bookkeeping.
+func NewKnowledgeSet() *KnowledgeSet { return core.NewKnowledgeSet() }
+
+// NewResyncWatcher composes a store view and a watch system into a
+// self-recovering consumer over r.
+func NewResyncWatcher(store Snapshotter, src Watchable, r Range, consumer SyncedConsumer) *ResyncWatcher {
+	return core.NewResyncWatcher(store, src, r, consumer)
+}
+
+// Producer storage (see internal/mvcc).
+type (
+	// Store is an MVCC key-value store with serializable transactions,
+	// snapshot reads and a CDC tap.
+	Store = mvcc.Store
+	// Tx is an open transaction.
+	Tx = mvcc.Tx
+	// View is a filtered, read-only window over a Store (§4.1).
+	View = mvcc.View
+	// WatchableStore bundles a Store with a built-in watch hub.
+	WatchableStore = mvcc.WatchableStore
+)
+
+// NewStore creates an empty MVCC store.
+func NewStore() *Store { return mvcc.NewStore() }
+
+// NewView creates a filtered read-only view of a store.
+func NewView(store *Store, r Range, transform func(Entry) (Entry, bool)) *View {
+	return mvcc.NewView(store, r, transform)
+}
+
+// NewWatchableStore creates a store with built-in watch (the Figure 3
+// "producer storage with built-in watch" quadrant).
+func NewWatchableStore(cfg HubConfig) *WatchableStore {
+	return mvcc.NewWatchableStore(cfg)
+}
+
+// Ingestion storage (see internal/ingeststore).
+type (
+	// IngestStore is an append-optimized event store.
+	IngestStore = ingeststore.Store
+	// IngestEvent is one ingested record.
+	IngestEvent = ingeststore.Event
+	// IngestConfig tunes an ingestion store.
+	IngestConfig = ingeststore.Config
+	// WatchableIngestStore bundles an ingestion store with built-in watch.
+	WatchableIngestStore = ingeststore.Watchable
+)
+
+// NewIngestStore creates an ingestion store.
+func NewIngestStore(cfg IngestConfig) *IngestStore { return ingeststore.NewStore(cfg) }
+
+// NewWatchableIngestStore creates an ingestion store with built-in watch.
+func NewWatchableIngestStore(cfg IngestConfig, hubCfg HubConfig) *WatchableIngestStore {
+	return ingeststore.NewWatchable(cfg, hubCfg)
+}
+
+// SeriesRange returns the key range covering one ingestion series.
+func SeriesRange(series Key) Range { return ingeststore.SeriesRange(series) }
+
+// The pubsub baseline (see internal/pubsub).
+type (
+	// Broker is an in-process pubsub broker.
+	Broker = pubsub.Broker
+	// BrokerConfig tunes a broker.
+	BrokerConfig = pubsub.BrokerConfig
+	// TopicConfig configures a topic.
+	TopicConfig = pubsub.TopicConfig
+	// GroupConfig configures a consumer group.
+	GroupConfig = pubsub.GroupConfig
+	// Group is a consumer group.
+	Group = pubsub.Group
+	// Consumer is a group member.
+	Consumer = pubsub.Consumer
+	// FreeConsumer reads a whole partition without coordination.
+	FreeConsumer = pubsub.FreeConsumer
+	// Message is a delivered message.
+	Message = pubsub.Message
+)
+
+// NewBroker starts a pubsub broker.
+func NewBroker(cfg BrokerConfig) *Broker { return pubsub.NewBroker(cfg) }
+
+// Auto-sharding (see internal/sharder).
+type (
+	// Sharder assigns key ranges to pods dynamically.
+	Sharder = sharder.Sharder
+	// SharderConfig tunes a sharder.
+	SharderConfig = sharder.Config
+	// Pod identifies a serving process.
+	Pod = sharder.Pod
+	// Assignment maps one range to its owner.
+	Assignment = sharder.Assignment
+	// AssignmentTable is a complete assignment snapshot.
+	AssignmentTable = sharder.Table
+)
+
+// NewSharder creates an auto-sharder over the given pods.
+func NewSharder(cfg SharderConfig, pods ...Pod) *Sharder {
+	return sharder.New(cfg, pods...)
+}
+
+// §5 extensions: the scaled-out standalone watch system and the remote
+// watch protocol.
+type (
+	// ShardedHub is a watch system scaled out over range-partitioned Hub
+	// shards, behind the same Ingester/Watchable contracts.
+	ShardedHub = core.ShardedHub
+	// WatchServer exposes a Watchable + Snapshotter on a TCP listener.
+	WatchServer = remote.Server
+	// WatchClient implements Watchable + Snapshotter against a WatchServer.
+	WatchClient = remote.Client
+)
+
+// NewShardedHub creates a watch system of n range-partitioned shards.
+func NewShardedHub(n int, cfg HubConfig) *ShardedHub {
+	return core.NewShardedHub(n, cfg)
+}
+
+// ServeWatch exposes a watch system and its recovery snapshot view on addr
+// (e.g. "127.0.0.1:0").
+func ServeWatch(addr string, w Watchable, s Snapshotter) (*WatchServer, error) {
+	return remote.Serve(addr, w, s)
+}
+
+// DialWatch connects to a ServeWatch endpoint; the returned client is a
+// Watchable and a Snapshotter, so consumer stacks run against it unchanged.
+func DialWatch(addr string) (*WatchClient, error) {
+	return remote.Dial(addr)
+}
