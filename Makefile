@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# verify is the gate a change must pass before it ships.
+verify: vet build race
+
+clean:
+	$(GO) clean ./...

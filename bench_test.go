@@ -14,6 +14,20 @@ import (
 	"unbundle/internal/experiments"
 )
 
+// reportQuantiles attaches a registry histogram's p50/p99 to the benchmark
+// output, so `go test -bench` prints per-op latency quantiles (not just the
+// mean ns/op) for any instrumented subsystem.
+func reportQuantiles(b *testing.B, reg *unbundle.MetricsRegistry, hist, unit string) {
+	b.Helper()
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms[hist]
+	if !ok || h.Count == 0 {
+		return
+	}
+	b.ReportMetric(float64(h.P50), "p50-"+unit)
+	b.ReportMetric(float64(h.P99), "p99-"+unit)
+}
+
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := experiments.Get(id)
@@ -79,7 +93,8 @@ func BenchmarkStoreTxnCommit(b *testing.B) {
 }
 
 func BenchmarkHubAppendFanout8(b *testing.B) {
-	hub := unbundle.NewHub(unbundle.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 20})
+	reg := unbundle.NewMetricsRegistry()
+	hub := unbundle.NewHub(unbundle.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 20, Metrics: reg})
 	defer hub.Close()
 	var delivered atomic.Int64
 	for w := 0; w < 8; w++ {
@@ -101,11 +116,14 @@ func BenchmarkHubAppendFanout8(b *testing.B) {
 			Version: unbundle.Version(i + 1),
 		})
 	}
+	b.StopTimer()
+	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
 }
 
 func BenchmarkWatchEndToEnd(b *testing.B) {
 	// Full pipeline: store commit → CDC → hub → watcher callback.
-	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 20})
+	reg := unbundle.NewMetricsRegistry()
+	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 20, Metrics: reg})
 	defer store.Close()
 	done := make(chan struct{}, 1)
 	var want atomic.Int64
@@ -126,6 +144,8 @@ func BenchmarkWatchEndToEnd(b *testing.B) {
 		store.Put("key", []byte("value"))
 	}
 	<-done // delivery of the final event bounds the pipeline latency
+	b.StopTimer()
+	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
 }
 
 func BenchmarkBrokerPublish(b *testing.B) {
@@ -142,7 +162,8 @@ func BenchmarkBrokerPublish(b *testing.B) {
 }
 
 func BenchmarkBrokerGroupConsume(b *testing.B) {
-	broker := unbundle.NewBroker(unbundle.BrokerConfig{})
+	reg := unbundle.NewMetricsRegistry()
+	broker := unbundle.NewBroker(unbundle.BrokerConfig{Metrics: reg})
 	defer broker.Close()
 	broker.CreateTopic("t", unbundle.TopicConfig{Partitions: 8})
 	g, err := broker.Group("t", "g", unbundle.GroupConfig{StartAtEarliest: true})
@@ -164,6 +185,8 @@ func BenchmarkBrokerGroupConsume(b *testing.B) {
 		}
 		c.Ack(msg)
 	}
+	b.StopTimer()
+	reportQuantiles(b, reg, "pubsub_deliver_latency_ns", "ns")
 }
 
 func BenchmarkKnowledgeStitch(b *testing.B) {

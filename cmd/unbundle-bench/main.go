@@ -18,14 +18,16 @@ import (
 	"os"
 
 	"unbundle/internal/experiments"
+	"unbundle/internal/metrics"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run with reduced parameters")
-		exp   = flag.String("experiment", "", "run a single experiment by ID (e.g. E6)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		seed  = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "run with reduced parameters")
+		exp     = flag.String("experiment", "", "run a single experiment by ID (e.g. E6)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		seed    = flag.Int64("seed", 1, "random seed")
+		dumpMet = flag.Bool("metrics", false, "dump the metrics registry after the run")
 	)
 	flag.Parse()
 
@@ -60,6 +62,10 @@ func main() {
 		}
 		res.Render(os.Stdout)
 		failed += len(res.Failed())
+	}
+	if *dumpMet {
+		fmt.Println("### metrics")
+		metrics.Default().WriteTo(os.Stdout)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d check(s) failed\n", failed)

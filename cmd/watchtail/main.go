@@ -8,11 +8,13 @@
 //	watchtail                          # tail the whole keyspace for 3s
 //	watchtail -prefix user/ -dur 10s   # tail a prefix
 //	watchtail -retention 16            # tiny soft state: watch resyncs happen
+//	watchtail -metrics                 # dump the metrics registry at exit
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"unbundle"
@@ -24,6 +26,7 @@ func main() {
 		dur       = flag.Duration("dur", 3*time.Second, "how long to tail")
 		retention = flag.Int("retention", 4096, "watch hub soft-state window (events)")
 		rate      = flag.Duration("rate", 100*time.Millisecond, "writer interval")
+		dumpMet   = flag.Bool("metrics", false, "dump the metrics registry at exit")
 	)
 	flag.Parse()
 
@@ -82,4 +85,8 @@ func main() {
 
 	time.Sleep(*dur)
 	fmt.Println("done")
+	if *dumpMet {
+		fmt.Println("--- metrics ---")
+		unbundle.DefaultMetrics().WriteTo(os.Stdout)
+	}
 }

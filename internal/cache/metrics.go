@@ -1,0 +1,27 @@
+package cache
+
+import "unbundle/internal/metrics"
+
+// cacheMetrics holds the cache layer's registry instruments, resolved once
+// at cluster construction. Both cluster flavors report here, so one snapshot
+// compares the watch-model cache and the pubsub-invalidated baseline on the
+// same axes: hits, misses, and how often clients fell through to the store.
+type cacheMetrics struct {
+	watchHits, watchMisses   *metrics.Counter
+	pubsubHits, pubsubMisses *metrics.Counter
+	storeFallbacks           *metrics.Counter
+	snapQueries, snapMisses  *metrics.Counter
+}
+
+func newCacheMetrics(reg *metrics.Registry) cacheMetrics {
+	reg = reg.Or()
+	return cacheMetrics{
+		watchHits:      reg.Counter("cache_watch_hits_total"),
+		watchMisses:    reg.Counter("cache_watch_misses_total"),
+		pubsubHits:     reg.Counter("cache_pubsub_hits_total"),
+		pubsubMisses:   reg.Counter("cache_pubsub_misses_total"),
+		storeFallbacks: reg.Counter("cache_store_fallbacks_total"),
+		snapQueries:    reg.Counter("cache_snapshot_queries_total"),
+		snapMisses:     reg.Counter("cache_snapshot_query_misses_total"),
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"unbundle/internal/clockwork"
 	"unbundle/internal/core"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
 	"unbundle/internal/mvcc"
 	"unbundle/internal/pubsub"
 	"unbundle/internal/sharder"
@@ -69,6 +70,9 @@ type PubSubConfig struct {
 	// Coalesce enables sharder range coalescing (production hygiene for
 	// long move-heavy runs).
 	Coalesce bool
+	// Metrics is the registry the cluster's instruments register in; nil
+	// uses metrics.Default(). The embedded broker shares it.
+	Metrics *metrics.Registry
 }
 
 // PubSubCluster is the baseline: store + pubsub invalidations + sharded pods.
@@ -88,6 +92,7 @@ type PubSubCluster struct {
 	routerView sharder.Table // delayed view (ModeRouted)
 	pending    []pubsub.Message
 
+	met           cacheMetrics
 	unsub         func()
 	podUnsubs     []func()
 	unavailable   int64 // reads that found no active owner (lease gaps)
@@ -115,7 +120,8 @@ func NewPubSubCluster(cfg PubSubConfig) (*PubSubCluster, error) {
 		cfg:    cfg,
 		clock:  cfg.Clock,
 		store:  mvcc.NewStore(),
-		broker: pubsub.NewBroker(pubsub.BrokerConfig{Clock: cfg.Clock}),
+		broker: pubsub.NewBroker(pubsub.BrokerConfig{Clock: cfg.Clock, Metrics: cfg.Metrics}),
+		met:    newCacheMetrics(cfg.Metrics),
 		shd: sharder.New(sharder.Config{
 			Clock:          cfg.Clock,
 			LeaseDuration:  lease,
@@ -308,13 +314,16 @@ func (c *PubSubCluster) Read(k keyspace.Key) (ReadResult, error) {
 		c.unavailable++
 		c.storeFallback++
 		c.mu.Unlock()
+		c.met.storeFallbacks.Inc()
 		val, _, _, err := c.store.Get(k, core.NoVersion)
 		return ReadResult{Value: val, Unavailable: true}, err
 	}
 	pod := c.pods[owner]
 	if e, ok := pod.Get(k, now, c.cfg.TTL); ok {
+		c.met.pubsubHits.Inc()
 		return ReadResult{Value: e.Value, CacheHit: true, Pod: owner}, nil
 	}
+	c.met.pubsubMisses.Inc()
 	val, ver, ok, err := c.store.Get(k, core.NoVersion)
 	if err != nil {
 		return ReadResult{}, err

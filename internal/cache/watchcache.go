@@ -7,6 +7,7 @@ import (
 	"unbundle/internal/clockwork"
 	"unbundle/internal/core"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
 	"unbundle/internal/mvcc"
 	"unbundle/internal/sharder"
 )
@@ -40,6 +41,7 @@ type WatchPod struct {
 	ranges   keyspace.RangeSet
 	watchers map[string]*core.ResyncWatcher
 
+	met          cacheMetrics
 	hits, misses int64
 }
 
@@ -54,6 +56,7 @@ func NewWatchPod(name sharder.Pod, store core.Snapshotter, src core.Watchable) *
 		chains:   make(map[keyspace.Key][]versionedValue),
 		know:     core.NewKnowledgeSet(),
 		watchers: make(map[string]*core.ResyncWatcher),
+		met:      newCacheMetrics(nil),
 	}
 }
 
@@ -175,15 +178,18 @@ func (wp *WatchPod) GetLatest(k keyspace.Key) (val []byte, ver core.Version, ok,
 	defer wp.mu.Unlock()
 	if _, _, covered := wp.know.WindowAt(k); !covered {
 		wp.misses++
+		wp.met.watchMisses.Inc()
 		return nil, 0, false, false
 	}
 	chain := wp.chains[k]
 	if len(chain) == 0 {
 		wp.hits++
+		wp.met.watchHits.Inc()
 		return nil, 0, false, true
 	}
 	tail := chain[len(chain)-1]
 	wp.hits++
+	wp.met.watchHits.Inc()
 	if tail.deleted {
 		return nil, tail.version, false, true
 	}
@@ -320,6 +326,10 @@ type WatchConfig struct {
 	// Coalesce enables sharder range coalescing.
 	Coalesce bool
 	Hub      core.HubConfig
+	// Metrics is the registry the cluster's instruments register in; nil
+	// uses metrics.Default(). The embedded hub inherits it unless Hub.Metrics
+	// names its own.
+	Metrics *metrics.Registry
 }
 
 // WatchCluster is the unbundled counterpart: store + watch hub + sharded
@@ -333,6 +343,7 @@ type WatchCluster struct {
 	shd    *sharder.Sharder
 	pods   map[sharder.Pod]*WatchPod
 	unsubs []func()
+	met    cacheMetrics
 
 	mu            sync.Mutex
 	storeFallback int64
@@ -342,6 +353,9 @@ type WatchCluster struct {
 func NewWatchCluster(cfg WatchConfig) *WatchCluster {
 	if cfg.Clock == nil {
 		cfg.Clock = clockwork.Real()
+	}
+	if cfg.Hub.Metrics == nil {
+		cfg.Hub.Metrics = cfg.Metrics
 	}
 	store := mvcc.NewStore()
 	hub := core.NewHub(cfg.Hub)
@@ -357,9 +371,11 @@ func NewWatchCluster(cfg WatchConfig) *WatchCluster {
 			CoalesceRanges: cfg.Coalesce,
 		}, cfg.Pods...),
 		pods: make(map[sharder.Pod]*WatchPod),
+		met:  newCacheMetrics(cfg.Metrics),
 	}
 	for _, p := range cfg.Pods {
 		pod := NewWatchPod(p, store, hub)
+		pod.met = c.met
 		c.pods[p] = pod
 		podName := p
 		unsub := c.shd.Subscribe(cfg.PodLag, func(t sharder.Table) {
@@ -399,6 +415,7 @@ func (c *WatchCluster) Read(k keyspace.Key) (ReadResult, error) {
 		c.mu.Lock()
 		c.storeFallback++
 		c.mu.Unlock()
+		c.met.storeFallbacks.Inc()
 		val, _, _, err := c.store.Get(k, core.NoVersion)
 		return ReadResult{Value: val, Unavailable: true}, err
 	}
@@ -415,6 +432,7 @@ func (c *WatchCluster) Read(k keyspace.Key) (ReadResult, error) {
 	c.mu.Lock()
 	c.storeFallback++
 	c.mu.Unlock()
+	c.met.storeFallbacks.Inc()
 	val2, _, _, err := c.store.Get(k, core.NoVersion)
 	return ReadResult{Value: val2, Pod: owner}, err
 }
@@ -450,6 +468,7 @@ func (c *WatchCluster) Close() {
 // consistent version currently spans the query; the caller may retry or
 // fall back to the store.
 func (c *WatchCluster) QuerySnapshot(ranges ...keyspace.Range) (core.Version, []core.Entry, bool) {
+	c.met.snapQueries.Inc()
 	pods := make([]*WatchPod, 0, len(c.pods))
 	for _, p := range c.pods {
 		pods = append(pods, p)
@@ -466,6 +485,7 @@ func (c *WatchCluster) QuerySnapshot(ranges ...keyspace.Range) (core.Version, []
 	}
 	v, ok := merged.StitchVersion(ranges...)
 	if !ok || v == core.NoVersion {
+		c.met.snapMisses.Inc()
 		return 0, nil, false
 	}
 	// Serve each range at v from whichever pod can; ranges may need to be
@@ -495,6 +515,7 @@ func (c *WatchCluster) QuerySnapshot(ranges ...keyspace.Range) (core.Version, []
 		if !remaining.Empty() {
 			// Knowledge moved between the stitch and the fetch (a pod lost
 			// the range mid-query): no consistent answer this round.
+			c.met.snapMisses.Inc()
 			return 0, nil, false
 		}
 	}
@@ -541,6 +562,7 @@ func (c *WatchCluster) ReadAtLeast(k keyspace.Key, v core.Version) (ReadResult, 
 	c.mu.Lock()
 	c.storeFallback++
 	c.mu.Unlock()
+	c.met.storeFallbacks.Inc()
 	val, _, _, err := c.store.Get(k, core.NoVersion)
 	return ReadResult{Value: val, Pod: owner}, err
 }

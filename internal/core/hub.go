@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
 )
 
 // Hub errors.
@@ -26,6 +28,41 @@ type HubConfig struct {
 	// WatcherBuffer is the maximum number of undelivered items queued for one
 	// watcher before it is lagged out with a resync. Default 1024.
 	WatcherBuffer int
+	// Metrics is the registry the hub's instruments register in; nil uses
+	// metrics.Default().
+	Metrics *metrics.Registry
+}
+
+// hubMetrics holds the hub's registry instruments, resolved once at
+// construction so the hot paths touch only atomics.
+type hubMetrics struct {
+	appends, progress, evictions *metrics.Counter
+	resyncs, delivered           *metrics.Counter
+	// The three overflow counters split resyncs by cause; each one is a
+	// "would have been a silent drop" that the watch contract converts into
+	// an explicit resync.
+	appendOverflow, progressOverflow, replayOverflow *metrics.Counter
+	appendLatency                                    *metrics.Histogram
+	queueHighwater                                   *metrics.Gauge
+	watchers, retained                               *metrics.Gauge
+}
+
+func newHubMetrics(reg *metrics.Registry) hubMetrics {
+	reg = reg.Or()
+	return hubMetrics{
+		appends:          reg.Counter("core_hub_appends_total"),
+		progress:         reg.Counter("core_hub_progress_total"),
+		evictions:        reg.Counter("core_hub_evictions_total"),
+		resyncs:          reg.Counter("core_hub_resyncs_total"),
+		delivered:        reg.Counter("core_hub_delivered_total"),
+		appendOverflow:   reg.Counter("core_hub_append_overflow_total"),
+		progressOverflow: reg.Counter("core_hub_progress_overflow_total"),
+		replayOverflow:   reg.Counter("core_hub_replay_overflow_total"),
+		appendLatency:    reg.Histogram("core_hub_append_latency_ns"),
+		queueHighwater:   reg.Gauge("core_hub_watcher_queue_highwater"),
+		watchers:         reg.Gauge("core_hub_watchers"),
+		retained:         reg.Gauge("core_hub_retained_events"),
+	}
 }
 
 func (c *HubConfig) applyDefaults() {
@@ -68,6 +105,7 @@ type HubStats struct {
 //     recovery snapshot must reflect.
 type Hub struct {
 	cfg HubConfig
+	met hubMetrics
 
 	mu       sync.Mutex
 	closed   bool
@@ -93,6 +131,7 @@ func NewHub(cfg HubConfig) *Hub {
 	cfg.applyDefaults()
 	return &Hub{
 		cfg:      cfg,
+		met:      newHubMetrics(cfg.Metrics),
 		watchers: make(map[int64]*hubWatcher),
 	}
 }
@@ -100,12 +139,15 @@ func NewHub(cfg HubConfig) *Hub {
 // Append implements Ingester. Events for one key must arrive in
 // non-decreasing version order (the store's CDC feed guarantees this).
 func (h *Hub) Append(ev ChangeEvent) error {
+	start := time.Now()
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
 		return ErrClosed
 	}
 	h.appends++
+	sampleLatency := h.appends&7 == 0 // 1-in-8 sample keeps the histogram lock off most appends
+	evictionsBefore := h.evictions
 	if ev.Version > h.maxSeen {
 		h.maxSeen = ev.Version
 	}
@@ -127,6 +169,7 @@ func (h *Hub) Append(ev ChangeEvent) error {
 	// Fan out through the range index: only watchers covering the key are
 	// touched, so cost scales with interested watchers, not all watchers.
 	var lagged []*hubWatcher
+	delivered := int64(0)
 	h.index.lookup(ev.Key, func(id int64) {
 		w := h.watchers[id]
 		if w == nil || w.lagged || ev.Version <= w.from {
@@ -136,12 +179,23 @@ func (h *Hub) Append(ev ChangeEvent) error {
 			lagged = append(lagged, w)
 		} else {
 			h.delivered++
+			delivered++
 		}
 	})
 	for _, w := range lagged {
 		h.lagOutLocked(w, "watcher buffer overflow")
 	}
+	evicted := h.evictions - evictionsBefore
+	retained := int64(len(h.events) - h.start)
 	h.mu.Unlock()
+	h.met.appends.Inc()
+	h.met.delivered.Add(delivered)
+	h.met.appendOverflow.Add(int64(len(lagged)))
+	h.met.retained.Set(retained)
+	h.met.evictions.Add(evicted)
+	if sampleLatency {
+		h.met.appendLatency.ObserveDuration(time.Since(start))
+	}
 	return nil
 }
 
@@ -158,6 +212,11 @@ func (h *Hub) Progress(p ProgressEvent) error {
 		h.maxSeen = p.Version
 	}
 	h.frontier.Raise(p.Range, p.Version)
+	// A full watcher buffer must lag the watcher out here exactly as Append
+	// does: dropping the progress event instead would stall the watcher's
+	// knowledge frontier forever with no signal — the "third outcome" the
+	// contract forbids.
+	var lagged []*hubWatcher
 	for _, w := range h.watchers {
 		if w.lagged {
 			continue
@@ -166,9 +225,16 @@ func (h *Hub) Progress(p ProgressEvent) error {
 		if clipped.Empty() {
 			continue
 		}
-		w.enqueue(item{prog: &ProgressEvent{Range: clipped, Version: p.Version}})
+		if !w.enqueue(item{prog: &ProgressEvent{Range: clipped, Version: p.Version}}) {
+			lagged = append(lagged, w)
+		}
+	}
+	for _, w := range lagged {
+		h.lagOutLocked(w, "watcher buffer overflow on progress")
 	}
 	h.mu.Unlock()
+	h.met.progress.Inc()
+	h.met.progressOverflow.Add(int64(len(lagged)))
 	return nil
 }
 
@@ -196,22 +262,40 @@ func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, e
 	} else {
 		h.index.add(w.id, w.rng)
 		// Replay the retained window (arrival order preserves per-key
-		// version order), then the watcher rides the live stream.
+		// version order), then the watcher rides the live stream. A replay
+		// larger than the watcher's buffer lags it out with a resync — the
+		// truncated stream a silent drop would leave behind is precisely the
+		// gapped delivery the contract forbids.
+		overflowed := false
 		for _, ev := range h.events[h.start:] {
 			if ev.Version > from && r.Contains(ev.Key) {
-				w.enqueue(item{ev: cloneEvent(ev)})
+				if !w.enqueue(item{ev: cloneEvent(ev)}) {
+					overflowed = true
+					break
+				}
 				h.delivered++
 			}
 		}
-		// Tell the watcher the current frontier over its range so it can
-		// establish knowledge without waiting for the next progress tick.
-		for _, seg := range h.frontier.Segments() {
-			clipped := seg.Range.Intersect(r)
-			if !clipped.Empty() {
-				w.enqueue(item{prog: &ProgressEvent{Range: clipped, Version: seg.Version}})
+		if !overflowed {
+			// Tell the watcher the current frontier over its range so it can
+			// establish knowledge without waiting for the next progress tick.
+			for _, seg := range h.frontier.Segments() {
+				clipped := seg.Range.Intersect(r)
+				if clipped.Empty() {
+					continue
+				}
+				if !w.enqueue(item{prog: &ProgressEvent{Range: clipped, Version: seg.Version}}) {
+					overflowed = true
+					break
+				}
 			}
 		}
+		if overflowed {
+			h.met.replayOverflow.Inc()
+			h.lagOutLocked(w, "retained-window replay exceeds watcher buffer")
+		}
 	}
+	h.met.watchers.Set(int64(len(h.watchers)))
 	h.mu.Unlock()
 
 	go w.run()
@@ -231,6 +315,7 @@ func (h *Hub) lagOutLocked(w *hubWatcher, reason string) {
 	w.lagged = true
 	h.index.remove(w.id, w.rng)
 	h.resyncs++
+	h.met.resyncs.Inc()
 	min := h.maxSeen
 	if h.evicted > min {
 		min = h.evicted
@@ -244,6 +329,7 @@ func (h *Hub) cancel(w *hubWatcher) {
 		h.index.remove(w.id, w.rng)
 	}
 	delete(h.watchers, w.id)
+	h.met.watchers.Set(int64(len(h.watchers)))
 	h.mu.Unlock()
 	w.stop()
 }
@@ -306,6 +392,7 @@ func (h *Hub) Close() {
 		ws = append(ws, w)
 	}
 	h.watchers = map[int64]*hubWatcher{}
+	h.met.watchers.Set(0)
 	h.mu.Unlock()
 	for _, w := range ws {
 		w.stop()
@@ -358,6 +445,7 @@ func (w *hubWatcher) enqueue(it item) bool {
 		return false
 	}
 	w.queue = append(w.queue, it)
+	w.hub.met.queueHighwater.Max(int64(len(w.queue)))
 	w.cond.Signal()
 	return true
 }

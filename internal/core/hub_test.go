@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
 )
 
 // collector records watch callbacks for assertions.
@@ -513,5 +515,201 @@ func BenchmarkHubWatcherCount(b *testing.B) {
 				})
 			}
 		})
+	}
+}
+
+// Regression: Hub.Watch used to ignore enqueue overflow during the
+// retained-window replay, so a watcher whose replay exceeded WatcherBuffer
+// silently lost change events — the "third outcome" the contract forbids.
+// With Retention > WatcherBuffer the replay must end in a resync instead.
+func TestHubWatchReplayOverflowResyncs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := NewHub(HubConfig{Retention: 64, WatcherBuffer: 8, Metrics: reg})
+	defer h.Close()
+
+	for i := 1; i <= 50; i++ {
+		h.Append(put(fmt.Sprintf("k%02d", i), Version(i)))
+	}
+
+	var c collector
+	cancel, err := h.Watch(keyspace.Full(), NoVersion, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	waitUntil(t, "replay-overflow resync", func() bool {
+		_, _, rs := c.snapshot()
+		return len(rs) == 1
+	})
+	evs, _, rs := c.snapshot()
+	if rs[0].MinVersion != 50 {
+		t.Fatalf("resync MinVersion = %v, want 50 (maxSeen)", rs[0].MinVersion)
+	}
+	// No gapped stream: events delivered before the resync must be a prefix
+	// of the replay, never a truncated-then-resumed stream.
+	for i, ev := range evs {
+		if ev.Version != Version(i+1) {
+			t.Fatalf("gapped replay: event %d has version %v", i, ev.Version)
+		}
+	}
+	if got := reg.Snapshot().Counters["core_hub_replay_overflow_total"]; got != 1 {
+		t.Fatalf("replay overflow counter = %d, want 1", got)
+	}
+
+	// A replay that fits the buffer (watching from version 45: 5 events)
+	// still works and ends without a resync.
+	var c2 collector
+	cancel2, err := h.Watch(keyspace.Full(), 45, &c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	waitUntil(t, "short replay", func() bool {
+		evs, _, _ := c2.snapshot()
+		return len(evs) == 5
+	})
+	if _, _, rs2 := c2.snapshot(); len(rs2) != 0 {
+		t.Fatalf("short replay resynced unexpectedly: %v", rs2)
+	}
+}
+
+// Regression: Hub.Progress used to ignore enqueue overflow, so a full
+// watcher buffer silently dropped the progress event and the watcher's
+// knowledge frontier stalled forever. Overflow must lag the watcher out.
+func TestHubProgressOverflowResyncs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := NewHub(HubConfig{WatcherBuffer: 4, Metrics: reg})
+	defer h.Close()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	var resyncs []ResyncEvent
+	cb := Funcs{
+		Progress: func(ProgressEvent) {
+			once.Do(func() { close(entered) })
+			<-release
+		},
+		Resync: func(r ResyncEvent) {
+			mu.Lock()
+			resyncs = append(resyncs, r)
+			mu.Unlock()
+		},
+	}
+	cancel, err := h.Watch(keyspace.Full(), NoVersion, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	// First progress event wedges the consumer inside its callback...
+	h.Progress(ProgressEvent{Range: keyspace.Full(), Version: 1})
+	<-entered
+	// ...so the next WatcherBuffer events fill the queue exactly...
+	for i := 2; i <= 5; i++ {
+		h.Progress(ProgressEvent{Range: keyspace.Full(), Version: Version(i)})
+	}
+	// ...and one more overflows it: the watcher must be lagged out.
+	h.Progress(ProgressEvent{Range: keyspace.Full(), Version: 6})
+	close(release)
+
+	waitUntil(t, "progress-overflow resync", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(resyncs) == 1
+	})
+	mu.Lock()
+	r := resyncs[0]
+	mu.Unlock()
+	if r.MinVersion != 6 {
+		t.Fatalf("resync MinVersion = %v, want 6", r.MinVersion)
+	}
+	if got := reg.Snapshot().Counters["core_hub_progress_overflow_total"]; got != 1 {
+		t.Fatalf("progress overflow counter = %d, want 1", got)
+	}
+	// The lagged watcher is off the feed: further progress is not delivered.
+	if h.Stats().Resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1", h.Stats().Resyncs)
+	}
+}
+
+// TestHubStressFullLifecycle extends the concurrent stress to the full
+// lifecycle surface: appenders, progress writers, watcher churn, a failure
+// injector calling Wipe, and finally Close racing late operations. There are
+// no throughput assertions — under -race this test exists to prove the
+// synchronization of every public entry point, including the resync paths
+// the Wipe calls keep exercising.
+func TestHubStressFullLifecycle(t *testing.T) {
+	h := NewHub(HubConfig{Retention: 256, WatcherBuffer: 64})
+
+	var wg sync.WaitGroup
+	// Appenders: per-goroutine key slices keep per-key versions monotonic.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 400; i++ {
+				h.Append(ChangeEvent{
+					Key:     keyspace.NumericKey(g*100 + i%10),
+					Mut:     Mutation{Op: OpPut},
+					Version: Version(g*1000 + i),
+				})
+			}
+		}(g)
+	}
+	// Progress writers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 200; i++ {
+				h.Progress(ProgressEvent{Range: keyspace.Full(), Version: Version(g*500 + i)})
+			}
+		}(g)
+	}
+	// Watcher churn: each watch replays whatever is retained, then cancels.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				var c collector
+				cancel, err := h.Watch(keyspace.Full(), NoVersion, &c)
+				if err != nil {
+					return // closed under us — a valid interleaving
+				}
+				cancel()
+			}
+		}()
+	}
+	// Failure injector: wipes discard soft state and resync every watcher.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			h.Wipe()
+		}
+	}()
+	// Reader: stats and frontier snapshots race everything above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			h.Stats()
+			h.Frontier()
+		}
+	}()
+	wg.Wait()
+	h.Close()
+	if err := h.Append(ChangeEvent{Key: keyspace.NumericKey(1), Mut: Mutation{Op: OpPut}, Version: 1 << 30}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: got %v, want ErrClosed", err)
+	}
+	if err := h.Progress(ProgressEvent{Range: keyspace.Full(), Version: 1 << 30}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("progress after close: got %v, want ErrClosed", err)
+	}
+	if _, err := h.Watch(keyspace.Full(), NoVersion, &collector{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("watch after close: got %v, want ErrClosed", err)
 	}
 }

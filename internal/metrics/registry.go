@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of counters, gauges and histograms shared
+// across subsystems: the broker, the watch hub, the caches, the work queues
+// and the remote transport all register their instruments here, so one
+// snapshot shows the whole pipeline — publishes in, deliveries out, and
+// every resync or drop in between.
+//
+// Instruments are created on first use and live forever; callers resolve
+// them once at construction time and hold the returned pointer, so the hot
+// path is a single atomic add with no map lookup and no lock.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry used by subsystems whose
+// configuration does not name one explicitly.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Or returns r, or the default registry when r is nil — the idiom every
+// subsystem config uses to resolve its Metrics field.
+func (r *Registry) Or() *Registry {
+	if r == nil {
+		return defaultRegistry
+	}
+	return r
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a gauge whose value is computed at
+// snapshot time — used for derived values like consumer-group lag, where
+// keeping a stored gauge current would add work to the hot path.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegistrySnapshot is a point-in-time copy of every instrument's value.
+type RegistrySnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]Snapshot
+}
+
+// Snapshot captures every instrument. Gauge functions are evaluated here;
+// a panicking function reports -1 rather than killing the scrape.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	fns := make(map[string]func() int64, len(r.gaugeFns))
+	for n, fn := range r.gaugeFns {
+		fns[n] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)+len(fns)),
+		Histograms: make(map[string]Snapshot, len(hists)),
+	}
+	for n, c := range counters {
+		snap.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		snap.Gauges[n] = g.Value()
+	}
+	for n, fn := range fns {
+		snap.Gauges[n] = evalGaugeFn(fn)
+	}
+	for n, h := range hists {
+		snap.Histograms[n] = h.Snapshot()
+	}
+	return snap
+}
+
+func evalGaugeFn(fn func() int64) (v int64) {
+	defer func() {
+		if recover() != nil {
+			v = -1
+		}
+	}()
+	return fn()
+}
+
+// WriteTo renders the registry in a /metrics-style plain-text format, one
+// instrument per line, sorted by name: counters and gauges as `name value`,
+// histograms as `name count=N mean=M p50=... p90=... p99=... max=...`.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	snap := r.Snapshot()
+	var sb strings.Builder
+	for _, n := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(&sb, "%s %d\n", n, snap.Counters[n])
+	}
+	for _, n := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(&sb, "%s %d\n", n, snap.Gauges[n])
+	}
+	hnames := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := snap.Histograms[n]
+		fmt.Fprintf(&sb, "%s count=%d mean=%.0f p50=%d p90=%d p99=%d max=%d\n",
+			n, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the registry dump to a string.
+func (r *Registry) String() string {
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	return sb.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total")
+	if c != r.Counter("a_total") {
+		t.Fatal("counter not interned")
+	}
+	g := r.Gauge("a_depth")
+	if g != r.Gauge("a_depth") {
+		t.Fatal("gauge not interned")
+	}
+	h := r.Histogram("a_lat")
+	if h != r.Histogram("a_lat") {
+		t.Fatal("histogram not interned")
+	}
+	c.Add(3)
+	g.Set(7)
+	h.Observe(100)
+	snap := r.Snapshot()
+	if snap.Counters["a_total"] != 3 {
+		t.Fatalf("counter = %d, want 3", snap.Counters["a_total"])
+	}
+	if snap.Gauges["a_depth"] != 7 {
+		t.Fatalf("gauge = %d, want 7", snap.Gauges["a_depth"])
+	}
+	if snap.Histograms["a_lat"].Count != 1 {
+		t.Fatalf("hist count = %d, want 1", snap.Histograms["a_lat"].Count)
+	}
+}
+
+func TestRegistryOr(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Or() != Default() {
+		t.Fatal("nil.Or() should resolve to the default registry")
+	}
+	r := NewRegistry()
+	if r.Or() != r {
+		t.Fatal("non-nil.Or() should return itself")
+	}
+}
+
+func TestRegistryGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(41)
+	r.GaugeFunc("derived", func() int64 { return v + 1 })
+	if got := r.Snapshot().Gauges["derived"]; got != 42 {
+		t.Fatalf("gauge func = %d, want 42", got)
+	}
+	r.GaugeFunc("boom", func() int64 { panic("scrape must survive") })
+	if got := r.Snapshot().Gauges["boom"]; got != -1 {
+		t.Fatalf("panicking gauge func = %d, want -1", got)
+	}
+}
+
+func TestRegistryWriteTo(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total").Add(2)
+	r.Counter("a_total").Inc()
+	r.Gauge("depth").Set(5)
+	r.Histogram("lat_ns").Observe(1000)
+	out := r.String()
+	for _, want := range []string{"a_total 1", "z_total 2", "depth 5", "lat_ns count=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Counters render sorted.
+	if strings.Index(out, "a_total") > strings.Index(out, "z_total") {
+		t.Fatalf("dump not sorted:\n%s", out)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("shared_gauge").Add(1)
+				r.Histogram("shared_lat").Observe(int64(j + 1))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["shared_total"] != 8000 {
+		t.Fatalf("counter = %d, want 8000", snap.Counters["shared_total"])
+	}
+	if snap.Histograms["shared_lat"].Count != 8000 {
+		t.Fatalf("hist count = %d, want 8000", snap.Histograms["shared_lat"].Count)
+	}
+}

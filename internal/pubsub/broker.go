@@ -27,6 +27,7 @@ import (
 
 	"unbundle/internal/clockwork"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
 	"unbundle/internal/wal"
 )
 
@@ -84,11 +85,48 @@ type BrokerConfig struct {
 	Clock clockwork.Clock
 	// GCInterval is how often retention/compaction run (default 1s).
 	GCInterval time.Duration
+	// Metrics is the registry the broker's instruments register in; nil uses
+	// metrics.Default().
+	Metrics *metrics.Registry
+}
+
+// brokerMetrics holds the broker's registry instruments, resolved once so
+// hot paths pay only an atomic add. The silent-reset and skipped counters
+// mirror the per-group oracle counters: the consumer-visible API still
+// carries no error (the paper's point), but the operator plane now sees
+// every loss as it happens.
+type brokerMetrics struct {
+	published, delivered, acked, nacked *metrics.Counter
+	redelivered, deadLettered           *metrics.Counter
+	nackDrops                           *metrics.Counter
+	silentResets, skippedMsgs           *metrics.Counter
+	gcRecords, compactedAway            *metrics.Counter
+	deliverLatency                      *metrics.Histogram
+}
+
+func newBrokerMetrics(reg *metrics.Registry) brokerMetrics {
+	reg = reg.Or()
+	return brokerMetrics{
+		published:      reg.Counter("pubsub_published_total"),
+		delivered:      reg.Counter("pubsub_delivered_total"),
+		acked:          reg.Counter("pubsub_acked_total"),
+		nacked:         reg.Counter("pubsub_nacked_total"),
+		redelivered:    reg.Counter("pubsub_redelivered_total"),
+		deadLettered:   reg.Counter("pubsub_dead_lettered_total"),
+		nackDrops:      reg.Counter("pubsub_nack_drops_total"),
+		silentResets:   reg.Counter("pubsub_silent_resets_total"),
+		skippedMsgs:    reg.Counter("pubsub_skipped_messages_total"),
+		gcRecords:      reg.Counter("pubsub_gc_records_total"),
+		compactedAway:  reg.Counter("pubsub_compacted_away_total"),
+		deliverLatency: reg.Histogram("pubsub_deliver_latency_ns"),
+	}
 }
 
 // Broker is an in-process pubsub broker. Safe for concurrent use.
 type Broker struct {
 	clock clockwork.Clock
+	reg   *metrics.Registry
+	met   brokerMetrics
 
 	mu     sync.Mutex
 	topics map[string]*topic
@@ -109,6 +147,10 @@ type topic struct {
 	parts     []*wal.Log
 	groups    map[string]*Group
 	published int64
+	// rrNext is the dedicated round-robin cursor for unkeyed messages.
+	// Indexing by `published` (which also counts keyed messages) skewed
+	// mixed workloads: every keyed publish advanced the unkeyed cursor too.
+	rrNext int64
 	// cond wakes blocking consumers when new data or assignments arrive.
 	cond *sync.Cond
 }
@@ -123,6 +165,8 @@ func NewBroker(cfg BrokerConfig) *Broker {
 	}
 	b := &Broker{
 		clock:  cfg.Clock,
+		reg:    cfg.Metrics.Or(),
+		met:    newBrokerMetrics(cfg.Metrics),
 		topics: make(map[string]*topic),
 		stopGC: make(chan struct{}),
 		gcDone: make(chan struct{}),
@@ -177,11 +221,13 @@ func (b *Broker) Publish(topicName string, key keyspace.Key, value []byte) (part
 	if key != "" {
 		partition = keyspace.HashPartition(key, len(t.parts))
 	} else {
-		partition = int(t.published % int64(len(t.parts)))
+		partition = int(t.rrNext % int64(len(t.parts)))
+		t.rrNext++
 	}
 	offset = t.parts[partition].Append(key, value, now)
 	t.published++
 	t.cond.Broadcast()
+	b.met.published.Inc()
 	return partition, offset, nil
 }
 
@@ -220,9 +266,11 @@ func (b *Broker) RunGC() {
 	}
 	b.mu.Unlock()
 	now := b.clock.Now()
+	var gcedDelta, compactedDelta int64
 	for _, t := range topics {
 		t.mu.Lock()
 		for _, p := range t.parts {
+			before := p.Stats()
 			if t.cfg.Retention > 0 {
 				p.RetainSince(now.Add(-t.cfg.Retention))
 			}
@@ -232,10 +280,15 @@ func (b *Broker) RunGC() {
 			if t.cfg.Compacted {
 				p.Compact(now.Add(-t.cfg.CompactionLag))
 			}
+			after := p.Stats()
+			gcedDelta += after.GCedRecords - before.GCedRecords
+			compactedDelta += after.CompactedAway - before.CompactedAway
 		}
 		t.cond.Broadcast() // wake consumers so they observe resets promptly
 		t.mu.Unlock()
 	}
+	b.met.gcRecords.Add(gcedDelta)
+	b.met.compactedAway.Add(compactedDelta)
 }
 
 // TopicStats aggregates a topic's counters; the GC-loss oracle in the

@@ -1,0 +1,117 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+)
+
+// Regression: with MaxDeliveries set but no DeadLetterTopic, Nack used to
+// redeliver the exhausted message forever — MaxDeliveries only took effect
+// when a DLQ was configured, contradicting its documentation ("bounds
+// redelivery attempts per message") and leaving the partition head-of-line
+// blocked by the poison message for good.
+func TestNackMaxDeliveriesWithoutDLQDrops(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := NewBroker(BrokerConfig{Metrics: reg})
+	t.Cleanup(b.Close)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true, MaxDeliveries: 3})
+	c, _ := g.Join("m")
+	b.Publish("t", "poison", []byte("bad"))
+	b.Publish("t", "good", []byte("ok"))
+
+	for i := 1; i <= 3; i++ {
+		msg, ok, _ := c.Poll()
+		if !ok || msg.Key != "poison" {
+			t.Fatalf("attempt %d: %+v ok=%v", i, msg, ok)
+		}
+		if msg.Attempt != i {
+			t.Fatalf("attempt %d reported as %d", i, msg.Attempt)
+		}
+		c.Nack(msg)
+	}
+	// Attempts are exhausted: the poison message is dropped (counted, not
+	// silent) and the partition unblocks.
+	msg, ok, _ := c.Poll()
+	if !ok || msg.Key != "good" {
+		t.Fatalf("after exhaustion: %+v ok=%v (poison still blocking?)", msg, ok)
+	}
+	st := g.Stats()
+	if st.Dropped != 1 || st.DeadLettered != 0 {
+		t.Fatalf("stats = %+v, want Dropped=1 DeadLettered=0", st)
+	}
+	if got := reg.Snapshot().Counters["pubsub_nack_drops_total"]; got != 1 {
+		t.Fatalf("nack drop counter = %d, want 1", got)
+	}
+}
+
+// The DLQ configuration keeps its behavior: exhausted messages are
+// sidelined, not dropped.
+func TestNackMaxDeliveriesWithDLQSidelines(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := NewBroker(BrokerConfig{Metrics: reg})
+	t.Cleanup(b.Close)
+	b.CreateTopic("t", TopicConfig{Partitions: 1})
+	b.CreateTopic("dlq", TopicConfig{Partitions: 1})
+	g, _ := b.Group("t", "g", GroupConfig{StartAtEarliest: true, MaxDeliveries: 2, DeadLetterTopic: "dlq"})
+	c, _ := g.Join("m")
+	b.Publish("t", "poison", []byte("bad"))
+
+	for i := 0; i < 2; i++ {
+		msg, ok, _ := c.Poll()
+		if !ok {
+			t.Fatalf("poll %d failed", i)
+		}
+		c.Nack(msg)
+	}
+	st := g.Stats()
+	if st.DeadLettered != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want DeadLettered=1 Dropped=0", st)
+	}
+	fc, err := b.NewFreeConsumer("dlq", 0, FromEarliest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := fc.Poll(); !ok || msg.Key != "poison" {
+		t.Fatalf("dlq content = %+v ok=%v", msg, ok)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["pubsub_dead_lettered_total"] != 1 || snap.Counters["pubsub_nack_drops_total"] != 0 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+}
+
+// Regression: unkeyed round-robin used to index by t.published, which also
+// counts keyed messages, so a mixed workload skewed unkeyed traffic onto a
+// few partitions (e.g. 3 keyed + 1 unkeyed per cycle pinned every unkeyed
+// message to one partition). A dedicated cursor keeps the spread even.
+func TestUnkeyedRoundRobinUnskewedByKeyedTraffic(t *testing.T) {
+	b := newTestBroker(t, nil)
+	const parts = 4
+	b.CreateTopic("t", TopicConfig{Partitions: parts})
+
+	dist := make(map[int]int)
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		// Three keyed publishes per unkeyed one: with the shared counter the
+		// unkeyed index advanced by 4 per cycle and never moved.
+		for j := 0; j < 3; j++ {
+			if _, _, err := b.Publish("t", keyspace.Key(fmt.Sprintf("key-%d-%d", i, j)), []byte("k")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, _, err := b.Publish("t", "", []byte("u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist[p]++
+	}
+	for p := 0; p < parts; p++ {
+		if dist[p] != rounds/parts {
+			t.Fatalf("unkeyed distribution skewed: %v (want %d per partition)", dist, rounds/parts)
+		}
+	}
+}

@@ -51,6 +51,7 @@ type Group struct {
 	acked        int64
 	redelivered  int64
 	deadLettered int64
+	dropped      int64 // exhausted MaxDeliveries with no DLQ configured
 	silentResets int64
 	skippedMsgs  int64 // messages jumped over by silent resets (GC loss)
 }
@@ -88,6 +89,9 @@ func (b *Broker) Group(topicName, groupName string, cfg GroupConfig) (*Group, er
 		}
 	}
 	t.groups[groupName] = g
+	// Lag is derived state: computing it on every ack would tax the hot
+	// path, so it is registered as a gauge function evaluated at scrape.
+	b.reg.GaugeFunc("pubsub_group_lag:"+topicName+"/"+groupName, g.Lag)
 	return g, nil
 }
 
@@ -154,8 +158,21 @@ func (c *Consumer) Leave() {
 // head-of-line blocking (§3.2.3).
 func (c *Consumer) Poll() (Message, bool, error) {
 	c.g.t.mu.Lock()
-	defer c.g.t.mu.Unlock()
-	return c.pollLocked()
+	msg, ok, err := c.pollLocked()
+	c.g.t.mu.Unlock()
+	if ok {
+		c.g.observeDeliverLatency(msg)
+	}
+	return msg, ok, err
+}
+
+// observeDeliverLatency records the publish→deliver latency of msg. Called
+// outside the topic lock: the clock read and the histogram's own lock never
+// extend the broker's critical sections.
+func (g *Group) observeDeliverLatency(msg Message) {
+	if lat := g.broker.clock.Now().Sub(msg.PublishTime); lat >= 0 {
+		g.broker.met.deliverLatency.ObserveDuration(lat)
+	}
 }
 
 func (c *Consumer) pollLocked() (Message, bool, error) {
@@ -192,8 +209,10 @@ func (g *Group) readLocked(p int) (Message, bool) {
 			// of the log and the skipped messages are simply gone (§3.1).
 			if oor.Earliest > g.committed[p] {
 				g.skippedMsgs += oor.Earliest - g.committed[p]
+				g.broker.met.skippedMsgs.Add(oor.Earliest - g.committed[p])
 				g.committed[p] = oor.Earliest
 				g.silentResets++
+				g.broker.met.silentResets.Inc()
 				continue
 			}
 			return Message{}, false
@@ -205,12 +224,14 @@ func (g *Group) readLocked(p int) (Message, bool) {
 		if g.lastTried[p] == rec.Offset {
 			g.attempts[p]++
 			g.redelivered++
+			g.broker.met.redelivered.Inc()
 		} else {
 			g.lastTried[p] = rec.Offset
 			g.attempts[p] = 1
 		}
 		g.inflight[p] = rec.Offset
 		g.delivered++
+		g.broker.met.delivered.Inc()
 		return Message{
 			Topic:       g.t.name,
 			Partition:   p,
@@ -239,13 +260,16 @@ func (c *Consumer) Ack(msg Message) bool {
 	g.committed[p] = msg.Offset + 1
 	g.inflight[p] = -1
 	g.acked++
+	g.broker.met.acked.Inc()
 	g.t.cond.Broadcast()
 	return true
 }
 
 // Nack abandons the delivery attempt. The message is redelivered unless it
-// has exhausted MaxDeliveries, in which case it is moved to the dead-letter
-// topic (if configured) and committed past.
+// has exhausted MaxDeliveries, in which case it is committed past: moved to
+// the dead-letter topic when one is configured, otherwise dropped (and
+// counted) — MaxDeliveries bounds redelivery in both configurations, so a
+// poison message can never block its partition forever.
 func (c *Consumer) Nack(msg Message) {
 	g := c.g
 	dlqPublish := false
@@ -253,10 +277,17 @@ func (c *Consumer) Nack(msg Message) {
 	p := msg.Partition
 	if p >= 0 && p < len(g.t.parts) && !c.left && g.assignment[p] == c.id && g.inflight[p] == msg.Offset {
 		g.inflight[p] = -1
-		if g.cfg.MaxDeliveries > 0 && g.attempts[p] >= g.cfg.MaxDeliveries && g.cfg.DeadLetterTopic != "" {
+		g.broker.met.nacked.Inc()
+		if g.cfg.MaxDeliveries > 0 && g.attempts[p] >= g.cfg.MaxDeliveries {
 			g.committed[p] = msg.Offset + 1
-			g.deadLettered++
-			dlqPublish = true
+			if g.cfg.DeadLetterTopic != "" {
+				g.deadLettered++
+				g.broker.met.deadLettered.Inc()
+				dlqPublish = true
+			} else {
+				g.dropped++
+				g.broker.met.nackDrops.Inc()
+			}
 		}
 		g.t.cond.Broadcast()
 	}
@@ -283,15 +314,19 @@ func (c *Consumer) PollBlocking(stop <-chan struct{}) (Message, bool, error) {
 		}
 	}()
 	c.g.t.mu.Lock()
-	defer c.g.t.mu.Unlock()
 	for {
 		select {
 		case <-stop:
+			c.g.t.mu.Unlock()
 			return Message{}, false, nil
 		default:
 		}
 		msg, ok, err := c.pollLocked()
 		if ok || err != nil {
+			c.g.t.mu.Unlock()
+			if ok {
+				c.g.observeDeliverLatency(msg)
+			}
 			return msg, ok, err
 		}
 		c.g.t.cond.Wait()
@@ -363,6 +398,7 @@ type GroupStats struct {
 	Acked           int64
 	Redelivered     int64
 	DeadLettered    int64
+	Dropped         int64 // exhausted MaxDeliveries without a DLQ
 	SilentResets    int64
 	SkippedMessages int64
 	Lag             int64
@@ -380,6 +416,7 @@ func (g *Group) Stats() GroupStats {
 		Acked:           g.acked,
 		Redelivered:     g.redelivered,
 		DeadLettered:    g.deadLettered,
+		Dropped:         g.dropped,
 		SilentResets:    g.silentResets,
 		SkippedMessages: g.skippedMsgs,
 		Lag:             lag,

@@ -24,7 +24,33 @@ import (
 
 	"unbundle/internal/core"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
 )
+
+// remoteMetrics holds the transport-layer instruments, resolved once from the
+// default registry at Serve/Dial so the per-frame paths stay atomic-only.
+type remoteMetrics struct {
+	serverConns     *metrics.Counter
+	overflowResyncs *metrics.Counter
+	watchRejects    *metrics.Counter
+	clientConnLost  *metrics.Counter
+	clientWatches   *metrics.Counter
+	clientSnapshots *metrics.Counter
+	clientResyncs   *metrics.Counter
+}
+
+func newRemoteMetrics() remoteMetrics {
+	reg := metrics.Default()
+	return remoteMetrics{
+		serverConns:     reg.Counter("remote_server_conns_total"),
+		overflowResyncs: reg.Counter("remote_server_overflow_resyncs_total"),
+		watchRejects:    reg.Counter("remote_server_watch_rejects_total"),
+		clientConnLost:  reg.Counter("remote_client_conn_lost_total"),
+		clientWatches:   reg.Counter("remote_client_watches_total"),
+		clientSnapshots: reg.Counter("remote_client_snapshots_total"),
+		clientResyncs:   reg.Counter("remote_client_resyncs_total"),
+	}
+}
 
 // frame is the single wire message; exactly one pointer field is set.
 type frame struct {
@@ -87,6 +113,7 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+	met    remoteMetrics
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0"). The returned server
@@ -96,7 +123,7 @@ func Serve(addr string, watch core.Watchable, snap core.Snapshotter) (*Server, e
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen: %w", err)
 	}
-	s := &Server{watch: watch, snap: snap, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{watch: watch, snap: snap, ln: ln, conns: make(map[net.Conn]struct{}), met: newRemoteMetrics()}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -129,6 +156,7 @@ func (s *Server) acceptLoop() {
 // by one writer goroutine, and the active watches.
 type serverConn struct {
 	conn net.Conn
+	met  remoteMetrics
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -148,8 +176,9 @@ const outboundLimit = 8192
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	sc := &serverConn{conn: conn, watches: make(map[uint64]serverWatch)}
+	sc := &serverConn{conn: conn, met: s.met, watches: make(map[uint64]serverWatch)}
 	sc.cond = sync.NewCond(&sc.mu)
+	s.met.serverConns.Inc()
 
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -197,6 +226,7 @@ func (s *Server) handleFrame(sc *serverConn, f frame) {
 		if err != nil {
 			// Report the failure as an immediate resync carrying the reason;
 			// the consumer's recovery path handles it uniformly.
+			s.met.watchRejects.Inc()
 			sc.send(frame{Resync: &resyncMsg{ID: id, R: core.ResyncEvent{Range: r, Reason: "watch rejected: " + err.Error()}}})
 			return
 		}
@@ -241,6 +271,7 @@ func (sc *serverConn) send(f frame) {
 		return
 	}
 	if len(sc.queue) >= outboundLimit && f.SnapResult == nil && f.Resync == nil {
+		sc.met.overflowResyncs.Add(int64(len(sc.watches)))
 		resyncs := make([]frame, 0, len(sc.watches))
 		for id, w := range sc.watches {
 			resyncs = append(resyncs, frame{Resync: &resyncMsg{ID: id, R: core.ResyncEvent{
@@ -311,6 +342,7 @@ var (
 type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
+	met  remoteMetrics
 
 	mu      sync.Mutex
 	encMu   sync.Mutex
@@ -335,6 +367,7 @@ func Dial(addr string) (*Client, error) {
 	c := &Client{
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
+		met:     newRemoteMetrics(),
 		watches: make(map[uint64]core.WatchCallback),
 		snaps:   make(map[uint64]chan snapshotResp),
 	}
@@ -361,6 +394,7 @@ func (c *Client) readLoop() {
 			}
 		case f.Resync != nil:
 			if cb := c.callback(f.Resync.ID); cb != nil {
+				c.met.clientResyncs.Inc()
 				cb.OnResync(f.Resync.R)
 			}
 		case f.SnapResult != nil:
@@ -388,6 +422,8 @@ func (c *Client) fail(err error) {
 	snaps := c.snaps
 	c.snaps = map[uint64]chan snapshotResp{}
 	c.mu.Unlock()
+	c.met.clientConnLost.Inc()
+	c.met.clientResyncs.Add(int64(len(watches)))
 	for _, cb := range watches {
 		cb.OnResync(core.ResyncEvent{Range: keyspace.Full(), Reason: "remote: connection lost: " + err.Error()})
 	}
@@ -432,6 +468,7 @@ func (c *Client) Watch(r keyspace.Range, from core.Version, cb core.WatchCallbac
 		c.mu.Unlock()
 		return nil, fmt.Errorf("remote: watch: %w", err)
 	}
+	c.met.clientWatches.Inc()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
@@ -463,6 +500,7 @@ func (c *Client) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, er
 		c.mu.Unlock()
 		return nil, 0, fmt.Errorf("remote: snapshot: %w", err)
 	}
+	c.met.clientSnapshots.Inc()
 	resp, ok := <-ch
 	if !ok {
 		return nil, 0, fmt.Errorf("remote: snapshot: %w", io.ErrUnexpectedEOF)

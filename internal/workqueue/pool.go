@@ -71,6 +71,27 @@ type PoolStats struct {
 	Busy        int   // workers currently mid-task
 }
 
+// wqMetrics holds the registry instruments shared by both pool flavors,
+// split by model so one snapshot compares them. Latency histograms stay
+// pool-local (PoolStats must not mix pools); the registry sees counters and
+// a model-wide latency histogram in virtual ticks.
+type wqMetrics struct {
+	completed, coalesced *metrics.Counter
+	warmHits, warmMisses *metrics.Counter
+	latency              *metrics.Histogram
+}
+
+func newWQMetrics(reg *metrics.Registry, model string) wqMetrics {
+	reg = reg.Or()
+	return wqMetrics{
+		completed:  reg.Counter("workqueue_" + model + "_completed_total"),
+		coalesced:  reg.Counter("workqueue_" + model + "_coalesced_total"),
+		warmHits:   reg.Counter("workqueue_" + model + "_warm_hits_total"),
+		warmMisses: reg.Counter("workqueue_" + model + "_warm_misses_total"),
+		latency:    reg.Histogram("workqueue_" + model + "_latency_ticks"),
+	}
+}
+
 // encodeWork serializes work for the pubsub transport.
 func encodeWork(w Work) []byte {
 	return []byte(fmt.Sprintf("%d|%d|%d", w.Seq, w.Cost, w.Submit))

@@ -26,6 +26,7 @@ type PubSubPool struct {
 	latency    *metrics.Histogram
 	cheapLat   *metrics.Histogram
 	slowCost   int // tasks with Cost >= slowCost count as slow
+	met        wqMetrics
 }
 
 // psWorker is one group member: single-threaded, processing its delivered
@@ -61,6 +62,7 @@ func NewPubSubPool(partitions, slowCost int) (*PubSubPool, error) {
 		latency:  metrics.NewHistogram(),
 		cheapLat: metrics.NewHistogram(),
 		slowCost: slowCost,
+		met:      newWQMetrics(nil, "pubsub"),
 	}, nil
 }
 
@@ -124,8 +126,10 @@ func (p *PubSubPool) Tick() {
 			if w.coldStart {
 				w.remaining += WarmCost
 				p.warmMisses++
+				p.met.warmMisses.Inc()
 			} else {
 				p.warmHits++
+				p.met.warmHits.Inc()
 			}
 			w.warm[work.Entity] = true
 		}
@@ -144,6 +148,8 @@ func (p *PubSubPool) Tick() {
 			if w.work.Cost < p.slowCost {
 				p.cheapLat.Observe(lat)
 			}
+			p.met.completed.Inc()
+			p.met.latency.Observe(lat)
 			w.cur = nil
 		}
 	}

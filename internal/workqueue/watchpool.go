@@ -44,6 +44,7 @@ type WatchPool struct {
 	latency    *metrics.Histogram
 	cheapLat   *metrics.Histogram
 	slowCost   int
+	met        wqMetrics
 }
 
 var _ Pool = (*WatchPool)(nil)
@@ -65,6 +66,7 @@ func NewWatchPool(shards, slowCost int) *WatchPool {
 		latency:  metrics.NewHistogram(),
 		cheapLat: metrics.NewHistogram(),
 		slowCost: slowCost,
+		met:      newWQMetrics(nil, "watch"),
 	}
 }
 
@@ -166,6 +168,13 @@ func (p *WatchPool) recordCompletion(w Work, tick int64, cold bool) {
 		p.cheapLat.Observe(lat)
 	}
 	p.mu.Unlock()
+	p.met.completed.Inc()
+	if cold {
+		p.met.warmMisses.Inc()
+	} else {
+		p.met.warmHits.Inc()
+	}
+	p.met.latency.Observe(lat)
 }
 
 // Done implements Pool.
@@ -368,6 +377,7 @@ func (w *wWorker) ApplyChange(ev core.ChangeEvent) {
 		// A newer desired state subsumes the queued one: the state-based
 		// model coalesces redundant work instead of queueing it.
 		w.pool.coalesced.Add(1)
+		w.pool.met.coalesced.Inc()
 	}
 	w.pending[ev.Key] = work
 }

@@ -33,6 +33,7 @@ import (
 	"unbundle/internal/core"
 	"unbundle/internal/ingeststore"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
 	"unbundle/internal/mvcc"
 	"unbundle/internal/pubsub"
 	"unbundle/internal/remote"
@@ -241,3 +242,21 @@ func ServeWatch(addr string, w Watchable, s Snapshotter) (*WatchServer, error) {
 func DialWatch(addr string) (*WatchClient, error) {
 	return remote.Dial(addr)
 }
+
+// Observability (see internal/metrics): every subsystem records named
+// counters, gauges and histograms into a registry — either one passed via
+// its config's Metrics field, or the shared process-wide default.
+type (
+	// MetricsRegistry collects named counters, gauges and histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's instruments.
+	MetricsSnapshot = metrics.RegistrySnapshot
+)
+
+// NewMetricsRegistry returns an empty registry to pass into HubConfig,
+// BrokerConfig, WatchConfig or PubSubConfig for isolated measurement.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry that subsystems fall
+// back to when their config leaves Metrics nil. Dump it with WriteTo.
+func DefaultMetrics() *MetricsRegistry { return metrics.Default() }
