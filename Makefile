@@ -14,10 +14,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-bench:
-	$(GO) test -bench=. -benchmem ./...
+# bench runs the hub/store microbenchmarks 5× each and folds the medians
+# into BENCH_hub.json under BENCH_LABEL — the repo's perf trajectory. Raw
+# output is kept in bench_raw.txt for inspection; BENCH_hub.json is what
+# gets committed.
+BENCH_LABEL ?= dev
+BENCH_HUB = 'BenchmarkStoreTxnCommit$$|BenchmarkHubAppendFanout8$$|BenchmarkHubAppendFanoutSharded$$|BenchmarkStoreCommitCDCBatch$$|BenchmarkWatchEndToEnd$$'
+BENCH_CORE = 'BenchmarkHubWatchReplay$$|BenchmarkHubAppendBatch$$'
 
-# verify is the gate a change must pass before it ships.
+bench:
+	$(GO) test -run XXX -bench $(BENCH_HUB) -benchmem -count=5 . > bench_raw.txt
+	$(GO) test -run XXX -bench $(BENCH_CORE) -benchmem -count=5 ./internal/core >> bench_raw.txt
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -in bench_raw.txt -out BENCH_hub.json
+
+# verify is the gate a change must pass before it ships. The race target
+# includes the hub contract, stress, and latency-isolation tests.
 verify: vet build race
 
 clean:

@@ -120,6 +120,73 @@ func BenchmarkHubAppendFanout8(b *testing.B) {
 	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
 }
 
+// BenchmarkHubAppendFanoutSharded is the multi-shard successor of
+// BenchmarkHubAppendFanout8 at equal watcher count: keys spread evenly over
+// the numeric domain so each of the hub's key-range shards (default
+// GOMAXPROCS) carries its own slice of the load, and appends to different
+// shards never contend.
+func BenchmarkHubAppendFanoutSharded(b *testing.B) {
+	reg := unbundle.NewMetricsRegistry()
+	hub := unbundle.NewHub(unbundle.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 20, Metrics: reg})
+	defer hub.Close()
+	var delivered atomic.Int64
+	keys := make([]unbundle.Key, 8)
+	for w := 0; w < 8; w++ {
+		lo := unbundle.NumericKey(w * 1000)
+		hi := unbundle.NumericKey(w*1000 + 1000)
+		keys[w] = unbundle.NumericKey(w*1000 + 500)
+		cancel, err := hub.Watch(unbundle.Range{Low: lo, High: hi}, 0, unbundle.Callbacks{
+			Event: func(unbundle.ChangeEvent) { delivered.Add(1) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cancel()
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int
+		for pb.Next() {
+			i++
+			hub.Append(unbundle.ChangeEvent{
+				Key:     keys[i%8],
+				Mut:     unbundle.Mutation{Op: unbundle.OpPut, Value: []byte("v")},
+				Version: unbundle.Version(i + 1),
+			})
+		}
+	})
+	b.StopTimer()
+	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
+}
+
+// BenchmarkStoreCommitCDCBatch measures the batched commit→CDC→hub path: an
+// 8-key transaction reaches the hub as one AppendBatch per commit instead of
+// eight Append round-trips.
+func BenchmarkStoreCommitCDCBatch(b *testing.B) {
+	reg := unbundle.NewMetricsRegistry()
+	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 20, Metrics: reg})
+	defer store.Close()
+	var delivered atomic.Int64
+	cancel, err := store.Watch(unbundle.FullRange(), 0, unbundle.Callbacks{
+		Event: func(unbundle.ChangeEvent) { delivered.Add(1) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Commit(func(tx *unbundle.Tx) error {
+			for k := 0; k < 8; k++ {
+				tx.Put(unbundle.Key(fmt.Sprintf("%d-%04d", k, i%1000)), []byte("v"))
+			}
+			return nil
+		})
+	}
+	b.StopTimer()
+	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
+}
+
 func BenchmarkWatchEndToEnd(b *testing.B) {
 	// Full pipeline: store commit → CDC → hub → watcher callback.
 	reg := unbundle.NewMetricsRegistry()

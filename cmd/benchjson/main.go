@@ -1,0 +1,184 @@
+// Command benchjson converts raw `go test -bench` output into the
+// machine-readable BENCH_hub.json perf trajectory. It aggregates repeated
+// runs of the same benchmark (-count=N) by median, so one record per
+// benchmark lands in the file, and merges into an existing file by label —
+// re-running a label replaces its entry, other labels are kept. Typical use
+// (see `make bench`):
+//
+//	go test -run XXX -bench 'Hub|Store|WatchEndToEnd' -benchmem -count=5 . > bench_raw.txt
+//	go run ./cmd/benchjson -label post-sharding -in bench_raw.txt -out BENCH_hub.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's aggregated record: the medians of every
+// reported metric across the run's -count repetitions.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	// Extra holds any further ReportMetric units (e.g. events/replay).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Run is one labeled benchmark run (e.g. "pre-sharding", "post-sharding").
+type Run struct {
+	Label      string      `json:"label"`
+	GoMaxProcs int         `json:"gomaxprocs,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the BENCH_hub.json document: the repo's perf trajectory, one entry
+// per labeled run, oldest first.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	label := flag.String("label", "", "label for this run (required), e.g. pre-sharding")
+	in := flag.String("in", "", "raw `go test -bench` output file (default stdin)")
+	out := flag.String("out", "BENCH_hub.json", "JSON file to merge the run into")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	run := Run{Label: *label}
+	samples := map[string]map[string][]float64{} // name -> unit -> values
+	var order []string
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		if m[2] != "" {
+			run.GoMaxProcs, _ = strconv.Atoi(m[2])
+		}
+		if samples[name] == nil {
+			samples[name] = map[string][]float64{}
+			order = append(order, name)
+		}
+		// The remainder alternates "<value> <unit>" pairs, tab-separated.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			samples[name][unit] = append(samples[name][unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(order) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	for _, name := range order {
+		units := samples[name]
+		b := Benchmark{Name: name, Samples: len(units["ns/op"])}
+		for unit, vals := range units {
+			med := median(vals)
+			switch unit {
+			case "ns/op":
+				b.NsPerOp = med
+			case "allocs/op":
+				b.AllocsPerOp = med
+			case "B/op":
+				b.BytesPerOp = med
+			case "p50-ns":
+				b.P50Ns = med
+			case "p99-ns":
+				b.P99Ns = med
+			default:
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit] = med
+			}
+		}
+		run.Benchmarks = append(run.Benchmarks, b)
+	}
+
+	var doc File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatal(fmt.Errorf("%s: %w", *out, err))
+		}
+	}
+	replaced := false
+	for i := range doc.Runs {
+		if doc.Runs[i].Label == run.Label {
+			doc.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		doc.Runs = append(doc.Runs, run)
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks under label %q to %s\n", len(run.Benchmarks), run.Label, *out)
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -174,9 +174,40 @@ type Ingester interface {
 	// Append supplies one change event. Events for a given key must be
 	// appended in non-decreasing version order.
 	Append(ev ChangeEvent) error
+	// AppendBatch supplies a batch of change events in one call — typically
+	// everything one store commit produced — letting the watch system
+	// amortize per-call synchronization. The batch must respect the same
+	// per-key version ordering as a sequence of Appends, and the callee must
+	// not retain evs after returning (the caller keeps ownership). An
+	// implementation without a native batch path can delegate to the Batch
+	// adapter.
+	AppendBatch(evs []ChangeEvent) error
 	// Progress declares that every change below and at the given version for
 	// the given range has been appended.
 	Progress(p ProgressEvent) error
+}
+
+// SingleIngester is the pre-batching store-facing contract: one event per
+// call. Wrap one with Batch to obtain a full Ingester.
+type SingleIngester interface {
+	Append(ev ChangeEvent) error
+	Progress(p ProgressEvent) error
+}
+
+// Batch adapts a SingleIngester to the full Ingester contract by looping
+// AppendBatch over Append. Implementations with a real batch path should
+// implement Ingester directly instead.
+func Batch(si SingleIngester) Ingester { return batchAdapter{si} }
+
+type batchAdapter struct{ SingleIngester }
+
+func (a batchAdapter) AppendBatch(evs []ChangeEvent) error {
+	for i := range evs {
+		if err := a.Append(evs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Entry is one key's state in a snapshot read, used during resync.

@@ -3,7 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unbundle/internal/keyspace"
@@ -18,16 +21,25 @@ var (
 	ErrBadWatch = errors.New("core: invalid watch request")
 )
 
-// HubConfig tunes a Hub's soft-state footprint.
+// HubConfig tunes a Hub's soft-state footprint and parallelism.
 type HubConfig struct {
-	// Retention is the maximum number of change events kept in the hub's
-	// in-memory window. Evicting an event a watcher would still need turns
+	// Retention is the maximum number of change events kept in each shard's
+	// in-memory window (total soft state is therefore at most
+	// Shards×Retention). Evicting an event a watcher would still need turns
 	// into an explicit resync for that watcher — never silent loss.
 	// Default 8192.
 	Retention int
 	// WatcherBuffer is the maximum number of undelivered items queued for one
 	// watcher before it is lagged out with a resync. Default 1024.
 	WatcherBuffer int
+	// Shards is the number of key-range shards the hub's ingest state
+	// (retained window, frontier, watcher index) is partitioned into. Appends
+	// to disjoint ranges never contend: each shard has its own lock. Shard
+	// boundaries follow keyspace.EvenSplit over the numeric key domain, the
+	// same convention the auto-sharder and ShardedHub use. Default
+	// GOMAXPROCS; reproduction experiments that depend on a single global
+	// eviction window pin Shards to 1.
+	Shards int
 	// Metrics is the registry the hub's instruments register in; nil uses
 	// metrics.Default().
 	Metrics *metrics.Registry
@@ -72,6 +84,9 @@ func (c *HubConfig) applyDefaults() {
 	if c.WatcherBuffer <= 0 {
 		c.WatcherBuffer = 1024
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
 }
 
 // HubStats is a snapshot of a Hub's counters, used by the efficiency
@@ -80,11 +95,12 @@ func (c *HubConfig) applyDefaults() {
 type HubStats struct {
 	Appends        int64 // change events ingested
 	ProgressEvents int64 // progress events ingested
-	Evictions      int64 // events evicted from the retention window
+	Evictions      int64 // events evicted from the retention windows
 	Resyncs        int64 // resync signals issued to watchers
 	Delivered      int64 // change events delivered to watchers
-	RetainedEvents int   // current soft-state window size
+	RetainedEvents int   // current soft-state window size, summed over shards
 	Watchers       int   // currently registered watchers
+	Shards         int   // key-range shards
 	MaxSeen        Version
 }
 
@@ -98,27 +114,62 @@ type HubStats struct {
 //     per-key version order, OR the watcher receives OnResync — there is no
 //     third outcome (contrast §3.1: pubsub retention GC has exactly this
 //     third, silent outcome);
-//   - ProgressEvents are forwarded clipped to R, and never claim more than
-//     the store has confirmed;
+//   - ProgressEvents are forwarded clipped to R (possibly split along shard
+//     boundaries — each piece is range-scoped truthful), and never claim
+//     more than the store has confirmed;
 //   - a watcher that requests pre-eviction history, lags beyond its buffer,
 //     or survives a hub state wipe gets OnResync with the minimum version its
 //     recovery snapshot must reflect.
+//
+// Internally the hub is partitioned into key-range shards, each owning a
+// slice of the retained window, the progress frontier, and the watcher
+// index, under its own lock. A key lives in exactly one shard, so per-key
+// version order survives sharding; a watcher spanning several shards
+// registers in each and funnels every shard's deliveries through one
+// ring-buffer queue drained by one dispatch goroutine, so its callbacks stay
+// serialized.
+//
+// Lock order (outermost first): regMu, then shard locks in ascending shard
+// index, then watcher ring locks. Ingest paths (Append/AppendBatch/Progress)
+// take only shard and ring locks.
 type Hub struct {
 	cfg HubConfig
 	met hubMetrics
 
-	mu       sync.Mutex
+	lows   []keyspace.Key // shard lower bounds, ascending (lows[0] == "")
+	shards []*hubShard
+
+	regMu    sync.Mutex // watcher lifecycle: Watch, cancel, Wipe, Close
 	closed   bool
-	events   []ChangeEvent // retained window, arrival order
-	start    int           // ring start index within events
-	evicted  Version       // max version among evicted events
-	maxSeen  Version       // max version ever appended
-	frontier VersionMap
 	watchers map[int64]*hubWatcher
-	index    watcherIndex // range → watcher ids, for O(log n) event fanout
 	nextID   int64
 
-	appends, progress, evictions, resyncs, delivered int64
+	resyncs       atomic.Int64
+	progressCalls atomic.Int64 // Progress() invocations (not per-shard slices)
+}
+
+// hubShard owns one key range's ingest state.
+type hubShard struct {
+	rng keyspace.Range
+
+	mu     sync.Mutex
+	closed bool
+
+	// Retained window: a circular buffer in arrival order. The backing array
+	// grows geometrically up to Retention and is then reused in place, so a
+	// steady-state append writes one slot and allocates nothing.
+	win   []ChangeEvent
+	start int // index of the oldest retained event
+	count int
+
+	evicted  atomic.Uint64 // max version among evicted events (read cross-shard)
+	maxSeen  atomic.Uint64 // max version ever appended here (read cross-shard)
+	frontier VersionMap
+	watchers map[int64]*hubWatcher // watchers registered in this shard
+	index    watcherIndex          // shard-clipped range → watcher ids
+	progSet  map[int64]struct{}    // reusable dedupe set for progress fanout
+
+	appends, evictions, delivered int64
 }
 
 var (
@@ -129,116 +180,320 @@ var (
 // NewHub creates a Hub with the given configuration.
 func NewHub(cfg HubConfig) *Hub {
 	cfg.applyDefaults()
-	return &Hub{
+	h := &Hub{
 		cfg:      cfg,
 		met:      newHubMetrics(cfg.Metrics),
 		watchers: make(map[int64]*hubWatcher),
 	}
+	for _, r := range keyspace.EvenSplit(cfg.Shards*1000, cfg.Shards) {
+		h.lows = append(h.lows, r.Low)
+		h.shards = append(h.shards, &hubShard{
+			rng:      r,
+			watchers: make(map[int64]*hubWatcher),
+			progSet:  make(map[int64]struct{}),
+		})
+	}
+	return h
+}
+
+// NumShards returns the hub's shard count.
+func (h *Hub) NumShards() int { return len(h.shards) }
+
+// shardFor returns the shard owning k. Shard ranges partition the keyspace,
+// so the owner is the last shard whose lower bound is <= k.
+func (h *Hub) shardFor(k keyspace.Key) *hubShard {
+	if len(h.shards) == 1 {
+		return h.shards[0]
+	}
+	i := sort.Search(len(h.lows), func(i int) bool { return h.lows[i] > k }) - 1
+	return h.shards[i]
+}
+
+// minResyncVersion is the version a resyncing watcher's recovery snapshot
+// must reflect: the highest version the hub has seen or evicted anywhere.
+// Per-shard values are read atomically, so no shard lock is required.
+func (h *Hub) minResyncVersion() Version {
+	var min uint64
+	for _, s := range h.shards {
+		if v := s.maxSeen.Load(); v > min {
+			min = v
+		}
+		if v := s.evicted.Load(); v > min {
+			min = v
+		}
+	}
+	return Version(min)
+}
+
+// ingestFx accumulates one ingest call's side effects so that registry
+// counters are flushed once, outside every shard lock.
+type ingestFx struct {
+	appends, delivered, evictions, retained int64
+	appendOverflow, progressOverflow        int64
+	sampleLatency                           bool
+	lagged                                  []laggedRef // cross-shard index removal, deferred
+}
+
+// laggedRef records where a lag-out originated so the deferred cleanup can
+// skip the shard whose lock already removed the index entry.
+type laggedRef struct {
+	w      *hubWatcher
+	origin *hubShard
+}
+
+func (h *Hub) flushIngest(fx *ingestFx) {
+	if fx.appends > 0 {
+		h.met.appends.Add(fx.appends)
+	}
+	if fx.delivered > 0 {
+		h.met.delivered.Add(fx.delivered)
+	}
+	if fx.evictions > 0 {
+		h.met.evictions.Add(fx.evictions)
+	}
+	if fx.retained != 0 {
+		h.met.retained.Add(fx.retained)
+	}
+	if fx.appendOverflow > 0 {
+		h.met.appendOverflow.Add(fx.appendOverflow)
+	}
+	if fx.progressOverflow > 0 {
+		h.met.progressOverflow.Add(fx.progressOverflow)
+	}
+}
+
+// finishLagged removes lagged watchers from the shards the lag-out origin
+// could not touch (their locks were not held). Until this runs, stale index
+// entries are harmless: every fanout checks the watcher's lagged flag, and
+// the ring itself drops post-resync deliveries.
+func (h *Hub) finishLagged(fx *ingestFx) {
+	for _, ref := range fx.lagged {
+		for _, s := range h.shards {
+			if s == ref.origin {
+				continue
+			}
+			clip := ref.w.rng.Intersect(s.rng)
+			if clip.Empty() {
+				continue
+			}
+			s.mu.Lock()
+			s.index.remove(ref.w.id, clip)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// lagOutLocked marks w as lagged, replaces its queue with a resync, and
+// removes it from the origin shard's index (whose lock the caller holds).
+// Index entries in other shards are cleaned up by finishLagged after the
+// origin lock is released; the atomic lagged flag keeps them inert until
+// then. Exactly one caller wins the flag, so accounting happens once.
+func (h *Hub) lagOutLocked(w *hubWatcher, origin *hubShard, reason string, fx *ingestFx) {
+	if !w.lagged.CompareAndSwap(false, true) {
+		return
+	}
+	h.resyncs.Add(1)
+	h.met.resyncs.Inc()
+	if origin != nil {
+		origin.index.remove(w.id, w.rng.Intersect(origin.rng))
+	}
+	w.q.lagOut(ResyncEvent{Range: w.rng, MinVersion: h.minResyncVersion(), Reason: reason})
+	fx.lagged = append(fx.lagged, laggedRef{w: w, origin: origin})
+}
+
+// appendLocked ingests one event into the shard; the caller holds s.mu.
+func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
+	s.appends++
+	fx.appends++
+	if s.appends&7 == 0 { // 1-in-8 sample keeps the histogram lock off most appends
+		fx.sampleLatency = true
+	}
+	if v := uint64(ev.Version); v > s.maxSeen.Load() {
+		s.maxSeen.Store(v)
+	}
+	// Window insert with FIFO eviction beyond the per-shard retention.
+	if s.count >= h.cfg.Retention {
+		old := &s.win[s.start]
+		if v := uint64(old.Version); v > s.evicted.Load() {
+			s.evicted.Store(v)
+		}
+		if s.start++; s.start == len(s.win) {
+			s.start = 0
+		}
+		s.count--
+		s.evictions++
+		fx.evictions++
+		fx.retained--
+	} else if s.count == len(s.win) {
+		// Grow geometrically toward the retention bound.
+		newCap := len(s.win) * 2
+		if newCap < ringMinCap {
+			newCap = ringMinCap
+		}
+		if newCap > h.cfg.Retention {
+			newCap = h.cfg.Retention
+		}
+		nw := make([]ChangeEvent, newCap)
+		for i := 0; i < s.count; i++ {
+			nw[i] = s.win[(s.start+i)%len(s.win)]
+		}
+		s.win = nw
+		s.start = 0
+	}
+	pos := s.start + s.count
+	if pos >= len(s.win) {
+		pos -= len(s.win)
+	}
+	s.win[pos] = ev
+	s.count++
+	fx.retained++
+
+	// Fan out through the range index: only watchers covering the key are
+	// touched, so cost scales with interested watchers, not all watchers.
+	s.index.lookup(ev.Key, func(id int64) {
+		w := s.watchers[id]
+		if w == nil || w.lagged.Load() || ev.Version <= w.from {
+			return
+		}
+		if w.q.enqueue(item{kind: kindEvent, ev: ev}) {
+			s.delivered++
+			fx.delivered++
+		} else {
+			fx.appendOverflow++
+			h.lagOutLocked(w, s, "watcher buffer overflow", fx)
+		}
+	})
 }
 
 // Append implements Ingester. Events for one key must arrive in
 // non-decreasing version order (the store's CDC feed guarantees this).
 func (h *Hub) Append(ev ChangeEvent) error {
 	start := time.Now()
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
+	s := h.shardFor(ev.Key)
+	var fx ingestFx
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	h.appends++
-	sampleLatency := h.appends&7 == 0 // 1-in-8 sample keeps the histogram lock off most appends
-	evictionsBefore := h.evictions
-	if ev.Version > h.maxSeen {
-		h.maxSeen = ev.Version
+	s.appendLocked(h, ev, &fx)
+	s.mu.Unlock()
+	h.finishLagged(&fx)
+	h.flushIngest(&fx)
+	if fx.sampleLatency {
+		h.met.appendLatency.ObserveDuration(time.Since(start))
 	}
-	h.events = append(h.events, ev)
-	// Evict beyond the retention window (FIFO by arrival).
-	for len(h.events)-h.start > h.cfg.Retention {
-		old := h.events[h.start]
-		if old.Version > h.evicted {
-			h.evicted = old.Version
+	return nil
+}
+
+// AppendBatch implements Ingester: it ingests a batch of events, taking each
+// touched shard's lock once instead of once per event. Per-key version order
+// is preserved because batch order is kept within each shard and a key lives
+// in exactly one shard. The hub copies what it retains; the caller keeps
+// ownership of evs.
+func (h *Hub) AppendBatch(evs []ChangeEvent) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	var fx ingestFx
+	if len(h.shards) == 1 {
+		s := h.shards[0]
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
 		}
-		h.events[h.start] = ChangeEvent{} // release value for GC
-		h.start++
-		h.evictions++
-	}
-	if h.start > len(h.events)/2 && h.start > 1024 {
-		h.events = append([]ChangeEvent(nil), h.events[h.start:]...)
-		h.start = 0
-	}
-	// Fan out through the range index: only watchers covering the key are
-	// touched, so cost scales with interested watchers, not all watchers.
-	var lagged []*hubWatcher
-	delivered := int64(0)
-	h.index.lookup(ev.Key, func(id int64) {
-		w := h.watchers[id]
-		if w == nil || w.lagged || ev.Version <= w.from {
-			return
+		for i := range evs {
+			s.appendLocked(h, evs[i], &fx)
 		}
-		if !w.enqueue(item{ev: &ev}) {
-			lagged = append(lagged, w)
-		} else {
-			h.delivered++
-			delivered++
+		s.mu.Unlock()
+	} else {
+		for _, s := range h.shards {
+			locked := false
+			for i := range evs {
+				if !s.rng.Contains(evs[i].Key) {
+					continue
+				}
+				if !locked {
+					s.mu.Lock()
+					if s.closed {
+						s.mu.Unlock()
+						h.finishLagged(&fx)
+						h.flushIngest(&fx)
+						return ErrClosed
+					}
+					locked = true
+				}
+				s.appendLocked(h, evs[i], &fx)
+			}
+			if locked {
+				s.mu.Unlock()
+			}
 		}
-	})
-	for _, w := range lagged {
-		h.lagOutLocked(w, "watcher buffer overflow")
 	}
-	evicted := h.evictions - evictionsBefore
-	retained := int64(len(h.events) - h.start)
-	h.mu.Unlock()
-	h.met.appends.Inc()
-	h.met.delivered.Add(delivered)
-	h.met.appendOverflow.Add(int64(len(lagged)))
-	h.met.retained.Set(retained)
-	h.met.evictions.Add(evicted)
-	if sampleLatency {
+	h.finishLagged(&fx)
+	h.flushIngest(&fx)
+	if fx.sampleLatency {
 		h.met.appendLatency.ObserveDuration(time.Since(start))
 	}
 	return nil
 }
 
 // Progress implements Ingester: the store confirms completeness of the event
-// stream for a range up to a version.
+// stream for a range up to a version. The claim is split along shard
+// boundaries; each shard raises its frontier slice and fans the clipped
+// claim out through its range index, so watchers with no overlap are never
+// touched.
 func (h *Hub) Progress(p ProgressEvent) error {
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		return ErrClosed
-	}
-	h.progress++
-	if p.Version > h.maxSeen {
-		h.maxSeen = p.Version
-	}
-	h.frontier.Raise(p.Range, p.Version)
-	// A full watcher buffer must lag the watcher out here exactly as Append
-	// does: dropping the progress event instead would stall the watcher's
-	// knowledge frontier forever with no signal — the "third outcome" the
-	// contract forbids.
-	var lagged []*hubWatcher
-	for _, w := range h.watchers {
-		if w.lagged {
-			continue
-		}
-		clipped := p.Range.Intersect(w.rng)
+	var fx ingestFx
+	for _, s := range h.shards {
+		clipped := p.Range.Intersect(s.rng)
 		if clipped.Empty() {
 			continue
 		}
-		if !w.enqueue(item{prog: &ProgressEvent{Range: clipped, Version: p.Version}}) {
-			lagged = append(lagged, w)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			h.finishLagged(&fx)
+			h.flushIngest(&fx)
+			return ErrClosed
 		}
+		if v := uint64(p.Version); v > s.maxSeen.Load() {
+			s.maxSeen.Store(v)
+		}
+		s.frontier.Raise(clipped, p.Version)
+		// A full watcher buffer must lag the watcher out here exactly as
+		// Append does: dropping the progress event instead would stall the
+		// watcher's knowledge frontier forever with no signal — the "third
+		// outcome" the contract forbids.
+		s.index.lookupRange(clipped, s.progSet, func(id int64) {
+			w := s.watchers[id]
+			if w == nil || w.lagged.Load() {
+				return
+			}
+			wc := clipped.Intersect(w.rng)
+			if wc.Empty() {
+				return
+			}
+			if !w.q.enqueue(item{kind: kindProgress, prog: ProgressEvent{Range: wc, Version: p.Version}}) {
+				fx.progressOverflow++
+				h.lagOutLocked(w, s, "watcher buffer overflow on progress", &fx)
+			}
+		})
+		s.mu.Unlock()
 	}
-	for _, w := range lagged {
-		h.lagOutLocked(w, "watcher buffer overflow on progress")
-	}
-	h.mu.Unlock()
+	h.finishLagged(&fx)
+	h.flushIngest(&fx)
+	h.progressCalls.Add(1)
 	h.met.progress.Inc()
-	h.met.progressOverflow.Add(int64(len(lagged)))
 	return nil
 }
 
-// Watch implements Watchable.
+// Watch implements Watchable. The watcher registers in every shard its range
+// overlaps; each shard replays its slice of the retained window (batch-copied
+// into the watcher's queue under the shard lock, so registration and replay
+// are atomic per shard) and then feeds the live stream.
 func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, error) {
 	if cb == nil {
 		return nil, fmt.Errorf("%w: nil callback", ErrBadWatch)
@@ -246,259 +501,267 @@ func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, e
 	if r.Empty() {
 		return nil, fmt.Errorf("%w: empty range %v", ErrBadWatch, r)
 	}
-	h.mu.Lock()
+	h.regMu.Lock()
 	if h.closed {
-		h.mu.Unlock()
+		h.regMu.Unlock()
 		return nil, ErrClosed
 	}
 	w := newHubWatcher(h, h.nextID, r, from, cb, h.cfg.WatcherBuffer)
 	h.nextID++
 	h.watchers[w.id] = w
 
-	if from < h.evicted {
-		// The history this watcher needs is gone from the soft-state window:
-		// tell it immediately rather than delivering a gapped stream.
-		h.lagOutLocked(w, fmt.Sprintf("requested version %v predates retained history (evicted through %v)", from, h.evicted))
-	} else {
-		h.index.add(w.id, w.rng)
-		// Replay the retained window (arrival order preserves per-key
-		// version order), then the watcher rides the live stream. A replay
-		// larger than the watcher's buffer lags it out with a resync — the
-		// truncated stream a silent drop would leave behind is precisely the
-		// gapped delivery the contract forbids.
-		overflowed := false
-		for _, ev := range h.events[h.start:] {
-			if ev.Version > from && r.Contains(ev.Key) {
-				if !w.enqueue(item{ev: cloneEvent(ev)}) {
-					overflowed = true
-					break
+	var fx ingestFx
+	var scratch []item // replay batch, reused across this watch's shards
+	failReason := ""
+	replayOverflowed := false
+	for _, s := range h.shards {
+		clip := r.Intersect(s.rng)
+		if clip.Empty() {
+			continue
+		}
+		s.mu.Lock()
+		if from < Version(s.evicted.Load()) {
+			// The history this watcher needs is gone from this shard's
+			// soft-state window: tell it immediately rather than delivering a
+			// gapped stream.
+			failReason = fmt.Sprintf("requested version %v predates retained history (evicted through %v)", from, Version(s.evicted.Load()))
+			s.mu.Unlock()
+			break
+		}
+		s.index.add(w.id, clip)
+		s.watchers[w.id] = w
+		// Replay the shard's retained window (arrival order preserves
+		// per-key version order) as one batch-copy into the queue, then the
+		// watcher rides the live stream. A replay larger than the watcher's
+		// buffer lags it out with a resync — the truncated stream a silent
+		// drop would leave behind is precisely the gapped delivery the
+		// contract forbids.
+		scratch = scratch[:0]
+		events := 0
+		scan := func(part []ChangeEvent) {
+			for i := range part {
+				ev := &part[i]
+				if ev.Version > from && clip.Contains(ev.Key) {
+					scratch = append(scratch, item{kind: kindEvent, ev: *ev})
+					events++
 				}
-				h.delivered++
 			}
 		}
-		if !overflowed {
-			// Tell the watcher the current frontier over its range so it can
-			// establish knowledge without waiting for the next progress tick.
-			for _, seg := range h.frontier.Segments() {
-				clipped := seg.Range.Intersect(r)
-				if clipped.Empty() {
-					continue
-				}
-				if !w.enqueue(item{prog: &ProgressEvent{Range: clipped, Version: seg.Version}}) {
-					overflowed = true
-					break
-				}
-			}
+		head := s.win[s.start:]
+		if len(head) > s.count {
+			head = head[:s.count]
 		}
-		if overflowed {
-			h.met.replayOverflow.Inc()
-			h.lagOutLocked(w, "retained-window replay exceeds watcher buffer")
+		scan(head)
+		if rest := s.count - len(head); rest > 0 {
+			scan(s.win[:rest])
+		}
+		// Tell the watcher the current frontier over its range so it can
+		// establish knowledge without waiting for the next progress tick.
+		for _, seg := range s.frontier.Segments() {
+			fc := seg.Range.Intersect(clip)
+			if fc.Empty() {
+				continue
+			}
+			scratch = append(scratch, item{kind: kindProgress, prog: ProgressEvent{Range: fc, Version: seg.Version}})
+		}
+		accepted, ok := w.q.enqueueBatch(scratch)
+		if delivered := min(accepted, events); delivered > 0 {
+			s.delivered += int64(delivered)
+			fx.delivered += int64(delivered)
+		}
+		s.mu.Unlock()
+		if !ok {
+			failReason = "retained-window replay exceeds watcher buffer"
+			replayOverflowed = true
+			break
 		}
 	}
+	if failReason != "" {
+		if replayOverflowed {
+			h.met.replayOverflow.Inc()
+		}
+		h.lagOutLocked(w, nil, failReason, &fx)
+	}
 	h.met.watchers.Set(int64(len(h.watchers)))
-	h.mu.Unlock()
+	h.regMu.Unlock()
+	h.finishLagged(&fx)
+	h.flushIngest(&fx)
 
 	go w.run()
 	return func() { h.cancel(w) }, nil
 }
 
-func cloneEvent(ev ChangeEvent) *ChangeEvent {
-	c := ev
-	return &c
-}
-
-// lagOutLocked marks w as lagged, drops its queue and schedules a resync.
-func (h *Hub) lagOutLocked(w *hubWatcher, reason string) {
-	if w.lagged {
-		return
-	}
-	w.lagged = true
-	h.index.remove(w.id, w.rng)
-	h.resyncs++
-	h.met.resyncs.Inc()
-	min := h.maxSeen
-	if h.evicted > min {
-		min = h.evicted
-	}
-	w.replaceQueue(item{resync: &ResyncEvent{Range: w.rng, MinVersion: min, Reason: reason}})
-}
-
 func (h *Hub) cancel(w *hubWatcher) {
-	h.mu.Lock()
-	if !w.lagged {
-		h.index.remove(w.id, w.rng)
-	}
+	h.regMu.Lock()
 	delete(h.watchers, w.id)
 	h.met.watchers.Set(int64(len(h.watchers)))
-	h.mu.Unlock()
-	w.stop()
+	h.regMu.Unlock()
+	for _, s := range h.shards {
+		clip := w.rng.Intersect(s.rng)
+		if clip.Empty() {
+			continue
+		}
+		s.mu.Lock()
+		s.index.remove(w.id, clip)
+		delete(s.watchers, w.id)
+		s.mu.Unlock()
+	}
+	w.q.stop()
 }
 
 // Wipe discards the hub's entire soft state — retained events and frontier —
 // and resyncs every watcher. It models losing the watch system's storage:
 // per §4.2.2 this costs latency, never data or consistency, because every
 // consumer recovers from the authoritative store. Experiments use it for
-// failure injection.
+// failure injection. Wipe takes every shard lock (in order), so the wipe is
+// atomic with respect to concurrent ingest.
 func (h *Hub) Wipe() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.regMu.Lock()
+	defer h.regMu.Unlock()
 	if h.closed {
 		return
 	}
-	h.events = nil
-	h.start = 0
-	h.evicted = h.maxSeen
-	h.frontier = VersionMap{}
+	for _, s := range h.shards {
+		s.mu.Lock()
+	}
+	for _, s := range h.shards {
+		s.win = nil
+		s.start, s.count = 0, 0
+		s.evicted.Store(s.maxSeen.Load())
+		s.frontier = VersionMap{}
+	}
+	min := h.minResyncVersion()
 	for _, w := range h.watchers {
-		w.lagged = false // re-evaluate: everyone resyncs afresh
-		h.lagOutLocked(w, "watch system state wiped")
+		// Re-evaluate: everyone resyncs afresh, including previously lagged
+		// watchers.
+		w.lagged.Store(true)
+		w.q.reopen()
+		h.resyncs.Add(1)
+		h.met.resyncs.Inc()
+		for _, s := range h.shards {
+			s.index.remove(w.id, w.rng.Intersect(s.rng))
+		}
+		w.q.lagOut(ResyncEvent{Range: w.rng, MinVersion: min, Reason: "watch system state wiped"})
+	}
+	h.met.retained.Set(0)
+	for i := len(h.shards) - 1; i >= 0; i-- {
+		h.shards[i].mu.Unlock()
 	}
 }
 
-// Frontier returns a copy of the current progress frontier.
+// Frontier returns a copy of the current progress frontier, merged across
+// shards.
 func (h *Hub) Frontier() *VersionMap {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.frontier.Clone()
+	var segs []RangeVersion
+	for _, s := range h.shards {
+		s.mu.Lock()
+		segs = append(segs, s.frontier.Segments()...)
+		s.mu.Unlock()
+	}
+	// Shards are disjoint and ascending, so the concatenation is sorted;
+	// normalize to merge equal-version segments across shard boundaries.
+	return &VersionMap{segs: normalizeSegments(segs)}
 }
 
 // Stats returns a snapshot of the hub's counters.
 func (h *Hub) Stats() HubStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return HubStats{
-		Appends:        h.appends,
-		ProgressEvents: h.progress,
-		Evictions:      h.evictions,
-		Resyncs:        h.resyncs,
-		Delivered:      h.delivered,
-		RetainedEvents: len(h.events) - h.start,
-		Watchers:       len(h.watchers),
-		MaxSeen:        h.maxSeen,
+	st := HubStats{Shards: len(h.shards)}
+	for _, s := range h.shards {
+		s.mu.Lock()
+		st.Appends += s.appends
+		st.Evictions += s.evictions
+		st.Delivered += s.delivered
+		st.RetainedEvents += s.count
+		if v := Version(s.maxSeen.Load()); v > st.MaxSeen {
+			st.MaxSeen = v
+		}
+		s.mu.Unlock()
 	}
+	st.ProgressEvents = h.progressCalls.Load()
+	st.Resyncs = h.resyncs.Load()
+	h.regMu.Lock()
+	st.Watchers = len(h.watchers)
+	h.regMu.Unlock()
+	return st
 }
 
 // Close shuts the hub down; all watchers are stopped without further
 // callbacks, and subsequent operations fail with ErrClosed.
 func (h *Hub) Close() {
-	h.mu.Lock()
+	h.regMu.Lock()
 	if h.closed {
-		h.mu.Unlock()
+		h.regMu.Unlock()
 		return
 	}
 	h.closed = true
+	for _, s := range h.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+	}
 	ws := make([]*hubWatcher, 0, len(h.watchers))
 	for _, w := range h.watchers {
 		ws = append(ws, w)
 	}
 	h.watchers = map[int64]*hubWatcher{}
 	h.met.watchers.Set(0)
-	h.mu.Unlock()
+	h.regMu.Unlock()
 	for _, w := range ws {
-		w.stop()
+		w.q.stop()
 	}
-}
-
-// item is one queued delivery for a watcher; exactly one field is set.
-type item struct {
-	ev     *ChangeEvent
-	prog   *ProgressEvent
-	resync *ResyncEvent
 }
 
 // hubWatcher is the per-watch delivery state. Callbacks run on a dedicated
 // goroutine so a slow consumer can never block the hub — it simply overflows
-// its own bounded queue and is resynced.
+// its own bounded ring and is resynced. One watcher spans any number of
+// shards; all of them feed the same ring, which serializes delivery.
 type hubWatcher struct {
 	id   int64
 	hub  *Hub
 	rng  keyspace.Range
 	from Version
 	cb   WatchCallback
-	max  int
+	q    *ring
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	queue     []item
-	cancelled bool
-
-	// lagged is owned by hub.mu: once true the hub stops feeding events; the
-	// only remaining delivery is the resync already queued.
-	lagged bool
+	// lagged marks that the hub has stopped feeding this watcher; the only
+	// remaining delivery is the resync already queued. It is a fast-path
+	// filter — the ring's own state is what makes the cut-over atomic.
+	lagged atomic.Bool
 }
 
 func newHubWatcher(h *Hub, id int64, r keyspace.Range, from Version, cb WatchCallback, max int) *hubWatcher {
-	w := &hubWatcher{id: id, hub: h, rng: r, from: from, cb: cb, max: max}
-	w.cond = sync.NewCond(&w.mu)
-	return w
+	return &hubWatcher{id: id, hub: h, rng: r, from: from, cb: cb, q: newRing(max)}
 }
 
-// enqueue adds an item; it reports false when the queue is full (the caller
-// lags the watcher out). Resync items bypass the bound.
-func (w *hubWatcher) enqueue(it item) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.cancelled {
-		return true // drop silently; watcher is going away
-	}
-	if it.resync == nil && len(w.queue) >= w.max {
-		return false
-	}
-	w.queue = append(w.queue, it)
-	w.hub.met.queueHighwater.Max(int64(len(w.queue)))
-	w.cond.Signal()
-	return true
-}
-
-// replaceQueue drops everything queued and replaces it with a single item
-// (the resync). Events already dispatched cannot be unsent, but per-key
-// prefix-delivery remains intact: delivery order equals enqueue order.
-func (w *hubWatcher) replaceQueue(it item) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.cancelled {
-		return
-	}
-	w.queue = append(w.queue[:0], it)
-	w.cond.Signal()
-}
-
-func (w *hubWatcher) stop() {
-	w.mu.Lock()
-	w.cancelled = true
-	w.cond.Broadcast()
-	w.mu.Unlock()
-}
-
+// run is the watcher's dispatch loop: it drains whole batches from the ring
+// and invokes the callbacks in enqueue order. The queue highwater gauge is
+// published here, off the ingest path.
 func (w *hubWatcher) run() {
+	var buf []item
 	for {
-		w.mu.Lock()
-		for len(w.queue) == 0 && !w.cancelled {
-			w.cond.Wait()
-		}
-		if w.cancelled {
-			w.mu.Unlock()
+		batch, high, ok := w.q.drain(buf)
+		if !ok {
 			return
 		}
-		batch := w.queue
-		w.queue = nil
-		w.mu.Unlock()
-
-		for _, it := range batch {
-			w.mu.Lock()
-			c := w.cancelled
-			w.mu.Unlock()
-			if c {
+		buf = batch
+		if high > 0 {
+			w.hub.met.queueHighwater.Max(int64(high))
+		}
+		for i := range batch {
+			if w.q.isCancelled() {
 				return
 			}
-			switch {
-			case it.ev != nil:
-				w.cb.OnEvent(*it.ev)
-			case it.prog != nil:
-				w.cb.OnProgress(*it.prog)
-			case it.resync != nil:
-				w.cb.OnResync(*it.resync)
+			switch it := &batch[i]; it.kind {
+			case kindEvent:
+				w.cb.OnEvent(it.ev)
+			case kindProgress:
+				w.cb.OnProgress(it.prog)
+			case kindResync:
+				w.cb.OnResync(it.resync)
 			}
+		}
+		for i := range batch {
+			batch[i] = item{} // release payload refs until the next drain
 		}
 	}
 }

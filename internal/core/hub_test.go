@@ -605,14 +605,19 @@ func TestHubProgressOverflowResyncs(t *testing.T) {
 	defer cancel()
 
 	// First progress event wedges the consumer inside its callback...
-	h.Progress(ProgressEvent{Range: keyspace.Full(), Version: 1})
+	h.Progress(ProgressEvent{Range: keyspace.Range{Low: "a", High: "b"}, Version: 1})
 	<-entered
-	// ...so the next WatcherBuffer events fill the queue exactly...
+	// ...so the next WatcherBuffer distinct-range claims fill the queue
+	// exactly (same-range claims would coalesce into one slot, by design:
+	// only the newest frontier claim for a range matters)...
 	for i := 2; i <= 5; i++ {
-		h.Progress(ProgressEvent{Range: keyspace.Full(), Version: Version(i)})
+		lo := keyspace.Key(rune('a' + i))
+		hi := keyspace.Key(rune('b' + i))
+		h.Progress(ProgressEvent{Range: keyspace.Range{Low: lo, High: hi}, Version: Version(i)})
 	}
-	// ...and one more overflows it: the watcher must be lagged out.
-	h.Progress(ProgressEvent{Range: keyspace.Full(), Version: 6})
+	// ...and one more (again a fresh range) overflows it: the watcher must
+	// be lagged out.
+	h.Progress(ProgressEvent{Range: keyspace.Range{Low: "x", High: "y"}, Version: 6})
 	close(release)
 
 	waitUntil(t, "progress-overflow resync", func() bool {

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"unbundle/internal/keyspace"
+)
+
+// itemKind tags which delivery an item carries.
+type itemKind uint8
+
+const (
+	kindEvent itemKind = iota + 1
+	kindProgress
+	kindResync
+)
+
+// item is one queued delivery for a watcher. Items are held by value: the
+// retained-window replay and the live fanout both copy events straight into
+// ring slots, so delivery costs no per-event heap allocation.
+type item struct {
+	kind   itemKind
+	ev     ChangeEvent
+	prog   ProgressEvent
+	resync ResyncEvent
+}
+
+// ringState is the delivery queue's lifecycle.
+type ringState uint8
+
+const (
+	// ringOpen accepts events, progress and resyncs.
+	ringOpen ringState = iota
+	// ringLagged holds only the pending resync; further deliveries are
+	// dropped — they are covered by the resync's recovery snapshot, which is
+	// always taken after the resync is observed.
+	ringLagged
+	// ringCancelled accepts nothing and wakes the dispatcher to exit.
+	ringCancelled
+)
+
+// ring is a watcher's delivery queue: a growable circular buffer, bounded at
+// max, drained in whole batches by the watcher's run goroutine. Compared to
+// the append-one/signal-one slice+cond queue it replaces, it
+//
+//   - never allocates per enqueued item (slots are reused in place; the
+//     backing array doubles geometrically up to max instead of being
+//     reallocated by append),
+//   - coalesces queued ProgressEvents for the same clipped range — only the
+//     newest frontier claim matters, so a burst of progress ticks occupies
+//     one slot instead of filling the buffer,
+//   - tracks its highwater locally and leaves publishing it to the drain
+//     side, keeping metrics entirely off the enqueue path.
+type ring struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	buf   []item
+	start int // index of the oldest queued item
+	n     int // queued item count
+	max   int // bound; enqueue past it fails (resyncs bypass)
+
+	state     ringState
+	cancelled atomic.Bool // mirrors state==ringCancelled for lock-free checks
+
+	enqueued uint64 // total items accepted (including coalesced updates)
+	high     int    // highwater since the last drain
+
+	// progAt maps a clipped progress range to the absolute sequence number of
+	// its queued item, enabling O(1) in-place coalescing. Sequence numbers
+	// (headSeq + offset) survive buffer growth and rotation.
+	progAt  map[keyspace.Range]uint64
+	headSeq uint64 // absolute sequence number of buf[start]
+}
+
+// ringMinCap is the initial backing-array size; queues grow geometrically
+// from here, so an idle watcher with a huge configured buffer stays small.
+const ringMinCap = 64
+
+func newRing(max int) *ring {
+	r := &ring{max: max}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// growLocked doubles the backing array (bounded by max), rewriting the
+// circular contents in order.
+func (r *ring) growLocked() {
+	newCap := len(r.buf) * 2
+	if newCap < ringMinCap {
+		newCap = ringMinCap
+	}
+	if newCap > r.max {
+		newCap = r.max
+	}
+	nb := make([]item, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.start = 0
+}
+
+// pushLocked appends one item, reporting false when the queue is full.
+func (r *ring) pushLocked(it item) bool {
+	if it.kind == kindProgress {
+		// Coalesce: a queued frontier claim for the same clipped range is
+		// superseded by the newer one in place.
+		if pos, ok := r.progAt[it.prog.Range]; ok && pos >= r.headSeq {
+			slot := &r.buf[(r.start+int(pos-r.headSeq))%len(r.buf)]
+			if slot.kind == kindProgress && slot.prog.Range == it.prog.Range {
+				if it.prog.Version > slot.prog.Version {
+					slot.prog.Version = it.prog.Version
+				}
+				r.enqueued++
+				return true
+			}
+		}
+	}
+	if r.n >= r.max {
+		return false
+	}
+	if r.n == len(r.buf) {
+		r.growLocked()
+	}
+	pos := r.start + r.n
+	if pos >= len(r.buf) {
+		pos -= len(r.buf)
+	}
+	r.buf[pos] = it
+	if it.kind == kindProgress {
+		if r.progAt == nil {
+			r.progAt = make(map[keyspace.Range]uint64, 4)
+		}
+		r.progAt[it.prog.Range] = r.headSeq + uint64(r.n)
+	}
+	r.n++
+	r.enqueued++
+	if r.n > r.high {
+		r.high = r.n
+	}
+	return true
+}
+
+// enqueue adds one item; it reports false when the queue is full (the caller
+// lags the watcher out). Items offered to a lagged or cancelled ring are
+// dropped and reported true: a lagged watcher's pending resync covers them,
+// and a cancelled watcher is going away.
+func (r *ring) enqueue(it item) bool {
+	r.mu.Lock()
+	if r.state != ringOpen {
+		r.mu.Unlock()
+		return true
+	}
+	ok := r.pushLocked(it)
+	if ok && r.n == 1 {
+		r.cond.Signal()
+	}
+	r.mu.Unlock()
+	return ok
+}
+
+// enqueueBatch adds items under one lock acquisition. It reports how many
+// were accepted and whether all fit; on overflow the accepted prefix stays
+// queued (the caller lags the watcher out, which replaces the queue anyway).
+func (r *ring) enqueueBatch(items []item) (accepted int, ok bool) {
+	if len(items) == 0 {
+		return 0, true
+	}
+	r.mu.Lock()
+	if r.state != ringOpen {
+		r.mu.Unlock()
+		return 0, true
+	}
+	wasEmpty := r.n == 0
+	for i := range items {
+		if !r.pushLocked(items[i]) {
+			if wasEmpty && r.n > 0 {
+				r.cond.Signal()
+			}
+			r.mu.Unlock()
+			return i, false
+		}
+	}
+	if wasEmpty && r.n > 0 {
+		r.cond.Signal()
+	}
+	r.mu.Unlock()
+	return len(items), true
+}
+
+// lagOut drops everything queued and replaces it with the resync. Events
+// already dispatched cannot be unsent, but per-key prefix delivery remains
+// intact: delivery order equals enqueue order. No-op on a cancelled ring.
+func (r *ring) lagOut(rs ResyncEvent) {
+	r.mu.Lock()
+	if r.state == ringCancelled {
+		r.mu.Unlock()
+		return
+	}
+	r.state = ringLagged
+	// Shed the (possibly grown) backing array: the resync is the last thing
+	// this queue will ever carry.
+	r.buf = []item{{kind: kindResync, resync: rs}}
+	r.start = 0
+	r.n = 1
+	r.headSeq += uint64(r.n)
+	r.progAt = nil
+	r.cond.Signal()
+	r.mu.Unlock()
+}
+
+// reopen re-arms a lagged ring so a fresh resync can be queued (state wipes
+// resync every watcher, including previously lagged ones).
+func (r *ring) reopen() {
+	r.mu.Lock()
+	if r.state == ringLagged {
+		r.state = ringOpen
+	}
+	r.mu.Unlock()
+}
+
+// stop cancels the ring: the dispatcher wakes and exits, and all further
+// enqueues are dropped.
+func (r *ring) stop() {
+	r.mu.Lock()
+	r.state = ringCancelled
+	r.cancelled.Store(true)
+	r.buf = nil
+	r.start, r.n = 0, 0
+	r.progAt = nil
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// isCancelled is the lock-free mid-dispatch check.
+func (r *ring) isCancelled() bool { return r.cancelled.Load() }
+
+// drain blocks until items are queued or the ring is cancelled, then moves
+// the whole backlog into dst (reused across calls) and returns it with the
+// highwater observed since the last drain. ok is false once cancelled.
+func (r *ring) drain(dst []item) (batch []item, high int, ok bool) {
+	r.mu.Lock()
+	for r.n == 0 && r.state != ringCancelled {
+		r.cond.Wait()
+	}
+	if r.state == ringCancelled {
+		r.mu.Unlock()
+		return dst[:0], 0, false
+	}
+	// Move the backlog out as at most two contiguous copies, then zero the
+	// vacated slots so the queue releases its payload references.
+	dst = dst[:0]
+	head := r.buf[r.start:]
+	if len(head) > r.n {
+		head = head[:r.n]
+	}
+	dst = append(dst, head...)
+	for i := range head {
+		head[i] = item{}
+	}
+	if rest := r.n - len(head); rest > 0 {
+		tail := r.buf[:rest]
+		dst = append(dst, tail...)
+		for i := range tail {
+			tail[i] = item{}
+		}
+	}
+	r.headSeq += uint64(r.n)
+	r.start, r.n = 0, 0
+	for k := range r.progAt {
+		delete(r.progAt, k)
+	}
+	high = r.high
+	r.high = 0
+	r.mu.Unlock()
+	return dst, high, true
+}
+
+// enqueues returns the total accepted item count — used by tests to prove a
+// fanout path never touched this watcher.
+func (r *ring) enqueues() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enqueued
+}
+
+// depth returns the current queue length (tests only).
+func (r *ring) depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

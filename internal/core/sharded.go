@@ -38,6 +38,10 @@ func NewShardedHub(n int, cfg HubConfig) *ShardedHub {
 		n = 1
 	}
 	sh := &ShardedHub{}
+	// Each member hub IS one shard of this system; its own internal
+	// sharding is forced to 1 so range splits (progress claims, stats)
+	// happen only at this level.
+	cfg.Shards = 1
 	for _, r := range keyspace.EvenSplit(n*1000, n) {
 		sh.shards = append(sh.shards, shardEntry{rng: r, hub: NewHub(cfg)})
 	}
@@ -63,6 +67,32 @@ func (s *ShardedHub) shardFor(k keyspace.Key) *Hub {
 // Append implements Ingester: route by key.
 func (s *ShardedHub) Append(ev ChangeEvent) error {
 	return s.shardFor(ev.Key).Append(ev)
+}
+
+// AppendBatch implements Ingester: split the batch along shard boundaries
+// and hand each shard its slice in one call. Relative order within a shard
+// is preserved, so per-key version order is too (a key lives in exactly one
+// shard).
+func (s *ShardedHub) AppendBatch(evs []ChangeEvent) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	var sub []ChangeEvent // reused scratch across shards
+	for _, e := range s.shards {
+		sub = sub[:0]
+		for i := range evs {
+			if e.rng.Contains(evs[i].Key) {
+				sub = append(sub, evs[i])
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		if err := e.hub.AppendBatch(sub); err != nil {
+			return fmt.Errorf("core: sharded append batch over %v: %w", e.rng, err)
+		}
+	}
+	return nil
 }
 
 // Progress implements Ingester: split the claim along shard boundaries so
@@ -165,6 +195,7 @@ func (s *ShardedHub) Stats() HubStats {
 		out.Delivered += st.Delivered
 		out.RetainedEvents += st.RetainedEvents
 		out.Watchers += st.Watchers
+		out.Shards += st.Shards
 		if st.MaxSeen > out.MaxSeen {
 			out.MaxSeen = st.MaxSeen
 		}

@@ -12,6 +12,10 @@ import (
 // watchers covering it; watch ranges split segments at their boundaries, the
 // way the hub's frontier map splits version segments.
 //
+// Ids are kept as small sorted slices, not maps: the per-event fanout
+// iterates them on the append hot path, and ranging over a one-element map
+// costs more than the rest of the lookup combined.
+//
 // Not safe for concurrent use; the hub's lock guards it.
 type watcherIndex struct {
 	segs []idxSegment
@@ -19,7 +23,43 @@ type watcherIndex struct {
 
 type idxSegment struct {
 	r   keyspace.Range
-	ids map[int64]struct{}
+	ids []int64 // sorted ascending
+}
+
+// withID returns ids plus id (ids is not mutated; the result may share no
+// memory with it, since sibling segments alias the same backing slice).
+func withID(ids []int64, id int64) []int64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	out := make([]int64, 0, len(ids)+1)
+	out = append(out, ids[:i]...)
+	out = append(out, id)
+	return append(out, ids[i:]...)
+}
+
+// withoutID returns ids minus id (copying; see withID).
+func withoutID(ids []int64, id int64) []int64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i == len(ids) || ids[i] != id {
+		return ids
+	}
+	out := make([]int64, 0, len(ids)-1)
+	out = append(out, ids[:i]...)
+	return append(out, ids[i+1:]...)
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // add registers id as covering r.
@@ -39,15 +79,10 @@ func (x *watcherIndex) add(id int64, r keyspace.Range) {
 		for _, rest := range keyspace.NewRangeSet(s.r).SubtractRange(r).Ranges() {
 			out = append(out, idxSegment{r: rest, ids: s.ids})
 		}
-		merged := make(map[int64]struct{}, len(s.ids)+1)
-		for i := range s.ids {
-			merged[i] = struct{}{}
-		}
-		merged[id] = struct{}{}
-		out = append(out, idxSegment{r: inter, ids: merged})
+		out = append(out, idxSegment{r: inter, ids: withID(s.ids, id)})
 	}
 	for _, rest := range uncovered.Ranges() {
-		out = append(out, idxSegment{r: rest, ids: map[int64]struct{}{id: {}}})
+		out = append(out, idxSegment{r: rest, ids: []int64{id}})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].r.Low < out[j].r.Low })
 	x.segs = out
@@ -61,15 +96,7 @@ func (x *watcherIndex) remove(id int64, r keyspace.Range) {
 	out := x.segs[:0]
 	for _, s := range x.segs {
 		if s.r.Overlaps(r) {
-			if _, ok := s.ids[id]; ok {
-				trimmed := make(map[int64]struct{}, len(s.ids)-1)
-				for i := range s.ids {
-					if i != id {
-						trimmed[i] = struct{}{}
-					}
-				}
-				s.ids = trimmed
-			}
+			s.ids = withoutID(s.ids, id)
 			if len(s.ids) == 0 {
 				continue
 			}
@@ -85,18 +112,6 @@ func (x *watcherIndex) remove(id int64, r keyspace.Range) {
 	x.segs = out
 }
 
-func sameIDs(a, b map[int64]struct{}) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if _, ok := b[i]; !ok {
-			return false
-		}
-	}
-	return true
-}
-
 // lookup calls fn for every watcher id covering k.
 func (x *watcherIndex) lookup(k keyspace.Key, fn func(id int64)) {
 	i := sort.Search(len(x.segs), func(i int) bool {
@@ -104,7 +119,42 @@ func (x *watcherIndex) lookup(k keyspace.Key, fn func(id int64)) {
 		return s.r.High >= keyspace.Inf || s.r.High > k
 	})
 	if i < len(x.segs) && x.segs[i].r.Contains(k) {
-		for id := range x.segs[i].ids {
+		for _, id := range x.segs[i].ids {
+			fn(id)
+		}
+	}
+}
+
+// lookupRange calls fn once per watcher id whose coverage overlaps r. A
+// watcher's range may have been split across several segments, so seen (a
+// caller-owned scratch set, cleared on entry) dedupes ids across them. Like
+// lookup, the walk starts at the first overlapping segment by binary search
+// and stops at the first segment past r, so cost scales with overlap, not
+// index size.
+func (x *watcherIndex) lookupRange(r keyspace.Range, seen map[int64]struct{}, fn func(id int64)) {
+	if r.Empty() {
+		return
+	}
+	for id := range seen {
+		delete(seen, id)
+	}
+	i := sort.Search(len(x.segs), func(i int) bool {
+		s := x.segs[i]
+		return s.r.High >= keyspace.Inf || s.r.High > r.Low
+	})
+	for ; i < len(x.segs); i++ {
+		s := x.segs[i]
+		if r.High < keyspace.Inf && s.r.Low >= r.High {
+			break
+		}
+		if s.r.Intersect(r).Empty() {
+			continue
+		}
+		for _, id := range s.ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
 			fn(id)
 		}
 	}

@@ -67,6 +67,71 @@ func TestQuickWatcherIndexMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestQuickWatcherIndexLookupRangeMatchesNaive: range lookups agree with a
+// naive overlap scan, and each overlapping watcher is reported exactly once
+// even when its range was split across several index segments.
+func TestQuickWatcherIndexLookupRangeMatchesNaive(t *testing.T) {
+	letters := "abcdefgh"
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var x watcherIndex
+		live := map[int64]keyspace.Range{}
+		seen := map[int64]struct{}{}
+		nextID := int64(0)
+		randRange := func() keyspace.Range {
+			r := keyspace.Range{
+				Low:  keyspace.Key(letters[rng.Intn(len(letters))]),
+				High: keyspace.Key(letters[rng.Intn(len(letters))]),
+			}
+			if rng.Intn(8) == 0 {
+				r.High = keyspace.Inf
+			}
+			if rng.Intn(8) == 0 {
+				r.Low = ""
+			}
+			return r
+		}
+		for step := 0; step < 60; step++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				r := randRange()
+				if r.Empty() {
+					continue
+				}
+				x.add(nextID, r)
+				live[nextID] = r
+				nextID++
+			} else {
+				for id, r := range live {
+					x.remove(id, r)
+					delete(live, id)
+					break
+				}
+			}
+			probe := randRange()
+			got := map[int64]int{}
+			x.lookupRange(probe, seen, func(id int64) { got[id]++ })
+			want := map[int64]bool{}
+			for id, r := range live {
+				if !r.Intersect(probe).Empty() {
+					want[id] = true
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for id := range want {
+				if got[id] != 1 { // exactly once, despite segment splits
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestWatcherIndexSegmentsBounded: removing watchers merges segments back,
 // so boundaries do not accumulate from departed watchers.
 func TestWatcherIndexSegmentsBounded(t *testing.T) {

@@ -134,13 +134,22 @@ func runE1(opts Options) (*Result, error) {
 		}
 		keys2 := workload.NewZipfKeys(opts.Seed, 10000, 1.2)
 		hubStart := time.Now()
+		// The driver feeds the hub in batches, the way a batched CDC tap
+		// would: per-key version order is what matters, and batch order
+		// preserves it.
+		const batchSize = 64
+		batch := make([]core.ChangeEvent, 0, batchSize)
 		for i := 1; i <= nMsgs; i++ {
-			if err := hub.Append(core.ChangeEvent{
+			batch = append(batch, core.ChangeEvent{
 				Key:     keys2.Pick(),
 				Mut:     core.Mutation{Op: core.OpPut, Value: []byte("payload-0123456789")},
 				Version: core.Version(i),
-			}); err != nil {
-				return err
+			})
+			if len(batch) == batchSize || i == nMsgs {
+				if err := hub.AppendBatch(batch); err != nil {
+					return err
+				}
+				batch = batch[:0]
 			}
 		}
 		hub.Progress(core.ProgressEvent{Range: keyspace.Full(), Version: core.Version(nMsgs)})

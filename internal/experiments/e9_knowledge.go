@@ -162,6 +162,10 @@ type cadencedIngester struct {
 
 func (c *cadencedIngester) Append(ev core.ChangeEvent) error { return c.ing.Append(ev) }
 
+func (c *cadencedIngester) AppendBatch(evs []core.ChangeEvent) error {
+	return c.ing.AppendBatch(evs)
+}
+
 func (c *cadencedIngester) Progress(p core.ProgressEvent) error {
 	c.n++
 	if c.n%c.every != 0 {

@@ -107,6 +107,35 @@ func (s *Store) Append(series keyspace.Key, payload []byte) Event {
 	return ev
 }
 
+// AppendBatch ingests a batch of events into one series under a single lock
+// acquisition, feeding the change feed one AppendBatch plus one progress
+// mark per tap instead of a call pair per event — the ingest-side analogue
+// of the hub's batched ingest contract.
+func (s *Store) AppendBatch(series keyspace.Key, payloads [][]byte) []Event {
+	if len(payloads) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(payloads))
+	changes := make([]core.ChangeEvent, 0, len(payloads))
+	s.mu.Lock()
+	now := s.clock.Now()
+	for _, p := range payloads {
+		s.seq++
+		ev := Event{Series: series, Seq: s.seq, Time: now, Payload: p}
+		s.events = append(s.events, ev)
+		s.appends++
+		s.bytes += int64(len(series) + len(p))
+		out = append(out, ev)
+		changes = append(changes, core.ChangeEvent{Key: ev.Key(), Mut: core.Mutation{Op: core.OpPut, Value: p}, Version: ev.Seq})
+	}
+	for _, t := range s.taps {
+		_ = t.ing.AppendBatch(changes)
+		_ = t.ing.Progress(core.ProgressEvent{Range: keyspace.Full(), Version: s.seq})
+	}
+	s.mu.Unlock()
+	return out
+}
+
 // tapEntry identifies an attached ingester for detachment.
 type tapEntry struct {
 	id  int

@@ -130,6 +130,15 @@ type tapFuncs struct {
 func (f tapFuncs) Append(ev core.ChangeEvent) error    { return f.app(ev) }
 func (f tapFuncs) Progress(p core.ProgressEvent) error { return f.prog(p) }
 
+func (f tapFuncs) AppendBatch(evs []core.ChangeEvent) error {
+	for _, ev := range evs {
+		if err := f.app(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func TestWatchableIngestStore(t *testing.T) {
 	w := NewWatchable(Config{}, core.HubConfig{})
 	defer w.Close()
@@ -234,4 +243,43 @@ func TestStartGCTickerDriven(t *testing.T) {
 	}
 	stop()
 	stop() // idempotent
+}
+
+func TestAppendBatch(t *testing.T) {
+	s := NewStore(Config{})
+	var mu sync.Mutex
+	var got []core.ChangeEvent
+	var progress []core.ProgressEvent
+	detach := s.AttachIngester(core.Batch(tapFuncs{
+		app:  func(ev core.ChangeEvent) error { mu.Lock(); got = append(got, ev); mu.Unlock(); return nil },
+		prog: func(p core.ProgressEvent) error { mu.Lock(); progress = append(progress, p); mu.Unlock(); return nil },
+	}))
+	defer detach()
+
+	evs := s.AppendBatch("sensor/1", [][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if len(evs) != 3 {
+		t.Fatalf("returned %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != core.Version(i+1) {
+			t.Fatalf("event %d seq = %v", i, ev.Seq)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("tap saw %d change events", len(got))
+	}
+	for i, ev := range got {
+		if ev.Version != core.Version(i+1) {
+			t.Fatalf("change %d version = %v", i, ev.Version)
+		}
+	}
+	// One progress mark for the whole batch, claiming through the last seq.
+	if len(progress) != 1 || progress[0].Version != 3 {
+		t.Fatalf("progress = %+v, want one claim at seq 3", progress)
+	}
+	if s.Stats().Appends != 3 {
+		t.Fatalf("stats appends = %d", s.Stats().Appends)
+	}
 }

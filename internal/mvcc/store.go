@@ -79,6 +79,10 @@ type Store struct {
 	// guarantee core.Ingester requires. Real systems use a commit log; the
 	// lock is this simulator's commit log.
 	taps []tap
+
+	// batch and sub are per-commit CDC scratch buffers, reused under mu.
+	// Ingesters must not retain the slices (the AppendBatch contract).
+	batch, sub []core.ChangeEvent
 }
 
 type tap struct {
@@ -181,18 +185,33 @@ func (s *Store) applyLocked(order []keyspace.Key, writes map[keyspace.Key]core.M
 	}
 	// CDC emission, in commit order, then a progress mark: with the commit
 	// lock held, every change at or below v has been emitted, so the
-	// progress claim is exact.
-	for _, t := range s.taps {
-		emitted := false
+	// progress claim is exact. The whole commit goes out as one batch per
+	// tap — one synchronization round-trip into the watch system per commit
+	// instead of one per written key.
+	if len(s.taps) > 0 && len(order) > 0 {
+		s.batch = s.batch[:0]
 		for _, k := range order {
-			if !t.rng.Contains(k) {
+			s.batch = append(s.batch, core.ChangeEvent{Key: k, Mut: writes[k], Version: v})
+		}
+		for _, t := range s.taps {
+			out := s.batch
+			for i := range s.batch {
+				if !t.rng.Contains(s.batch[i].Key) {
+					// Slow path: the tap sees only a slice of the commit.
+					s.sub = s.sub[:0]
+					for j := range s.batch {
+						if t.rng.Contains(s.batch[j].Key) {
+							s.sub = append(s.sub, s.batch[j])
+						}
+					}
+					out = s.sub
+					break
+				}
+			}
+			if len(out) == 0 {
 				continue
 			}
-			m := writes[k]
-			_ = t.ing.Append(core.ChangeEvent{Key: k, Mut: m, Version: v})
-			emitted = true
-		}
-		if emitted {
+			_ = t.ing.AppendBatch(out)
 			_ = t.ing.Progress(core.ProgressEvent{Range: t.rng, Version: v})
 		}
 	}

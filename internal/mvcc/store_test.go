@@ -317,6 +317,15 @@ type ingesterFuncs struct {
 func (f ingesterFuncs) Append(ev core.ChangeEvent) error    { return f.append(ev) }
 func (f ingesterFuncs) Progress(p core.ProgressEvent) error { return f.progress(p) }
 
+func (f ingesterFuncs) AppendBatch(evs []core.ChangeEvent) error {
+	for _, ev := range evs {
+		if err := f.append(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TestQuickSnapshotIsolation: run random ops, remembering a full model of
 // history; every snapshot read must match the model exactly, before and
 // after later writes.

@@ -83,6 +83,25 @@ func (t transformIngester) Append(ev core.ChangeEvent) error {
 	return t.ing.Append(ev)
 }
 
+func (t transformIngester) AppendBatch(evs []core.ChangeEvent) error {
+	// Transform into a fresh slice (the batch is rewritten, and the
+	// downstream ingester must not see the caller's backing array mutated).
+	out := make([]core.ChangeEvent, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Mut.Op == core.OpPut {
+			e, keep := t.view.transform(core.Entry{Key: ev.Key, Value: ev.Mut.Value, Version: ev.Version})
+			if !keep {
+				out = append(out, core.ChangeEvent{Key: ev.Key, Mut: core.Mutation{Op: core.OpDelete}, Version: ev.Version})
+				continue
+			}
+			out = append(out, core.ChangeEvent{Key: e.Key, Mut: core.Mutation{Op: core.OpPut, Value: e.Value}, Version: ev.Version})
+			continue
+		}
+		out = append(out, ev)
+	}
+	return t.ing.AppendBatch(out)
+}
+
 func (t transformIngester) Progress(p core.ProgressEvent) error {
 	return t.ing.Progress(p)
 }

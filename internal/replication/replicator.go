@@ -186,6 +186,17 @@ func (p publishIngester) Append(ev core.ChangeEvent) error {
 	return err
 }
 
+func (p publishIngester) AppendBatch(evs []core.ChangeEvent) error {
+	// Publish is per-message on this transport; the batch only saves CDC
+	// round-trips upstream.
+	for i := range evs {
+		if err := p.Append(evs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (p publishIngester) Progress(core.ProgressEvent) error { return nil }
 
 // EncodeEvent serializes a change event for transport: version (8 bytes,

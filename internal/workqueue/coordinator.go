@@ -166,6 +166,15 @@ func (t taskPublisher) Append(ev core.ChangeEvent) error {
 	return err
 }
 
+func (t taskPublisher) AppendBatch(evs []core.ChangeEvent) error {
+	for i := range evs {
+		if err := t.Append(evs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (t taskPublisher) Progress(core.ProgressEvent) error { return nil }
 
 // Step processes up to n queued provisioning tasks.

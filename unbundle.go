@@ -59,6 +59,14 @@ func PrefixRange(p Key) Range { return keyspace.Prefix(p) }
 // PointRange returns the range containing exactly k.
 func PointRange(k Key) Range { return keyspace.Point(k) }
 
+// NumericKey formats n as a fixed-width ordered key — the numeric-domain
+// convention shard boundaries (Hub shards, ShardedHub, Sharder) are aligned
+// to.
+func NumericKey(n int) Key { return keyspace.NumericKey(n) }
+
+// NumericRange returns the range [NumericKey(lo), NumericKey(hi)).
+func NumericRange(lo, hi int) Range { return keyspace.NumericRange(lo, hi) }
+
 // The watch contract (§4.2 of the paper; see internal/core).
 type (
 	// Version is a monotonic transaction version from the source of truth.
