@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench verify clean
+.PHONY: build test race vet bench traceguard verify clean
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,16 @@ bench:
 	$(GO) test -run XXX -bench $(BENCH_CORE) -benchmem -count=5 ./internal/core >> bench_raw.txt
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -in bench_raw.txt -out BENCH_hub.json
 
+# traceguard pins the cost of the (disabled) causal tracer on the hot hub
+# append path: a hub built with a disabled tracer must stay within 5% of one
+# with no tracer at all. Benchmark-grade, so it is opt-in via TRACE_GUARD.
+traceguard:
+	TRACE_GUARD=1 $(GO) test -run TestTracingOverheadGuard -v -count=1 .
+
 # verify is the gate a change must pass before it ships. The race target
-# includes the hub contract, stress, and latency-isolation tests.
-verify: vet build race
+# includes the hub contract, stress, and latency-isolation tests; traceguard
+# keeps tracing free when it is switched off.
+verify: vet build race traceguard
 
 clean:
 	$(GO) clean ./...

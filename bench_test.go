@@ -28,6 +28,25 @@ func reportQuantiles(b *testing.B, reg *unbundle.MetricsRegistry, hist, unit str
 	b.ReportMetric(float64(h.P99), "p99-"+unit)
 }
 
+// reportCounters attaches registry counters to the benchmark output under
+// "ctr-<name>" units; cmd/benchjson collects those into the Counters map of
+// the BENCH_hub.json entry, so each timing record carries the behaviour
+// totals (delivered, resyncs, overflow drops) it was measured under.
+func reportCounters(b *testing.B, reg *unbundle.MetricsRegistry, counters map[string]string) {
+	b.Helper()
+	snap := reg.Snapshot()
+	for name, counter := range counters {
+		b.ReportMetric(float64(snap.Counters[counter]), "ctr-"+name)
+	}
+}
+
+// hubCounters names the hub totals every hub benchmark reports.
+var hubCounters = map[string]string{
+	"delivered": "core_hub_delivered_total",
+	"resyncs":   "core_hub_resyncs_total",
+	"overflow":  "core_hub_append_overflow_total",
+}
+
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := experiments.Get(id)
@@ -118,6 +137,7 @@ func BenchmarkHubAppendFanout8(b *testing.B) {
 	}
 	b.StopTimer()
 	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
+	reportCounters(b, reg, hubCounters)
 }
 
 // BenchmarkHubAppendFanoutSharded is the multi-shard successor of
@@ -157,6 +177,7 @@ func BenchmarkHubAppendFanoutSharded(b *testing.B) {
 	})
 	b.StopTimer()
 	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
+	reportCounters(b, reg, hubCounters)
 }
 
 // BenchmarkStoreCommitCDCBatch measures the batched commit→CDC→hub path: an
@@ -185,6 +206,7 @@ func BenchmarkStoreCommitCDCBatch(b *testing.B) {
 	}
 	b.StopTimer()
 	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
+	reportCounters(b, reg, hubCounters)
 }
 
 func BenchmarkWatchEndToEnd(b *testing.B) {
@@ -213,6 +235,7 @@ func BenchmarkWatchEndToEnd(b *testing.B) {
 	<-done // delivery of the final event bounds the pipeline latency
 	b.StopTimer()
 	reportQuantiles(b, reg, "core_hub_append_latency_ns", "ns")
+	reportCounters(b, reg, hubCounters)
 }
 
 func BenchmarkBrokerPublish(b *testing.B) {

@@ -31,6 +31,12 @@ type Benchmark struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	P50Ns       float64 `json:"p50_ns,omitempty"`
 	P99Ns       float64 `json:"p99_ns,omitempty"`
+	// Counters holds metrics-registry counters the benchmark reported via
+	// ReportMetric with a "ctr-" unit prefix (e.g. "ctr-delivered" →
+	// Counters["delivered"]): delivery/drop/resync totals recorded alongside
+	// the timing so a perf regression can be correlated with a behaviour
+	// change in the same BENCH_hub.json entry.
+	Counters map[string]float64 `json:"counters,omitempty"`
 	// Extra holds any further ReportMetric units (e.g. events/replay).
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
@@ -129,6 +135,13 @@ func main() {
 			case "p99-ns":
 				b.P99Ns = med
 			default:
+				if ctr, ok := strings.CutPrefix(unit, "ctr-"); ok {
+					if b.Counters == nil {
+						b.Counters = map[string]float64{}
+					}
+					b.Counters[ctr] = med
+					continue
+				}
 				if b.Extra == nil {
 					b.Extra = map[string]float64{}
 				}

@@ -9,12 +9,16 @@
 //	watchtail -prefix user/ -dur 10s   # tail a prefix
 //	watchtail -retention 16            # tiny soft state: watch resyncs happen
 //	watchtail -metrics                 # dump the metrics registry at exit
+//	watchtail -debug-addr :6060        # serve /metrics /watchers /traces
+//	                                   # /regions /debug/pprof while tailing
+//	watchtail -trace-every 8           # sample 1-in-8 events into /traces
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"unbundle"
@@ -22,16 +26,46 @@ import (
 
 func main() {
 	var (
-		prefix    = flag.String("prefix", "", "key prefix to watch (empty = everything)")
-		dur       = flag.Duration("dur", 3*time.Second, "how long to tail")
-		retention = flag.Int("retention", 4096, "watch hub soft-state window (events)")
-		rate      = flag.Duration("rate", 100*time.Millisecond, "writer interval")
-		dumpMet   = flag.Bool("metrics", false, "dump the metrics registry at exit")
+		prefix     = flag.String("prefix", "", "key prefix to watch (empty = everything)")
+		dur        = flag.Duration("dur", 3*time.Second, "how long to tail")
+		retention  = flag.Int("retention", 4096, "watch hub soft-state window (events)")
+		rate       = flag.Duration("rate", 100*time.Millisecond, "writer interval")
+		dumpMet    = flag.Bool("metrics", false, "dump the metrics registry at exit")
+		debugAddr  = flag.String("debug-addr", "", "serve the debug HTTP server on this address (empty = off)")
+		traceEvery = flag.Int("trace-every", 0, "sample 1 in N events into the trace ring (0 = off)")
 	)
 	flag.Parse()
 
-	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: *retention})
+	var tracer *unbundle.Tracer
+	if *traceEvery > 0 {
+		tracer = unbundle.NewTracer(unbundle.TraceConfig{SampleEvery: *traceEvery})
+	}
+	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: *retention, Tracer: tracer})
 	defer store.Close()
+
+	// The tailing consumer's knowledge regions (Figure 5), published on the
+	// debug server's /regions endpoint. The watch callbacks below are the
+	// only writer; the debug server reads under the same lock.
+	var ksMu sync.Mutex
+	ks := unbundle.NewKnowledgeSet()
+
+	if *debugAddr != "" {
+		dbg, err := unbundle.ServeDebug(*debugAddr, unbundle.DebugConfig{
+			Tracer: tracer,
+			Lags:   store.Hub().WatcherLags,
+			Regions: func() []unbundle.KnowledgeRegion {
+				ksMu.Lock()
+				defer ksMu.Unlock()
+				return append([]unbundle.KnowledgeRegion(nil), ks.Regions()...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "watchtail: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s (metrics, watchers, traces, regions, pprof)\n", dbg.Addr())
+	}
 
 	// A synthetic writer: three tenants, rotating updates and deletes.
 	go func() {
@@ -62,6 +96,9 @@ func main() {
 	for _, e := range entries {
 		fmt.Printf("  %s = %q (written at %v)\n", e.Key, e.Value, e.Version)
 	}
+	ksMu.Lock()
+	ks.AddSnapshot(r, at)
+	ksMu.Unlock()
 
 	cancel, err := store.Watch(r, at, unbundle.Callbacks{
 		Event: func(ev unbundle.ChangeEvent) {
@@ -73,6 +110,9 @@ func main() {
 		},
 		Progress: func(p unbundle.ProgressEvent) {
 			fmt.Printf("progress %v  complete over %v\n", p.Version, p.Range)
+			ksMu.Lock()
+			ks.ExtendTo(p.Range, p.Version)
+			ksMu.Unlock()
 		},
 		Resync: func(rs unbundle.ResyncEvent) {
 			fmt.Printf("RESYNC   need snapshot >= %v over %v (%s)\n", rs.MinVersion, rs.Range, rs.Reason)

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"unbundle/internal/keyspace"
+	"unbundle/internal/trace"
 )
 
 // Version is a monotonic transaction version assigned by the source of
@@ -81,6 +82,11 @@ type ChangeEvent struct {
 	Key     keyspace.Key
 	Mut     Mutation
 	Version Version
+	// Trace carries the event's sampled trace ID through every pipeline
+	// stage; 0 (the overwhelmingly common case) means the event is untraced
+	// and costs each stage exactly one branch. Stamped by the source store
+	// when a trace.Tracer is configured there.
+	Trace trace.ID
 }
 
 // ProgressEvent states that all change events affecting keys in Range up to

@@ -9,8 +9,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unbundle/internal/clockwork"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
+	"unbundle/internal/trace"
 )
 
 // Hub errors.
@@ -43,6 +45,15 @@ type HubConfig struct {
 	// Metrics is the registry the hub's instruments register in; nil uses
 	// metrics.Default().
 	Metrics *metrics.Registry
+	// Clock supplies the timestamps behind the lag radar (WatcherLags and
+	// the version→time checkpoints); nil uses the real clock. Tests inject
+	// clockwork.NewFake() for deterministic staleness measurements.
+	Clock clockwork.Clock
+	// Tracer, when non-nil, receives per-stage stamps (append, enqueue,
+	// deliver) for events the source sampled. Wire the same Tracer into the
+	// store and the hub so one trace spans commit→deliver. Nil disables the
+	// hub's tracing stages at the cost of one branch per stage.
+	Tracer *trace.Tracer
 }
 
 // hubMetrics holds the hub's registry instruments, resolved once at
@@ -133,8 +144,14 @@ type HubStats struct {
 // index, then watcher ring locks. Ingest paths (Append/AppendBatch/Progress)
 // take only shard and ring locks.
 type Hub struct {
-	cfg HubConfig
-	met hubMetrics
+	cfg    HubConfig
+	met    hubMetrics
+	clock  clockwork.Clock
+	tracer *trace.Tracer
+
+	// verTimes maps versions to the wall-clock instant the hub's frontier
+	// first passed them — the substrate for time-behind-frontier lag.
+	verTimes verClock
 
 	lows   []keyspace.Key // shard lower bounds, ascending (lows[0] == "")
 	shards []*hubShard
@@ -180,9 +197,15 @@ var (
 // NewHub creates a Hub with the given configuration.
 func NewHub(cfg HubConfig) *Hub {
 	cfg.applyDefaults()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = clockwork.Real()
+	}
 	h := &Hub{
 		cfg:      cfg,
 		met:      newHubMetrics(cfg.Metrics),
+		clock:    clock,
+		tracer:   cfg.Tracer,
 		watchers: make(map[int64]*hubWatcher),
 	}
 	for _, r := range keyspace.EvenSplit(cfg.Shards*1000, cfg.Shards) {
@@ -193,6 +216,7 @@ func NewHub(cfg HubConfig) *Hub {
 			progSet:  make(map[int64]struct{}),
 		})
 	}
+	h.registerLagGauges(cfg.Metrics.Or())
 	return h
 }
 
@@ -347,6 +371,9 @@ func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 	s.win[pos] = ev
 	s.count++
 	fx.retained++
+	if ev.Trace != 0 {
+		h.tracer.Record(ev.Trace, trace.StageAppend)
+	}
 
 	// Fan out through the range index: only watchers covering the key are
 	// touched, so cost scales with interested watchers, not all watchers.
@@ -358,6 +385,9 @@ func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 		if w.q.enqueue(item{kind: kindEvent, ev: ev}) {
 			s.delivered++
 			fx.delivered++
+			if ev.Trace != 0 {
+				h.tracer.Record(ev.Trace, trace.StageEnqueue)
+			}
 		} else {
 			fx.appendOverflow++
 			h.lagOutLocked(w, s, "watcher buffer overflow", fx)
@@ -487,6 +517,11 @@ func (h *Hub) Progress(p ProgressEvent) error {
 	h.flushIngest(&fx)
 	h.progressCalls.Add(1)
 	h.met.progress.Inc()
+	// Checkpoint the frontier's passage of p.Version for the lag radar:
+	// time-behind-frontier is "now minus the instant the hub first moved
+	// past the watcher's position". Progress is the only caller, so the
+	// append hot path stays checkpoint-free.
+	h.verTimes.note(uint64(p.Version), h.clock.Now().UnixNano())
 	return nil
 }
 
@@ -568,6 +603,13 @@ func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, e
 		if delivered := min(accepted, events); delivered > 0 {
 			s.delivered += int64(delivered)
 			fx.delivered += int64(delivered)
+		}
+		if h.tracer.Enabled() {
+			for i := 0; i < accepted; i++ {
+				if it := &scratch[i]; it.kind == kindEvent && it.ev.Trace != 0 {
+					h.tracer.Record(it.ev.Trace, trace.StageEnqueue)
+				}
+			}
 		}
 		s.mu.Unlock()
 		if !ok {
@@ -727,10 +769,20 @@ type hubWatcher struct {
 	// remaining delivery is the resync already queued. It is a fast-path
 	// filter — the ring's own state is what makes the cut-over atomic.
 	lagged atomic.Bool
+
+	// lastSeen is the highest version this watcher has consumed — via a
+	// delivered change event or a progress mark — and the watcher's position
+	// on the lag radar. Written only by the dispatch goroutine; read
+	// atomically by WatcherLags.
+	lastSeen atomic.Uint64
+	// nDelivered counts change events dispatched to the callback.
+	nDelivered atomic.Int64
 }
 
 func newHubWatcher(h *Hub, id int64, r keyspace.Range, from Version, cb WatchCallback, max int) *hubWatcher {
-	return &hubWatcher{id: id, hub: h, rng: r, from: from, cb: cb, q: newRing(max)}
+	w := &hubWatcher{id: id, hub: h, rng: r, from: from, cb: cb, q: newRing(max)}
+	w.lastSeen.Store(uint64(from))
+	return w
 }
 
 // run is the watcher's dispatch loop: it drains whole batches from the ring
@@ -753,8 +805,18 @@ func (w *hubWatcher) run() {
 			}
 			switch it := &batch[i]; it.kind {
 			case kindEvent:
+				if it.ev.Trace != 0 {
+					w.hub.tracer.Record(it.ev.Trace, trace.StageDeliver)
+				}
+				if v := uint64(it.ev.Version); v > w.lastSeen.Load() {
+					w.lastSeen.Store(v)
+				}
+				w.nDelivered.Add(1)
 				w.cb.OnEvent(it.ev)
 			case kindProgress:
+				if v := uint64(it.prog.Version); v > w.lastSeen.Load() {
+					w.lastSeen.Store(v)
+				}
 				w.cb.OnProgress(it.prog)
 			case kindResync:
 				w.cb.OnResync(it.resync)

@@ -13,6 +13,8 @@ import (
 
 	"unbundle/internal/core"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+	"unbundle/internal/trace"
 )
 
 // Env is one system under test: a Watchable over some store, plus a way to
@@ -43,6 +45,7 @@ func Run(t *testing.T, name string, factory Factory) {
 	t.Run(name+"/ResyncOnEvictedHistory", func(t *testing.T) { runResync(t, factory) })
 	t.Run(name+"/CancelStopsDelivery", func(t *testing.T) { runCancel(t, factory) })
 	t.Run(name+"/WatchValidation", func(t *testing.T) { runValidation(t, factory) })
+	t.Run(name+"/TracedStagesComplete", func(t *testing.T) { runTracing(t, factory) })
 }
 
 func bigHub() core.HubConfig {
@@ -212,6 +215,66 @@ func runCancel(t *testing.T, factory Factory) {
 	defer mu.Unlock()
 	if events != 1 {
 		t.Fatalf("delivery after cancel: %d events", events)
+	}
+}
+
+// runTracing asserts the tracing contract: with sampling at 1-in-1, every
+// event the source commits yields a completed trace whose four stages
+// (commit, append, enqueue, deliver) are all stamped in non-decreasing
+// order. This is what makes "the pipeline is traceable end to end" a tested
+// property of every Ingester wiring, not just of the hub.
+func runTracing(t *testing.T, factory Factory) {
+	tracer := trace.New(trace.Config{
+		SampleEvery: 1,
+		Capacity:    1 << 10,
+		MaxInflight: 1 << 10,
+		Metrics:     metrics.NewRegistry(),
+	})
+	cfg := bigHub()
+	cfg.Tracer = tracer
+	env := factory(cfg)
+	defer env.Close()
+
+	delivered := 0
+	var mu sync.Mutex
+	cancel, err := env.Watch.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event: func(ev core.ChangeEvent) {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+			if ev.Trace == 0 {
+				t.Errorf("1-in-1 sampling delivered an untraced event: %v", ev)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		env.Put(keyspace.Key(fmt.Sprintf("k%d", i%5)), []byte{byte(i)})
+	}
+	wait(t, "all traces complete", func() bool { return tracer.CompletedCount() >= n })
+
+	done := tracer.Completed()
+	if len(done) < n {
+		t.Fatalf("completed ring holds %d traces, want >= %d", len(done), n)
+	}
+	for _, tr := range done {
+		if !tr.Complete() {
+			t.Fatalf("incomplete trace in completed ring: %+v", tr)
+		}
+		for s := 1; s < trace.NumStages; s++ {
+			if tr.Stages[s] < tr.Stages[s-1] {
+				t.Fatalf("stage %v stamped before stage %v: %+v",
+					trace.Stage(s), trace.Stage(s-1), tr)
+			}
+		}
+	}
+	if tracer.InflightCount() != 0 {
+		t.Fatalf("%d traces stuck in flight after full delivery", tracer.InflightCount())
 	}
 }
 

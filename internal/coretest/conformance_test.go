@@ -24,6 +24,7 @@ func TestConformance(t *testing.T) {
 
 	Run(t, "producer-store-external-hub", func(cfg core.HubConfig) Env {
 		st := mvcc.NewStore()
+		st.SetTracer(cfg.Tracer)
 		hub := core.NewHub(cfg)
 		detach := st.AttachCDC(keyspace.Full(), hub)
 		return Env{
@@ -47,7 +48,7 @@ func TestConformance(t *testing.T) {
 	})
 
 	Run(t, "ingest-store-external-hub", func(cfg core.HubConfig) Env {
-		ing := ingeststore.NewStore(ingeststore.Config{})
+		ing := ingeststore.NewStore(ingeststore.Config{Tracer: cfg.Tracer})
 		hub := core.NewHub(cfg)
 		detach := ing.AttachIngester(hub)
 		return Env{

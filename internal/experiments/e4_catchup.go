@@ -108,6 +108,18 @@ func runE4(opts Options) (*Result, error) {
 		defer cancel()
 		<-recovered
 
+		// The lag radar localizes the laggard: the watcher sits at version 0
+		// against a frontier of `backlog`, and the hub has flagged it for
+		// resync — the observable counterpart of pubsub's silent offset gap.
+		var radarLag uint64
+		radarFlagged := false
+		for _, wl := range hub.WatcherLags() {
+			if wl.VersionLag > radarLag {
+				radarLag = wl.VersionLag
+			}
+			radarFlagged = radarFlagged || wl.Lagged
+		}
+
 		// Both recoveries must land on the same correct state.
 		psCorrect, wCorrect := 0, 0
 		truth, _ := store.Scan(keyspace.Full(), core.NoVersion, 0)
@@ -128,11 +140,15 @@ func runE4(opts Options) (*Result, error) {
 		tbl.AddRow("pubsub (drain log)", backlog, nKeys, psProcessed, "backlog B", ratio(psCorrect, len(truth)))
 		tbl.AddRow("watch (snapshot+resume)", backlog, nKeys, wWork, "state K", ratio(wCorrect, len(truth)))
 		tbl.AddNote("the watch consumer's recovery cost is the snapshot size, independent of how long it was away")
+		tbl.AddNote("lag radar at resync: version lag %d, flagged=%v — the laggard is visible on /watchers before recovery begins", radarLag, radarFlagged)
 		res.Table = tbl
 
 		res.check("pubsub drains the whole backlog", psProcessed == backlog, "processed %d of %d", psProcessed, backlog)
 		res.check("watch recovery work scales with keys, not backlog",
 			wWork < backlog/10, "watch %d units vs backlog %d", wWork, backlog)
+		res.check("lag radar flags the laggard with the full version gap",
+			radarFlagged && radarLag == uint64(backlog),
+			"flagged=%v lag=%d (backlog %d)", radarFlagged, radarLag, backlog)
 		res.check("both converge to the source state",
 			psCorrect == len(truth) && wCorrect == len(truth),
 			"pubsub %d/%d, watch %d/%d", psCorrect, len(truth), wCorrect, len(truth))

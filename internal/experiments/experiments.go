@@ -35,9 +35,9 @@ func (o Options) pick(quick, full int) int {
 
 // Check is one shape assertion about a claim.
 type Check struct {
-	Name   string
-	Pass   bool
-	Detail string
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
 }
 
 // Result is one experiment's outcome.

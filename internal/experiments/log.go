@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Experiment drivers never write to stdout directly: tables and checks go
+// through Result.Render, and incidental progress/diagnostic output goes
+// through Logf below. That separation is what keeps `unbundle-bench -json`
+// machine-clean — stdout carries exactly one JSON document, and everything
+// human-oriented lands on stderr.
+
+var logState = struct {
+	mu      sync.Mutex
+	w       io.Writer
+	enabled bool
+}{w: os.Stderr, enabled: true}
+
+// SetLogging toggles progress logging (on by default). The JSON driver
+// leaves it on — logs go to stderr, not stdout — but callers embedding the
+// experiments in tests can silence it.
+func SetLogging(enabled bool) {
+	logState.mu.Lock()
+	logState.enabled = enabled
+	logState.mu.Unlock()
+}
+
+// SetLogWriter redirects progress logging (default os.Stderr).
+func SetLogWriter(w io.Writer) {
+	logState.mu.Lock()
+	logState.w = w
+	logState.mu.Unlock()
+}
+
+// Logf emits one progress/diagnostic line for a running experiment.
+func Logf(format string, args ...any) {
+	logState.mu.Lock()
+	defer logState.mu.Unlock()
+	if !logState.enabled || logState.w == nil {
+		return
+	}
+	fmt.Fprintf(logState.w, "experiments: "+format+"\n", args...)
+}

@@ -19,6 +19,7 @@ import (
 	"unbundle/internal/clockwork"
 	"unbundle/internal/core"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/trace"
 )
 
 // Event is one ingested record.
@@ -52,6 +53,9 @@ type Config struct {
 	// Retention bounds event age; 0 keeps events forever. Retention is
 	// applied by RunGC (call it from a ticker, or directly in tests).
 	Retention time.Duration
+	// Tracer, when non-nil, samples ingested events at the source: the
+	// append under the store lock is this store's StageCommit instant.
+	Tracer *trace.Tracer
 }
 
 // Stats reports store counters.
@@ -69,6 +73,7 @@ type Store struct {
 	retention time.Duration
 
 	mu     sync.Mutex
+	tracer *trace.Tracer
 	events []Event // ascending Seq; GC drops a prefix
 	seq    core.Version
 	taps   []tapEntry
@@ -86,7 +91,15 @@ func NewStore(cfg Config) *Store {
 	if cfg.Clock == nil {
 		cfg.Clock = clockwork.Real()
 	}
-	return &Store{clock: cfg.Clock, retention: cfg.Retention}
+	return &Store{clock: cfg.Clock, retention: cfg.Retention, tracer: cfg.Tracer}
+}
+
+// SetTracer installs (or removes, with nil) the tracer that samples this
+// store's appends.
+func (s *Store) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
 }
 
 // Append ingests one event into a series and returns it (with its sequence
@@ -99,6 +112,9 @@ func (s *Store) Append(series keyspace.Key, payload []byte) Event {
 	s.appends++
 	s.bytes += int64(len(series) + len(payload))
 	change := core.ChangeEvent{Key: ev.Key(), Mut: core.Mutation{Op: core.OpPut, Value: payload}, Version: ev.Seq}
+	if s.tracer.Enabled() {
+		change.Trace = s.tracer.Begin(change.Key, uint64(ev.Seq))
+	}
 	for _, t := range s.taps {
 		_ = t.ing.Append(change)
 		_ = t.ing.Progress(core.ProgressEvent{Range: keyspace.Full(), Version: ev.Seq})
@@ -126,7 +142,11 @@ func (s *Store) AppendBatch(series keyspace.Key, payloads [][]byte) []Event {
 		s.appends++
 		s.bytes += int64(len(series) + len(p))
 		out = append(out, ev)
-		changes = append(changes, core.ChangeEvent{Key: ev.Key(), Mut: core.Mutation{Op: core.OpPut, Value: p}, Version: ev.Seq})
+		change := core.ChangeEvent{Key: ev.Key(), Mut: core.Mutation{Op: core.OpPut, Value: p}, Version: ev.Seq}
+		if s.tracer.Enabled() {
+			change.Trace = s.tracer.Begin(change.Key, uint64(ev.Seq))
+		}
+		changes = append(changes, change)
 	}
 	for _, t := range s.taps {
 		_ = t.ing.AppendBatch(changes)
@@ -281,8 +301,13 @@ var (
 	_ core.Snapshotter = (*Watchable)(nil)
 )
 
-// NewWatchable creates an ingestion store with built-in watch.
+// NewWatchable creates an ingestion store with built-in watch. If only the
+// hub config names a Tracer, the store adopts it, so one configuration knob
+// traces the whole pipeline.
 func NewWatchable(cfg Config, hubCfg core.HubConfig) *Watchable {
+	if cfg.Tracer == nil && hubCfg.Tracer.Enabled() {
+		cfg.Tracer = hubCfg.Tracer
+	}
 	s := NewStore(cfg)
 	h := core.NewHub(hubCfg)
 	detach := s.AttachIngester(h)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -92,6 +93,34 @@ func (t *Table) Render(w io.Writer) {
 	for _, n := range t.notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
+}
+
+// TableData is the machine-readable form of a Table.
+type TableData struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// Data returns the table's contents as plain data (copies, safe to retain).
+func (t *Table) Data() TableData {
+	d := TableData{Title: t.title, Headers: append([]string(nil), t.headers...)}
+	d.Rows = make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		d.Rows[i] = append([]string(nil), r...)
+	}
+	d.Notes = append([]string(nil), t.notes...)
+	return d
+}
+
+// MarshalJSON renders the table as its Data form, so result structs that
+// embed a *Table serialize cleanly.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(t.Data())
 }
 
 // String renders the table to a string.

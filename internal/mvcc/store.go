@@ -17,6 +17,7 @@ import (
 
 	"unbundle/internal/core"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/trace"
 )
 
 // Store errors.
@@ -83,6 +84,10 @@ type Store struct {
 	// batch and sub are per-commit CDC scratch buffers, reused under mu.
 	// Ingesters must not retain the slices (the AppendBatch contract).
 	batch, sub []core.ChangeEvent
+
+	// tracer, when non-nil, samples committed events at the source: the
+	// commit under mu is this store's StageCommit instant.
+	tracer *trace.Tracer
 }
 
 type tap struct {
@@ -97,6 +102,15 @@ func NewStore() *Store {
 }
 
 var _ core.Snapshotter = (*Store)(nil)
+
+// SetTracer installs (or removes, with nil) the tracer that samples this
+// store's commits. Install the same tracer in the downstream watch system so
+// one trace spans commit→deliver.
+func (s *Store) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+}
 
 // Tx is an open transaction. It provides read-your-writes semantics over the
 // store's latest state; all writes commit atomically at a single version.
@@ -191,7 +205,11 @@ func (s *Store) applyLocked(order []keyspace.Key, writes map[keyspace.Key]core.M
 	if len(s.taps) > 0 && len(order) > 0 {
 		s.batch = s.batch[:0]
 		for _, k := range order {
-			s.batch = append(s.batch, core.ChangeEvent{Key: k, Mut: writes[k], Version: v})
+			ev := core.ChangeEvent{Key: k, Mut: writes[k], Version: v}
+			if s.tracer.Enabled() {
+				ev.Trace = s.tracer.Begin(k, uint64(v))
+			}
+			s.batch = append(s.batch, ev)
 		}
 		for _, t := range s.taps {
 			out := s.batch

@@ -76,9 +76,9 @@ func (t transformIngester) Append(ev core.ChangeEvent) error {
 		e, keep := t.view.transform(core.Entry{Key: ev.Key, Value: ev.Mut.Value, Version: ev.Version})
 		if !keep {
 			// The view hides this entry: consumers must see it disappear.
-			return t.ing.Append(core.ChangeEvent{Key: ev.Key, Mut: core.Mutation{Op: core.OpDelete}, Version: ev.Version})
+			return t.ing.Append(core.ChangeEvent{Key: ev.Key, Mut: core.Mutation{Op: core.OpDelete}, Version: ev.Version, Trace: ev.Trace})
 		}
-		return t.ing.Append(core.ChangeEvent{Key: e.Key, Mut: core.Mutation{Op: core.OpPut, Value: e.Value}, Version: ev.Version})
+		return t.ing.Append(core.ChangeEvent{Key: e.Key, Mut: core.Mutation{Op: core.OpPut, Value: e.Value}, Version: ev.Version, Trace: ev.Trace})
 	}
 	return t.ing.Append(ev)
 }
@@ -91,10 +91,10 @@ func (t transformIngester) AppendBatch(evs []core.ChangeEvent) error {
 		if ev.Mut.Op == core.OpPut {
 			e, keep := t.view.transform(core.Entry{Key: ev.Key, Value: ev.Mut.Value, Version: ev.Version})
 			if !keep {
-				out = append(out, core.ChangeEvent{Key: ev.Key, Mut: core.Mutation{Op: core.OpDelete}, Version: ev.Version})
+				out = append(out, core.ChangeEvent{Key: ev.Key, Mut: core.Mutation{Op: core.OpDelete}, Version: ev.Version, Trace: ev.Trace})
 				continue
 			}
-			out = append(out, core.ChangeEvent{Key: e.Key, Mut: core.Mutation{Op: core.OpPut, Value: e.Value}, Version: ev.Version})
+			out = append(out, core.ChangeEvent{Key: e.Key, Mut: core.Mutation{Op: core.OpPut, Value: e.Value}, Version: ev.Version, Trace: ev.Trace})
 			continue
 		}
 		out = append(out, ev)
@@ -122,9 +122,14 @@ var (
 	_ core.Snapshotter = (*WatchableStore)(nil)
 )
 
-// NewWatchableStore creates a store with built-in watch support.
+// NewWatchableStore creates a store with built-in watch support. A
+// cfg.Tracer is installed at the store too, so sampled commits trace end to
+// end without further wiring.
 func NewWatchableStore(cfg core.HubConfig) *WatchableStore {
 	s := NewStore()
+	if cfg.Tracer.Enabled() {
+		s.SetTracer(cfg.Tracer)
+	}
 	h := core.NewHub(cfg)
 	detach := s.AttachCDC(keyspace.Full(), h)
 	return &WatchableStore{Store: s, hub: h, detach: detach}

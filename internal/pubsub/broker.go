@@ -28,6 +28,7 @@ import (
 	"unbundle/internal/clockwork"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
+	"unbundle/internal/trace"
 	"unbundle/internal/wal"
 )
 
@@ -47,6 +48,9 @@ type Message struct {
 	Value       []byte
 	PublishTime time.Time
 	Attempt     int // delivery attempt number for this subscription (1 = first)
+	// Trace is the message's sampled trace ID (0 = untraced), carried from
+	// publish through the log so poll-side stages stamp the same trace.
+	Trace trace.ID
 }
 
 // TopicConfig configures a topic at creation.
@@ -88,6 +92,11 @@ type BrokerConfig struct {
 	// Metrics is the registry the broker's instruments register in; nil uses
 	// metrics.Default().
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, samples published messages so the baseline's
+	// publish→log-append→fetch→poll pipeline reports the same stage
+	// latencies as the watch path — the apples-to-apples instrumentation the
+	// comparison experiments need.
+	Tracer *trace.Tracer
 }
 
 // brokerMetrics holds the broker's registry instruments, resolved once so
@@ -124,9 +133,10 @@ func newBrokerMetrics(reg *metrics.Registry) brokerMetrics {
 
 // Broker is an in-process pubsub broker. Safe for concurrent use.
 type Broker struct {
-	clock clockwork.Clock
-	reg   *metrics.Registry
-	met   brokerMetrics
+	clock  clockwork.Clock
+	reg    *metrics.Registry
+	met    brokerMetrics
+	tracer *trace.Tracer
 
 	mu     sync.Mutex
 	topics map[string]*topic
@@ -167,6 +177,7 @@ func NewBroker(cfg BrokerConfig) *Broker {
 		clock:  cfg.Clock,
 		reg:    cfg.Metrics.Or(),
 		met:    newBrokerMetrics(cfg.Metrics),
+		tracer: cfg.Tracer,
 		topics: make(map[string]*topic),
 		stopGC: make(chan struct{}),
 		gcDone: make(chan struct{}),
@@ -224,7 +235,16 @@ func (b *Broker) Publish(topicName string, key keyspace.Key, value []byte) (part
 		partition = int(t.rrNext % int64(len(t.parts)))
 		t.rrNext++
 	}
-	offset = t.parts[partition].Append(key, value, now)
+	var traceID trace.ID
+	if b.tracer.Enabled() {
+		traceID = b.tracer.Begin(key, 0)
+	}
+	offset = t.parts[partition].AppendTraced(key, value, now, traceID)
+	if traceID != 0 {
+		// The log offset is the baseline's "version"; it exists only now.
+		b.tracer.SetVersion(traceID, uint64(offset))
+		b.tracer.Record(traceID, trace.StageAppend)
+	}
 	t.published++
 	t.cond.Broadcast()
 	b.met.published.Inc()

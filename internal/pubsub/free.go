@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"unbundle/internal/trace"
 	"unbundle/internal/wal"
 )
 
@@ -22,6 +23,7 @@ const (
 // "does not scale as update rates increase": every server pays for every
 // message. E10 measures exactly that.
 type FreeConsumer struct {
+	b         *Broker
 	t         *topic
 	partition int
 	offset    int64
@@ -42,7 +44,7 @@ func (b *Broker) NewFreeConsumer(topicName string, partition int, from int64) (*
 	if partition < 0 || partition >= len(t.parts) {
 		return nil, fmt.Errorf("pubsub: partition %d out of range for %q", partition, topicName)
 	}
-	fc := &FreeConsumer{t: t, partition: partition}
+	fc := &FreeConsumer{b: b, t: t, partition: partition}
 	switch from {
 	case FromEarliest:
 		fc.offset = t.parts[partition].EarliestOffset()
@@ -79,6 +81,12 @@ func (fc *FreeConsumer) Poll() (Message, bool) {
 		fc.offset = rec.Offset + 1
 		_ = next
 		fc.delivered++
+		if rec.Trace != 0 {
+			// Fetch and hand-off coincide in a free consumer's poll: the
+			// message becomes visible and is delivered in the same step.
+			fc.b.tracer.Record(rec.Trace, trace.StageEnqueue)
+			fc.b.tracer.Record(rec.Trace, trace.StageDeliver)
+		}
 		return Message{
 			Topic:       fc.t.name,
 			Partition:   fc.partition,
@@ -87,6 +95,7 @@ func (fc *FreeConsumer) Poll() (Message, bool) {
 			Value:       rec.Value,
 			PublishTime: rec.Time,
 			Attempt:     1,
+			Trace:       rec.Trace,
 		}, true
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"unbundle/internal/trace"
 	"unbundle/internal/wal"
 )
 
@@ -173,6 +174,9 @@ func (g *Group) observeDeliverLatency(msg Message) {
 	if lat := g.broker.clock.Now().Sub(msg.PublishTime); lat >= 0 {
 		g.broker.met.deliverLatency.ObserveDuration(lat)
 	}
+	if msg.Trace != 0 {
+		g.broker.tracer.Record(msg.Trace, trace.StageDeliver)
+	}
 }
 
 func (c *Consumer) pollLocked() (Message, bool, error) {
@@ -232,6 +236,11 @@ func (g *Group) readLocked(p int) (Message, bool) {
 		g.inflight[p] = rec.Offset
 		g.delivered++
 		g.broker.met.delivered.Inc()
+		if rec.Trace != 0 {
+			// The fetch is the pull model's enqueue-equivalent: the moment
+			// the message becomes consumer-visible.
+			g.broker.tracer.Record(rec.Trace, trace.StageEnqueue)
+		}
 		return Message{
 			Topic:       g.t.name,
 			Partition:   p,
@@ -240,6 +249,7 @@ func (g *Group) readLocked(p int) (Message, bool) {
 			Value:       rec.Value,
 			PublishTime: rec.Time,
 			Attempt:     g.attempts[p],
+			Trace:       rec.Trace,
 		}, true
 	}
 }

@@ -1,0 +1,318 @@
+// Package trace implements lightweight causal tracing for the event
+// pipeline: producer commit → watch-system append → watcher-queue enqueue →
+// callback delivery. The paper's claims are about quantities (silent loss,
+// staleness, catch-up lag) that aggregate counters cannot localize; a
+// sampled per-event trace shows *where* in the pipeline an event spent its
+// time, per stage, without instrumenting every event.
+//
+// Design constraints, in priority order:
+//
+//  1. Near-zero cost when disabled. Events carry a trace ID of 0 unless a
+//     tracer sampled them at the source; every downstream stage guards on
+//     `ev.Trace != 0` before touching the tracer, so the disabled path costs
+//     one predictable branch per stage. All Tracer methods are additionally
+//     nil-receiver-safe.
+//  2. Bounded memory. In-flight traces live in a size-capped table (oldest
+//     abandoned first); completed traces land in a fixed-size ring that the
+//     debug server reads.
+//  3. Deterministic in tests. Timestamps come from a clockwork.Clock, so a
+//     fake clock produces exact stage latencies.
+//
+// The tracer aggregates per-stage latencies into registry histograms
+// (trace_commit_to_append_ns, trace_append_to_enqueue_ns,
+// trace_enqueue_to_deliver_ns, trace_e2e_ns), so even with sampling the
+// operator plane gets pipeline latency distributions for free.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+)
+
+// ID identifies one sampled event's trace. 0 means "not sampled" and is what
+// every untraced event carries.
+type ID = uint64
+
+// Stage names a hop in the event pipeline. Stages are ordered: a trace's
+// timestamps are non-decreasing in stage order.
+type Stage uint8
+
+const (
+	// StageCommit is the source-of-truth write: MVCC commit, ingest-store
+	// append, or pubsub publish.
+	StageCommit Stage = iota
+	// StageAppend is ingestion into the watch system's retained window (hub
+	// shard append) or the broker's partition log.
+	StageAppend
+	// StageEnqueue is acceptance into a watcher's delivery queue (or the
+	// consumer-visible fetch, for the pull-based pubsub baseline).
+	StageEnqueue
+	// StageDeliver is the consumer seeing the event: watch callback invoked,
+	// or Poll returning the message.
+	StageDeliver
+
+	// NumStages is the stage count; a complete trace has all of them stamped.
+	NumStages = int(StageDeliver) + 1
+)
+
+// String returns the stage name.
+func (s Stage) String() string {
+	switch s {
+	case StageCommit:
+		return "commit"
+	case StageAppend:
+		return "append"
+	case StageEnqueue:
+		return "enqueue"
+	case StageDeliver:
+		return "deliver"
+	default:
+		return "stage?"
+	}
+}
+
+// Trace is one sampled event's stage record. Stages[i] is the UnixNano
+// timestamp at which stage i was first reached (0 = not reached). Fan-out
+// delivers one event to many watchers; a stage records its first occurrence,
+// so a trace measures the fastest path through the pipeline.
+type Trace struct {
+	ID      ID
+	Key     keyspace.Key
+	Version uint64
+	Stages  [NumStages]int64
+}
+
+// Complete reports whether every stage was reached.
+func (t *Trace) Complete() bool {
+	for _, at := range t.Stages {
+		if at == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StageLatency returns the latency of entering stage s from the nearest
+// earlier stamped stage, or ok=false when either end is missing.
+func (t *Trace) StageLatency(s Stage) (ns int64, ok bool) {
+	if s == StageCommit || t.Stages[s] == 0 {
+		return 0, false
+	}
+	for p := int(s) - 1; p >= 0; p-- {
+		if t.Stages[p] != 0 {
+			return t.Stages[s] - t.Stages[p], true
+		}
+	}
+	return 0, false
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// SampleEvery samples 1 in N source events (counter-based, so a steady
+	// stream is sampled evenly). <= 0 disables sampling entirely: Begin
+	// returns 0 for every event and no trace state is kept.
+	SampleEvery int
+	// Capacity is the completed-trace ring size (default 256).
+	Capacity int
+	// MaxInflight bounds the in-flight trace table; the oldest in-flight
+	// trace is abandoned when a new sample would exceed it (default 1024).
+	MaxInflight int
+	// Clock stamps stage timestamps; nil uses the real clock. Tests inject a
+	// fake for deterministic latencies.
+	Clock clockwork.Clock
+	// Metrics receives the tracer's counters and stage-latency histograms;
+	// nil uses metrics.Default().
+	Metrics *metrics.Registry
+}
+
+// Tracer samples events at their source and records per-stage timestamps as
+// the sampled events flow through the pipeline. All methods are safe for
+// concurrent use and nil-receiver-safe, so components hold a possibly-nil
+// *Tracer and call it unconditionally behind an `id != 0` guard.
+type Tracer struct {
+	every uint64
+	cap   int
+	maxIn int
+	clock clockwork.Clock
+
+	counter atomic.Uint64 // source events seen (sampling counter)
+	nextID  atomic.Uint64
+
+	sampled, completedN, abandoned *metrics.Counter
+	stageHist                      [NumStages]*metrics.Histogram // entry-latency into stage i (i >= 1)
+	e2e                            *metrics.Histogram
+
+	mu     sync.Mutex
+	active map[ID]*Trace
+	order  []ID // in-flight IDs, oldest first (lazily compacted)
+	done   []Trace
+	next   int // next write slot in done
+	filled bool
+}
+
+// New creates a Tracer. A SampleEvery <= 0 yields a tracer that never
+// samples — the "compiled in, switched off" configuration whose overhead the
+// verify gate bounds.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 1024
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clockwork.Real()
+	}
+	reg := cfg.Metrics.Or()
+	t := &Tracer{
+		cap:        cfg.Capacity,
+		maxIn:      cfg.MaxInflight,
+		clock:      cfg.Clock,
+		sampled:    reg.Counter("trace_sampled_total"),
+		completedN: reg.Counter("trace_completed_total"),
+		abandoned:  reg.Counter("trace_abandoned_total"),
+		e2e:        reg.Histogram("trace_e2e_ns"),
+		active:     make(map[ID]*Trace),
+		done:       make([]Trace, cfg.Capacity),
+	}
+	if cfg.SampleEvery > 0 {
+		t.every = uint64(cfg.SampleEvery)
+	}
+	t.stageHist[StageAppend] = reg.Histogram("trace_commit_to_append_ns")
+	t.stageHist[StageEnqueue] = reg.Histogram("trace_append_to_enqueue_ns")
+	t.stageHist[StageDeliver] = reg.Histogram("trace_enqueue_to_deliver_ns")
+	return t
+}
+
+// Enabled reports whether this tracer ever samples.
+func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// Begin is called at the source stage (commit/publish) for every event; it
+// returns a fresh trace ID for the 1-in-N sampled events and 0 for the rest.
+// The commit stamp is recorded for sampled events.
+func (t *Tracer) Begin(key keyspace.Key, version uint64) ID {
+	if t == nil || t.every == 0 {
+		return 0
+	}
+	if t.counter.Add(1)%t.every != 0 {
+		return 0
+	}
+	id := t.nextID.Add(1)
+	now := t.clock.Now().UnixNano()
+	tr := &Trace{ID: id, Key: key, Version: version}
+	tr.Stages[StageCommit] = now
+	t.mu.Lock()
+	for len(t.active) >= t.maxIn && len(t.order) > 0 {
+		old := t.order[0]
+		t.order = t.order[1:]
+		if _, live := t.active[old]; live {
+			delete(t.active, old)
+			t.abandoned.Inc()
+		}
+	}
+	t.active[id] = tr
+	t.order = append(t.order, id)
+	t.mu.Unlock()
+	t.sampled.Inc()
+	return id
+}
+
+// SetVersion back-fills the version of an in-flight trace — used by sources
+// (the pubsub log) that learn the event's sequence number only after Begin.
+func (t *Tracer) SetVersion(id ID, version uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	if tr := t.active[id]; tr != nil {
+		tr.Version = version
+	}
+	t.mu.Unlock()
+}
+
+// Record stamps stage s on trace id, first occurrence wins. Reaching
+// StageDeliver completes the trace: it moves to the completed ring and its
+// end-to-end latency is observed. No-op for id 0 or a nil tracer.
+func (t *Tracer) Record(id ID, s Stage) {
+	if t == nil || id == 0 {
+		return
+	}
+	now := t.clock.Now().UnixNano()
+	t.mu.Lock()
+	tr := t.active[id]
+	if tr == nil || tr.Stages[s] != 0 {
+		t.mu.Unlock()
+		return
+	}
+	tr.Stages[s] = now
+	var stageNs int64 = -1
+	for p := int(s) - 1; p >= 0; p-- {
+		if tr.Stages[p] != 0 {
+			stageNs = now - tr.Stages[p]
+			break
+		}
+	}
+	var e2eNs int64 = -1
+	if s == StageDeliver {
+		delete(t.active, id)
+		t.done[t.next] = *tr
+		t.next++
+		if t.next == t.cap {
+			t.next = 0
+			t.filled = true
+		}
+		e2eNs = now - tr.Stages[StageCommit]
+	}
+	t.mu.Unlock()
+	if stageNs >= 0 && t.stageHist[s] != nil {
+		t.stageHist[s].Observe(stageNs)
+	}
+	if e2eNs >= 0 {
+		t.e2e.Observe(e2eNs)
+		t.completedN.Inc()
+	}
+}
+
+// Completed returns the completed traces, newest first. The slice is a copy.
+func (t *Tracer) Completed() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.filled {
+		n = t.cap
+	}
+	out := make([]Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := t.next - i
+		if idx < 0 {
+			idx += t.cap
+		}
+		out = append(out, t.done[idx])
+	}
+	return out
+}
+
+// CompletedCount returns how many traces have completed all stages.
+func (t *Tracer) CompletedCount() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.completedN.Value()
+}
+
+// InflightCount returns how many sampled traces have not yet completed.
+func (t *Tracer) InflightCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}

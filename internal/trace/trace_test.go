@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+)
+
+func TestSamplingRate(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{SampleEvery: 8, Metrics: reg})
+	sampled := 0
+	for i := 0; i < 800; i++ {
+		if tr.Begin("k", uint64(i)) != 0 {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("sampled %d of 800 at 1-in-8, want 100", sampled)
+	}
+	if got := reg.Snapshot().Counters["trace_sampled_total"]; got != 100 {
+		t.Fatalf("trace_sampled_total = %d, want 100", got)
+	}
+}
+
+func TestDisabledAndNilTracer(t *testing.T) {
+	tr := New(Config{SampleEvery: 0})
+	if tr.Enabled() {
+		t.Fatal("SampleEvery 0 tracer reports enabled")
+	}
+	if id := tr.Begin("k", 1); id != 0 {
+		t.Fatalf("disabled tracer sampled an event (id %d)", id)
+	}
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if id := nilT.Begin("k", 1); id != 0 {
+		t.Fatal("nil tracer sampled")
+	}
+	nilT.Record(7, StageAppend) // must not panic
+	nilT.SetVersion(7, 1)
+	if got := nilT.Completed(); got != nil {
+		t.Fatalf("nil tracer completed traces: %v", got)
+	}
+	if nilT.CompletedCount() != 0 || nilT.InflightCount() != 0 {
+		t.Fatal("nil tracer non-zero counts")
+	}
+}
+
+func TestStageStampsAndLatencies(t *testing.T) {
+	fc := clockwork.NewFake()
+	reg := metrics.NewRegistry()
+	tr := New(Config{SampleEvery: 1, Clock: fc, Metrics: reg})
+
+	id := tr.Begin("key-1", 42)
+	if id == 0 {
+		t.Fatal("1-in-1 sampling did not sample")
+	}
+	fc.Advance(10 * time.Millisecond)
+	tr.Record(id, StageAppend)
+	fc.Advance(20 * time.Millisecond)
+	tr.Record(id, StageEnqueue)
+	fc.Advance(30 * time.Millisecond)
+	tr.Record(id, StageDeliver)
+
+	done := tr.Completed()
+	if len(done) != 1 {
+		t.Fatalf("completed %d traces, want 1", len(done))
+	}
+	got := done[0]
+	if !got.Complete() {
+		t.Fatalf("trace incomplete: %+v", got)
+	}
+	if got.Key != "key-1" || got.Version != 42 {
+		t.Fatalf("trace identity wrong: %+v", got)
+	}
+	wantLat := []struct {
+		s  Stage
+		ns int64
+	}{
+		{StageAppend, int64(10 * time.Millisecond)},
+		{StageEnqueue, int64(20 * time.Millisecond)},
+		{StageDeliver, int64(30 * time.Millisecond)},
+	}
+	for _, w := range wantLat {
+		ns, ok := got.StageLatency(w.s)
+		if !ok || ns != w.ns {
+			t.Fatalf("stage %v latency = %d,%v, want %d", w.s, ns, ok, w.ns)
+		}
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms["trace_e2e_ns"]; h.Count != 1 || h.Max != int64(60*time.Millisecond) {
+		t.Fatalf("e2e histogram = %+v, want one 60ms observation", h)
+	}
+	if h := snap.Histograms["trace_commit_to_append_ns"]; h.Count != 1 {
+		t.Fatalf("commit→append histogram count = %d", h.Count)
+	}
+	if tr.CompletedCount() != 1 {
+		t.Fatalf("CompletedCount = %d", tr.CompletedCount())
+	}
+}
+
+func TestDuplicateStageKeepsFirstStamp(t *testing.T) {
+	fc := clockwork.NewFake()
+	tr := New(Config{SampleEvery: 1, Clock: fc})
+	id := tr.Begin("k", 1)
+	fc.Advance(time.Millisecond)
+	tr.Record(id, StageAppend)
+	first := fc.Now().UnixNano()
+	fc.Advance(time.Second)
+	tr.Record(id, StageAppend) // fan-out duplicate
+	tr.Record(id, StageEnqueue)
+	tr.Record(id, StageDeliver)
+	done := tr.Completed()
+	if len(done) != 1 || done[0].Stages[StageAppend] != first {
+		t.Fatalf("duplicate stage overwrote first stamp: %+v", done)
+	}
+}
+
+func TestCompletedRingEvictsOldest(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Capacity: 4})
+	for i := 0; i < 10; i++ {
+		id := tr.Begin("k", uint64(i))
+		tr.Record(id, StageAppend)
+		tr.Record(id, StageEnqueue)
+		tr.Record(id, StageDeliver)
+	}
+	done := tr.Completed()
+	if len(done) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(done))
+	}
+	// Newest first: versions 9, 8, 7, 6.
+	for i, want := range []uint64{9, 8, 7, 6} {
+		if done[i].Version != want {
+			t.Fatalf("done[%d].Version = %d, want %d", i, done[i].Version, want)
+		}
+	}
+}
+
+func TestInflightBoundAbandonsOldest(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{SampleEvery: 1, MaxInflight: 8, Metrics: reg})
+	ids := make([]ID, 0, 20)
+	for i := 0; i < 20; i++ {
+		ids = append(ids, tr.Begin("k", uint64(i)))
+	}
+	if got := tr.InflightCount(); got != 8 {
+		t.Fatalf("inflight = %d, want 8", got)
+	}
+	if got := reg.Snapshot().Counters["trace_abandoned_total"]; got != 12 {
+		t.Fatalf("abandoned = %d, want 12", got)
+	}
+	// Abandoned traces ignore further stamps; live ones still complete.
+	tr.Record(ids[0], StageDeliver)
+	if tr.CompletedCount() != 0 {
+		t.Fatal("abandoned trace completed")
+	}
+	tr.Record(ids[19], StageDeliver)
+	if tr.CompletedCount() != 1 {
+		t.Fatal("live trace did not complete")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := New(Config{SampleEvery: 2, Capacity: 128, Metrics: metrics.NewRegistry()})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := tr.Begin(keyspace.Key(fmt.Sprintf("g%d/k%d", g, i)), uint64(i))
+				if id != 0 {
+					tr.Record(id, StageAppend)
+					tr.Record(id, StageEnqueue)
+					tr.Record(id, StageDeliver)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.CompletedCount(); got != 2000 {
+		t.Fatalf("completed %d, want 2000", got)
+	}
+	for _, d := range tr.Completed() {
+		if !d.Complete() {
+			t.Fatalf("incomplete trace in ring: %+v", d)
+		}
+	}
+}

@@ -24,6 +24,11 @@ type Record struct {
 	Key    keyspace.Key
 	Value  []byte
 	Time   time.Time // append time, used by time-based retention
+	// Trace is the record's sampled trace ID (0 = untraced). The log carries
+	// it opaquely — a plain uint64 rather than trace.ID keeps this package
+	// dependency-free — so the broker's pipeline stages can stamp the same
+	// trace the publisher began.
+	Trace uint64
 }
 
 // OutOfRangeError reports a read outside the retained window. Earliest and
@@ -108,12 +113,17 @@ func NewLog(cfg Config) *Log {
 // Append adds a record and returns its offset. now is supplied by the
 // caller (the broker's clock) so retention works under virtual time.
 func (l *Log) Append(key keyspace.Key, value []byte, now time.Time) int64 {
+	return l.AppendTraced(key, value, now, 0)
+}
+
+// AppendTraced is Append for a record carrying a sampled trace ID.
+func (l *Log) AppendTraced(key keyspace.Key, value []byte, now time.Time, traceID uint64) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	seg := l.activeLocked()
 	off := l.next
 	l.next++
-	rec := Record{Offset: off, Key: key, Value: value, Time: now}
+	rec := Record{Offset: off, Key: key, Value: value, Time: now, Trace: traceID}
 	seg.records = append(seg.records, rec)
 	seg.bytes += int64(len(key) + len(value))
 	seg.last = now

@@ -1,0 +1,84 @@
+// Tracing-overhead guard: the causal tracer must be free when disabled. The
+// hot append/fan-out path carries one `tracer.Enabled()` branch per stage,
+// and this test pins that cost — a hub built with a disabled tracer must run
+// the BenchmarkHubAppendFanout8 workload within 5% of a hub with no tracer
+// at all. Benchmark-grade timing is too noisy for ordinary CI `go test`, so
+// the guard only runs when TRACE_GUARD is set (see `make traceguard`).
+package unbundle_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"unbundle"
+)
+
+// guardWorkload is the BenchmarkHubAppendFanout8 body against a caller-built
+// hub: 8 range watchers, b.N appends round-robined across their ranges.
+func guardWorkload(hub *unbundle.Hub) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hub.Append(unbundle.ChangeEvent{
+				Key:     unbundle.Key(fmt.Sprintf("%d-key", i%8)),
+				Mut:     unbundle.Mutation{Op: unbundle.OpPut, Value: []byte("v")},
+				Version: unbundle.Version(i + 1),
+			})
+		}
+	}
+}
+
+// guardRun measures the workload against a fresh hub with the given tracer
+// (nil = untraced baseline) and returns ns/op. Watchers discard events.
+func guardRun(t *testing.T, tracer *unbundle.Tracer) float64 {
+	t.Helper()
+	hub := unbundle.NewHub(unbundle.HubConfig{
+		Retention:     1 << 16,
+		WatcherBuffer: 1 << 20,
+		Metrics:       unbundle.NewMetricsRegistry(),
+		Tracer:        tracer,
+	})
+	defer hub.Close()
+	for w := 0; w < 8; w++ {
+		lo := unbundle.Key(fmt.Sprintf("%d", w))
+		hi := unbundle.Key(fmt.Sprintf("%d", w+1))
+		cancel, err := hub.Watch(unbundle.Range{Low: lo, High: hi}, 0, unbundle.Callbacks{
+			Event: func(unbundle.ChangeEvent) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cancel()
+	}
+	res := testing.Benchmark(guardWorkload(hub))
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// TestTracingOverheadGuard compares the disabled-tracer path against the
+// no-tracer path on the same machine in the same process, taking the best of
+// several interleaved rounds of each to shed scheduler noise. The 5% budget
+// matches the acceptance bar against the recorded BENCH_hub.json median.
+func TestTracingOverheadGuard(t *testing.T) {
+	if os.Getenv("TRACE_GUARD") == "" {
+		t.Skip("set TRACE_GUARD=1 to run the tracing-overhead guard (see make traceguard)")
+	}
+	const rounds = 5
+	disabled := unbundle.NewTracer(unbundle.TraceConfig{SampleEvery: 0})
+	if disabled.Enabled() {
+		t.Fatal("SampleEvery 0 must yield a disabled tracer")
+	}
+	base, traced := -1.0, -1.0
+	for i := 0; i < rounds; i++ {
+		if v := guardRun(t, nil); base < 0 || v < base {
+			base = v
+		}
+		if v := guardRun(t, disabled); traced < 0 || v < traced {
+			traced = v
+		}
+	}
+	ratio := traced / base
+	t.Logf("no tracer: %.1f ns/op, disabled tracer: %.1f ns/op, ratio %.3f", base, traced, ratio)
+	if ratio > 1.05 {
+		t.Errorf("disabled tracer costs %.1f%% on the hot append path (budget 5%%)", (ratio-1)*100)
+	}
+}

@@ -31,6 +31,7 @@ package unbundle
 
 import (
 	"unbundle/internal/core"
+	"unbundle/internal/debugz"
 	"unbundle/internal/ingeststore"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
@@ -38,6 +39,7 @@ import (
 	"unbundle/internal/pubsub"
 	"unbundle/internal/remote"
 	"unbundle/internal/sharder"
+	"unbundle/internal/trace"
 )
 
 // Key and range vocabulary (see internal/keyspace).
@@ -268,3 +270,39 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // DefaultMetrics returns the process-wide registry that subsystems fall
 // back to when their config leaves Metrics nil. Dump it with WriteTo.
 func DefaultMetrics() *MetricsRegistry { return metrics.Default() }
+
+// Causal tracing (see internal/trace): a Tracer samples 1-in-N source
+// events and records per-stage timestamps (commit → append → enqueue →
+// deliver) as they flow through the pipeline. Wire one Tracer into the
+// store (Store.SetTracer, IngestConfig.Tracer, BrokerConfig.Tracer) and the
+// watch system (HubConfig.Tracer) to trace end to end.
+type (
+	// Tracer samples events and collects per-stage timestamps.
+	Tracer = trace.Tracer
+	// TraceConfig tunes a Tracer (sampling rate, ring sizes, clock).
+	TraceConfig = trace.Config
+	// EventTrace is one completed trace: stage timestamps for one event.
+	EventTrace = trace.Trace
+	// WatcherLag is one watcher's staleness snapshot from Hub.WatcherLags:
+	// version lag and time behind the ingest frontier.
+	WatcherLag = core.WatcherLag
+)
+
+// NewTracer creates a Tracer; SampleEvery <= 0 yields a disabled tracer
+// that costs one branch per pipeline stage.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// The operational debug server (see internal/debugz): /metrics, /watchers
+// (lag radar), /traces, /regions, and /debug/pprof.
+type (
+	// DebugConfig names the data sources behind the debug endpoints.
+	DebugConfig = debugz.Config
+	// DebugServer is a running debug HTTP server.
+	DebugServer = debugz.Server
+)
+
+// ServeDebug starts the debug server on addr (e.g. "127.0.0.1:6060" or
+// ":0"); every Config field is optional.
+func ServeDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
+	return debugz.Serve(addr, cfg)
+}
