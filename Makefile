@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench traceguard verify clean
+.PHONY: build test race vet bench bench-remote traceguard verify clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,16 @@ bench:
 	$(GO) test -run XXX -bench $(BENCH_HUB) -benchmem -count=5 . > bench_raw.txt
 	$(GO) test -run XXX -bench $(BENCH_CORE) -benchmem -count=5 ./internal/core >> bench_raw.txt
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -in bench_raw.txt -out BENCH_hub.json
+
+# bench-remote is the remote-transport counterpart of bench: loopback TCP
+# fan-out at 8 and 64 watchers plus large-snapshot streaming, medians-of-5
+# folded into BENCH_remote.json. events/sec and wire-B/event in each entry's
+# extra map are the headline transport numbers.
+BENCH_REMOTE = 'BenchmarkRemoteFanout8$$|BenchmarkRemoteFanout64$$|BenchmarkRemoteSnapshot4MB$$'
+
+bench-remote:
+	$(GO) test -run XXX -bench $(BENCH_REMOTE) -benchmem -count=5 ./internal/remote > bench_remote_raw.txt
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -in bench_remote_raw.txt -out BENCH_remote.json
 
 # traceguard pins the cost of the (disabled) causal tracer on the hot hub
 # append path: a hub built with a disabled tracer must stay within 5% of one

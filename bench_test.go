@@ -75,6 +75,7 @@ func BenchmarkE8WorkQueue(b *testing.B)        { benchExperiment(b, "E8") }
 func BenchmarkE9KnowledgeStitch(b *testing.B)  { benchExperiment(b, "E9") }
 func BenchmarkE10Efficiency(b *testing.B)      { benchExperiment(b, "E10") }
 func BenchmarkE11Quadrants(b *testing.B)       { benchExperiment(b, "E11") }
+func BenchmarkE12RemoteTransport(b *testing.B) { benchExperiment(b, "E12") }
 
 // --- public-API microbenchmarks ---
 

@@ -12,6 +12,9 @@
 //	watchtail -debug-addr :6060        # serve /metrics /watchers /traces
 //	                                   # /regions /debug/pprof while tailing
 //	watchtail -trace-every 8           # sample 1-in-8 events into /traces
+//	watchtail -remote                  # tail through the batched TCP
+//	                                   # transport on loopback instead of
+//	                                   # in-process
 package main
 
 import (
@@ -33,15 +36,49 @@ func main() {
 		dumpMet    = flag.Bool("metrics", false, "dump the metrics registry at exit")
 		debugAddr  = flag.String("debug-addr", "", "serve the debug HTTP server on this address (empty = off)")
 		traceEvery = flag.Int("trace-every", 0, "sample 1 in N events into the trace ring (0 = off)")
+		remoteTail = flag.Bool("remote", false, "tail through the batched TCP transport on loopback")
 	)
 	flag.Parse()
 
 	var tracer *unbundle.Tracer
 	if *traceEvery > 0 {
-		tracer = unbundle.NewTracer(unbundle.TraceConfig{SampleEvery: *traceEvery})
+		cfg := unbundle.TraceConfig{SampleEvery: *traceEvery}
+		if *remoteTail {
+			// Traces complete at the client callback, spanning all six
+			// stages: commit → append → enqueue → deliver → remote-enqueue
+			// → remote-deliver.
+			cfg.FinalStage = unbundle.TraceStageRemoteDeliver
+		}
+		tracer = unbundle.NewTracer(cfg)
 	}
 	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: *retention, Tracer: tracer})
 	defer store.Close()
+
+	// The view the tail consumes from: the store itself, or — with -remote —
+	// a WatchClient dialed against a loopback WatchServer, so events cross
+	// the batched wire protocol on their way to the callbacks below.
+	var view interface {
+		unbundle.Watchable
+		unbundle.Snapshotter
+	} = store
+	if *remoteTail {
+		srv, err := unbundle.ServeWatchWith("127.0.0.1:0", store, store,
+			unbundle.WatchServerConfig{Tracer: tracer})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "watchtail: watch server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		client, err := unbundle.DialWatchWith(srv.Addr(),
+			unbundle.WatchClientConfig{Tracer: tracer})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "watchtail: watch client: %v\n", err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		fmt.Printf("tailing over TCP via %s\n", srv.Addr())
+		view = client
+	}
 
 	// The tailing consumer's knowledge regions (Figure 5), published on the
 	// debug server's /regions endpoint. The watch callbacks below are the
@@ -88,7 +125,7 @@ func main() {
 		r = unbundle.PrefixRange(unbundle.Key(*prefix))
 	}
 	// Snapshot-then-watch, by hand, so each step is visible.
-	entries, at, err := store.SnapshotRange(r)
+	entries, at, err := view.SnapshotRange(r)
 	if err != nil {
 		panic(err)
 	}
@@ -100,7 +137,7 @@ func main() {
 	ks.AddSnapshot(r, at)
 	ksMu.Unlock()
 
-	cancel, err := store.Watch(r, at, unbundle.Callbacks{
+	cancel, err := view.Watch(r, at, unbundle.Callbacks{
 		Event: func(ev unbundle.ChangeEvent) {
 			if ev.Mut.Op == unbundle.OpDelete {
 				fmt.Printf("event    %v  %s deleted\n", ev.Version, ev.Key)

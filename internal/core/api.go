@@ -129,6 +129,21 @@ type WatchCallback interface {
 	OnResync(ResyncEvent)
 }
 
+// EventBatchCallback is an optional extension of WatchCallback. A callback
+// that also implements it receives each contiguous run of change events the
+// dispatcher drained from the watch queue as one OnEventBatch call instead of
+// one OnEvent call per event — the batch hand-off that lets a transport (the
+// remote server's connection outbox) move a whole ring-drain's worth of
+// events in one synchronized step. Semantics are otherwise identical to
+// per-event delivery: events arrive in enqueue order, per-key version order
+// holds within and across batches, and progress/resync callbacks interleave
+// at their queued positions. The callee must not retain evs (or the slice's
+// backing array) after returning — the dispatcher reuses it; the event
+// *values* (including Mutation.Value bytes) may be retained as usual.
+type EventBatchCallback interface {
+	OnEventBatch(evs []ChangeEvent)
+}
+
 // Funcs adapts plain functions to WatchCallback; nil fields are no-ops.
 type Funcs struct {
 	Event    func(ChangeEvent)

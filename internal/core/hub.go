@@ -763,7 +763,10 @@ type hubWatcher struct {
 	rng  keyspace.Range
 	from Version
 	cb   WatchCallback
-	q    *ring
+	// batchCB is cb's EventBatchCallback view, resolved once at registration;
+	// non-nil switches the dispatch loop to whole-batch event hand-off.
+	batchCB EventBatchCallback
+	q       *ring
 
 	// lagged marks that the hub has stopped feeding this watcher; the only
 	// remaining delivery is the resync already queued. It is a fast-path
@@ -781,15 +784,20 @@ type hubWatcher struct {
 
 func newHubWatcher(h *Hub, id int64, r keyspace.Range, from Version, cb WatchCallback, max int) *hubWatcher {
 	w := &hubWatcher{id: id, hub: h, rng: r, from: from, cb: cb, q: newRing(max)}
+	w.batchCB, _ = cb.(EventBatchCallback)
 	w.lastSeen.Store(uint64(from))
 	return w
 }
 
 // run is the watcher's dispatch loop: it drains whole batches from the ring
-// and invokes the callbacks in enqueue order. The queue highwater gauge is
-// published here, off the ingest path.
+// and invokes the callbacks in enqueue order. When the callback implements
+// EventBatchCallback, each contiguous run of change events inside a drain is
+// handed over as one OnEventBatch call (the batch survives from ring to wire
+// untouched); otherwise events dispatch one OnEvent at a time. The queue
+// highwater gauge is published here, off the ingest path.
 func (w *hubWatcher) run() {
 	var buf []item
+	var evs []ChangeEvent // batch hand-off scratch, reused across drains
 	for {
 		batch, high, ok := w.q.drain(buf)
 		if !ok {
@@ -799,9 +807,39 @@ func (w *hubWatcher) run() {
 		if high > 0 {
 			w.hub.met.queueHighwater.Max(int64(high))
 		}
-		for i := range batch {
+		i := 0
+		for i < len(batch) {
 			if w.q.isCancelled() {
 				return
+			}
+			if w.batchCB != nil && batch[i].kind == kindEvent {
+				// Collect the contiguous event run starting at i.
+				evs = evs[:0]
+				j := i
+				for j < len(batch) && batch[j].kind == kindEvent {
+					evs = append(evs, batch[j].ev)
+					j++
+				}
+				maxSeen := w.lastSeen.Load()
+				for k := range evs {
+					ev := &evs[k]
+					if ev.Trace != 0 {
+						w.hub.tracer.Record(ev.Trace, trace.StageDeliver)
+					}
+					if v := uint64(ev.Version); v > maxSeen {
+						maxSeen = v
+					}
+				}
+				if maxSeen > w.lastSeen.Load() {
+					w.lastSeen.Store(maxSeen)
+				}
+				w.nDelivered.Add(int64(len(evs)))
+				w.batchCB.OnEventBatch(evs)
+				for k := range evs {
+					evs[k] = ChangeEvent{} // release payload refs until the next run
+				}
+				i = j
+				continue
 			}
 			switch it := &batch[i]; it.kind {
 			case kindEvent:
@@ -821,6 +859,7 @@ func (w *hubWatcher) run() {
 			case kindResync:
 				w.cb.OnResync(it.resync)
 			}
+			i++
 		}
 		for i := range batch {
 			batch[i] = item{} // release payload refs until the next drain

@@ -718,3 +718,112 @@ func TestHubStressFullLifecycle(t *testing.T) {
 		t.Fatalf("watch after close: got %v, want ErrClosed", err)
 	}
 }
+
+// batchSink records whether events arrived via OnEventBatch or OnEvent,
+// preserving arrival order alongside interleaved progress marks.
+type batchSink struct {
+	mu         sync.Mutex
+	events     []ChangeEvent
+	batches    int
+	singles    int
+	progressAt []int // event count at each progress callback
+	resyncs    int
+}
+
+func (b *batchSink) OnEvent(ev ChangeEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.singles++
+	b.events = append(b.events, ev)
+}
+
+func (b *batchSink) OnEventBatch(evs []ChangeEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batches++
+	b.events = append(b.events, evs...)
+}
+
+func (b *batchSink) OnProgress(ProgressEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.progressAt = append(b.progressAt, len(b.events))
+}
+
+func (b *batchSink) OnResync(ResyncEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resyncs++
+}
+
+// TestWatcherBatchDispatch: a callback implementing EventBatchCallback
+// receives contiguous event runs as whole batches — never via OnEvent —
+// with order preserved and progress marks interleaved at their queued
+// positions.
+func TestWatcherBatchDispatch(t *testing.T) {
+	h := NewHub(HubConfig{Metrics: metrics.NewRegistry()})
+	defer h.Close()
+	sink := &batchSink{}
+	cancel, err := h.Watch(keyspace.Full(), NoVersion, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	const rounds, batch = 16, 32
+	evs := make([]ChangeEvent, 0, batch)
+	for r := 0; r < rounds; r++ {
+		evs = evs[:0]
+		for i := 0; i < batch; i++ {
+			evs = append(evs, ChangeEvent{
+				Key:     keyspace.NumericKey(i),
+				Mut:     Mutation{Op: OpPut, Value: []byte("b")},
+				Version: Version(r*batch + i + 1),
+			})
+		}
+		if err := h.AppendBatch(evs); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Progress(ProgressEvent{Range: keyspace.Full(), Version: Version((r + 1) * batch)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const total = rounds * batch
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		sink.mu.Lock()
+		n := len(sink.events)
+		sink.mu.Unlock()
+		if n >= total {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.events) != total {
+		t.Fatalf("delivered %d events, want %d", len(sink.events), total)
+	}
+	if sink.singles != 0 {
+		t.Fatalf("%d events leaked through OnEvent despite EventBatchCallback", sink.singles)
+	}
+	if sink.batches == 0 || sink.batches >= total {
+		t.Fatalf("%d batches for %d events, want batched delivery", sink.batches, total)
+	}
+	if sink.resyncs != 0 {
+		t.Fatalf("unexpected resyncs: %d", sink.resyncs)
+	}
+	// Per-key order: events for one key must be version-ascending. With
+	// NumericKey(i) repeated each round, global order is ascending too.
+	for i := 1; i < len(sink.events); i++ {
+		if sink.events[i].Version <= sink.events[i-1].Version {
+			t.Fatalf("event %d version %v <= previous %v",
+				i, sink.events[i].Version, sink.events[i-1].Version)
+		}
+	}
+	if len(sink.progressAt) == 0 {
+		t.Fatal("no progress callbacks interleaved")
+	}
+}

@@ -114,8 +114,8 @@ func Handler(cfg Config) http.Handler {
 					tj.Latencies[st.String()] = ns
 				}
 			}
-			if tr.Stages[trace.StageDeliver] != 0 && tr.Stages[trace.StageCommit] != 0 {
-				tj.E2ENs = tr.Stages[trace.StageDeliver] - tr.Stages[trace.StageCommit]
+			if fin := tr.FinalStage(); tr.Stages[fin] != 0 && tr.Stages[trace.StageCommit] != 0 {
+				tj.E2ENs = tr.Stages[fin] - tr.Stages[trace.StageCommit]
 			}
 			out = append(out, tj)
 		}

@@ -14,6 +14,7 @@ import (
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
 	"unbundle/internal/mvcc"
+	"unbundle/internal/remote"
 	"unbundle/internal/trace"
 )
 
@@ -158,6 +159,81 @@ func TestTracesEndToEndSampled(t *testing.T) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)
 		}
 	}
+}
+
+// TestMetricsSurfacesRemoteTransport drives a loopback remote pair against
+// one registry and asserts the transport's frame/byte counters come out of
+// /metrics with live values — the operator-facing view of the wire path.
+func TestMetricsSurfacesRemoteTransport(t *testing.T) {
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Metrics: reg})
+	defer hub.Close()
+	srv, err := remote.ServeWith("127.0.0.1:0", hub, nopSnapshotter{}, remote.ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := remote.DialWith(srv.Addr(), remote.ClientConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var delivered atomic.Int64
+	cancel, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event: func(core.ChangeEvent) { delivered.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	const n = 100
+	for i := 1; i <= n; i++ {
+		if err := hub.Append(core.ChangeEvent{
+			Key:     keyspace.Key(fmt.Sprintf("k%d", i)),
+			Mut:     core.Mutation{Op: core.OpPut, Value: []byte("v")},
+			Version: core.Version(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for delivered.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if delivered.Load() < n {
+		t.Fatalf("delivered %d/%d events", delivered.Load(), n)
+	}
+
+	body := get(t, Handler(Config{Metrics: reg}), "/metrics").Body.String()
+	values := map[string]int64{}
+	for _, line := range strings.Split(body, "\n") {
+		var name string
+		var v int64
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &v); err == nil {
+			values[name] = v
+		}
+	}
+	for _, name := range []string{
+		"remote_server_frames_total", "remote_server_bytes_total",
+		"remote_server_events_total",
+		"remote_client_frames_total", "remote_client_bytes_total",
+		"remote_client_events_total",
+	} {
+		v, ok := values[name]
+		if !ok {
+			t.Fatalf("/metrics missing %q:\n%s", name, body)
+		}
+		if v <= 0 {
+			t.Fatalf("/metrics %s = %d, want > 0", name, v)
+		}
+	}
+}
+
+type nopSnapshotter struct{}
+
+func (nopSnapshotter) SnapshotRange(keyspace.Range) ([]core.Entry, core.Version, error) {
+	return nil, 0, nil
 }
 
 func TestRegionsEndpoint(t *testing.T) {

@@ -1,0 +1,186 @@
+package remote
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+)
+
+// nopSnap is a Snapshotter for transport benchmarks that never resync.
+type nopSnap struct{}
+
+func (nopSnap) SnapshotRange(keyspace.Range) ([]core.Entry, core.Version, error) {
+	return nil, 0, nil
+}
+
+// benchRemoteFanout measures the remote transport under fan-out: one hub
+// ingesting batches of events, served over TCP to `watchers` clients each
+// holding a full-range watch, so every ingested event crosses the wire once
+// per client. The producer paces itself on the slowest client (staying well
+// inside the server's per-connection outbound bound), so the measurement is
+// steady-state wire throughput, never an overflow resync.
+//
+// Reported alongside ns/op:
+//
+//	events/sec    delivered change events per wall-clock second, summed
+//	              over all clients (the fan-out throughput)
+//	wire-B/event  server socket bytes per delivered event
+//	events/frame  delivered events per server wire message (the wire
+//	              batching ratio; 1.0 means one frame per event)
+func benchRemoteFanout(b *testing.B, watchers int) {
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 20, Metrics: reg})
+	defer hub.Close()
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	delivered := make([]atomic.Int64, watchers)
+	for w := 0; w < watchers; w++ {
+		c, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		n := &delivered[w]
+		cancel, err := c.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+			Event: func(core.ChangeEvent) { n.Add(1) },
+			Resync: func(r core.ResyncEvent) {
+				panic("remote fanout bench: unexpected resync: " + r.Reason)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cancel()
+	}
+
+	minDelivered := func() int64 {
+		min := delivered[0].Load()
+		for i := 1; i < watchers; i++ {
+			if v := delivered[i].Load(); v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	waitFor := func(target int64) {
+		for minDelivered() < target {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+
+	// One ring-drain's worth of events per AppendBatch, the shape a batched
+	// CDC feed produces; the window keeps at most `window` events in flight
+	// per client, below the server's outbound bound.
+	const batch = 16
+	const window = 4096
+	keys := make([]keyspace.Key, 1024)
+	for i := range keys {
+		keys[i] = keyspace.NumericKey(i)
+	}
+	val := []byte("0123456789abcdef")
+	evs := make([]core.ChangeEvent, 0, batch)
+
+	b.ResetTimer()
+	produced := 0
+	for produced < b.N {
+		evs = evs[:0]
+		for i := 0; i < batch && produced < b.N; i++ {
+			produced++
+			evs = append(evs, core.ChangeEvent{
+				Key:     keys[produced%len(keys)],
+				Mut:     core.Mutation{Op: core.OpPut, Value: val},
+				Version: core.Version(produced),
+			})
+		}
+		if err := hub.AppendBatch(evs); err != nil {
+			b.Fatal(err)
+		}
+		if produced%512 == 0 {
+			waitFor(int64(produced - window))
+		}
+	}
+	waitFor(int64(b.N)) // wall time covers full wire delivery of every event
+	b.StopTimer()
+
+	total := float64(b.N) * float64(watchers)
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(total/secs, "events/sec")
+	}
+	snap := reg.Snapshot()
+	if wire := float64(snap.Counters["remote_server_bytes_total"]); wire > 0 {
+		b.ReportMetric(wire/total, "wire-B/event")
+	}
+	if frames := float64(snap.Counters["remote_server_frames_total"]); frames > 0 {
+		b.ReportMetric(total/frames, "events/frame")
+	}
+}
+
+func BenchmarkRemoteFanout8(b *testing.B)  { benchRemoteFanout(b, 8) }
+func BenchmarkRemoteFanout64(b *testing.B) { benchRemoteFanout(b, 64) }
+
+// BenchmarkRemoteSnapshot4MB measures recovery-snapshot streaming: a client
+// pulls a ~4MB range snapshot over the wire each iteration.
+func BenchmarkRemoteSnapshot4MB(b *testing.B) {
+	reg := metrics.NewRegistry()
+	store := newBenchSnapStore(4096, 1024) // 4096 entries × 1KiB
+	srv, err := ServeWith("127.0.0.1:0", nopWatch{}, store, ServerConfig{Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries, _, err := client.SnapshotRange(keyspace.Full())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(entries) != 4096 {
+			b.Fatalf("snapshot returned %d entries", len(entries))
+		}
+	}
+}
+
+// nopWatch is a Watchable for snapshot-only benchmarks.
+type nopWatch struct{}
+
+func (nopWatch) Watch(keyspace.Range, core.Version, core.WatchCallback) (core.Cancel, error) {
+	return func() {}, nil
+}
+
+// benchSnapStore serves a fixed in-memory snapshot.
+type benchSnapStore struct{ entries []core.Entry }
+
+func newBenchSnapStore(n, valSize int) *benchSnapStore {
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	s := &benchSnapStore{}
+	for i := 0; i < n; i++ {
+		s.entries = append(s.entries, core.Entry{
+			Key:     keyspace.Key(fmt.Sprintf("key-%08d", i)),
+			Value:   val,
+			Version: core.Version(i + 1),
+		})
+	}
+	return s
+}
+
+func (s *benchSnapStore) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, error) {
+	return s.entries, core.Version(len(s.entries)), nil
+}

@@ -1,0 +1,133 @@
+package remote
+
+import (
+	"io"
+	"sync"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+)
+
+// Wire protocol (v2, batched): every message is a one-byte tag followed by
+// its payload, both encoded on a single gob stream per direction. Tag-first
+// framing lets each side decode into a type-specific target — which is what
+// makes decode-buffer reuse possible — instead of a union struct whose unused
+// pointer fields gob must consider on every message.
+//
+// Client → server: tagWatch, tagCancel, tagSnapshot.
+// Server → client: tagEventBatch, tagProgress, tagResync, tagSnapChunk.
+//
+// The old per-event protocol encoded (and usually wrote) one frame per change
+// event; v2 carries a whole ring-drain's worth of events per watch in one
+// tagEventBatch frame and streams snapshot responses as bounded tagSnapChunk
+// frames ending with Last=true.
+const (
+	tagWatch uint8 = iota + 1
+	tagCancel
+	tagSnapshot
+	tagEventBatch
+	tagProgress
+	tagResync
+	tagSnapChunk
+)
+
+type watchReq struct {
+	ID   uint64
+	Low  keyspace.Key
+	High keyspace.Key
+	From core.Version
+}
+
+type cancelReq struct{ ID uint64 }
+
+type snapshotReq struct {
+	ID   uint64
+	Low  keyspace.Key
+	High keyspace.Key
+}
+
+// eventBatchMsg carries one contiguous run of change events for one watch —
+// the unit the hub's dispatch loop hands over via core.EventBatchCallback,
+// preserved across the wire instead of flattened into per-event frames.
+type eventBatchMsg struct {
+	ID  uint64
+	Evs []core.ChangeEvent
+}
+
+type progressMsg struct {
+	ID uint64
+	P  core.ProgressEvent
+}
+
+type resyncMsg struct {
+	ID uint64
+	R  core.ResyncEvent
+}
+
+// snapChunk is one bounded slice of a streamed snapshot response. The client
+// accumulates Entries across chunks until Last; Err (with Last=true) aborts
+// the snapshot. At repeats the snapshot version on every chunk.
+type snapChunk struct {
+	ID      uint64
+	Entries []core.Entry
+	At      core.Version
+	Err     string
+	Last    bool
+}
+
+// evsPool recycles the event slices that carry batches from the hub's
+// dispatch goroutine into a connection's outbound queue. A pooled slice is
+// cleared before reuse so no event payload outlives its frame.
+var evsPool = sync.Pool{
+	New: func() any {
+		s := make([]core.ChangeEvent, 0, 64)
+		return &s
+	},
+}
+
+func getEvs(n int) *[]core.ChangeEvent {
+	p := evsPool.Get().(*[]core.ChangeEvent)
+	if cap(*p) < n {
+		*p = make([]core.ChangeEvent, 0, n)
+	}
+	return p
+}
+
+func putEvs(p *[]core.ChangeEvent) {
+	s := (*p)[:cap(*p)]
+	for i := range s {
+		s[i] = core.ChangeEvent{} // release Value/Key refs held by the pool
+	}
+	*p = s[:0]
+	evsPool.Put(p)
+}
+
+// countingWriter counts bytes that actually reach the underlying socket (it
+// sits below any buffering, so the counter reflects wire traffic).
+type countingWriter struct {
+	w io.Writer
+	c *metrics.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.c.Add(int64(n))
+	}
+	return n, err
+}
+
+// countingReader mirrors countingWriter on the receive side.
+type countingReader struct {
+	r io.Reader
+	c *metrics.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(int64(n))
+	}
+	return n, err
+}

@@ -5,125 +5,169 @@
 // system — the "standalone watch system" of the paper's §5 made standalone
 // in fact.
 //
-// The wire protocol is length-free gob framing over one connection per
-// client: requests flow client→server (watch, cancel, snapshot); events,
-// progress, resyncs and snapshot results flow back, multiplexed by watch ID.
+// The wire protocol is tag-framed gob over one connection per client (see
+// protocol.go): requests flow client→server (watch, cancel, snapshot);
+// event batches, progress, resyncs and snapshot chunks flow back,
+// multiplexed by watch ID. The transport never flattens the batched feed:
+// each contiguous run of events the watch system drains for one watch
+// crosses the wire as one EventBatch frame, the per-connection writer
+// coalesces flushes (flush on queue-empty or a small linger, not per
+// frame), and encode/decode buffers are pooled, so the per-event syscall
+// and allocation costs of the old protocol are gone.
+//
 // A write stall for one slow client cannot wedge the watch system: frames
-// queue in a bounded per-connection buffer and overflow converts each of the
-// client's watches into a resync — the same lag-or-resync contract the hub
-// itself provides (§4.4), applied at the transport layer.
+// queue in a bounded per-connection outbox (accounted in events, not
+// frames) and overflow converts each of the client's watches into a resync
+// — the same lag-or-resync contract the hub itself provides (§4.4),
+// applied at the transport layer. Snapshot responses stream as bounded
+// chunks with their own flow control, so a large recovery read neither
+// triggers that overflow nor materializes unbounded memory on either end.
 package remote
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"unbundle/internal/core"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
+	"unbundle/internal/trace"
 )
 
-// remoteMetrics holds the transport-layer instruments, resolved once from the
-// default registry at Serve/Dial so the per-frame paths stay atomic-only.
-type remoteMetrics struct {
-	serverConns     *metrics.Counter
+// Transport tuning. These are compile-time constants: the protocol works at
+// any value, the numbers only trade latency against batching.
+const (
+	// outboundLimit bounds a connection's outbox in queued change events
+	// (progress frames count as one each); beyond it the client's watches
+	// are resynced rather than buffered without bound. Resync and snapshot
+	// frames are exempt — they are the recovery path.
+	outboundLimit = 8192
+	// connWriteBuffer is the bufio.Writer size in front of each server
+	// socket; under sustained backlog it turns many small frames into few
+	// large writes.
+	connWriteBuffer = 64 << 10
+	// connReadBuffer is the read-side bufio size on both ends.
+	connReadBuffer = 32 << 10
+	// flushLinger is how long encoded frames may sit unflushed while the
+	// writer keeps draining; the queue-empty flush usually wins well before
+	// this deadline.
+	flushLinger = 500 * time.Microsecond
+	// snapChunkEntries and snapChunkBytes bound one snapshot chunk —
+	// whichever is reached first closes the chunk.
+	snapChunkEntries = 1024
+	snapChunkBytes   = 256 << 10
+	// snapBacklogBytes bounds the snapshot-chunk bytes queued in one
+	// connection's outbox; the snapshot streamer blocks (it runs on its own
+	// goroutine) until the writer drains below it.
+	snapBacklogBytes = 1 << 20
+)
+
+// serverMetrics holds the server-side transport instruments, resolved once at
+// Serve so the per-frame paths stay atomic-only. Instruments are created on
+// first use and shared by name, so resolving the same registry twice (two
+// servers, or a server restart) accumulates into the same counters — there is
+// no duplicate registration and no count reset.
+type serverMetrics struct {
+	conns           *metrics.Counter
 	overflowResyncs *metrics.Counter
 	watchRejects    *metrics.Counter
-	clientConnLost  *metrics.Counter
-	clientWatches   *metrics.Counter
-	clientSnapshots *metrics.Counter
-	clientResyncs   *metrics.Counter
+	frames          *metrics.Counter // wire messages encoded (batch = 1 frame)
+	bytes           *metrics.Counter // bytes written to client sockets
+	events          *metrics.Counter // change events sent inside event frames
+	snapChunks      *metrics.Counter // snapshot response chunks streamed
 }
 
-func newRemoteMetrics() remoteMetrics {
-	reg := metrics.Default()
-	return remoteMetrics{
-		serverConns:     reg.Counter("remote_server_conns_total"),
+func newServerMetrics(reg *metrics.Registry) serverMetrics {
+	reg = reg.Or()
+	return serverMetrics{
+		conns:           reg.Counter("remote_server_conns_total"),
 		overflowResyncs: reg.Counter("remote_server_overflow_resyncs_total"),
 		watchRejects:    reg.Counter("remote_server_watch_rejects_total"),
-		clientConnLost:  reg.Counter("remote_client_conn_lost_total"),
-		clientWatches:   reg.Counter("remote_client_watches_total"),
-		clientSnapshots: reg.Counter("remote_client_snapshots_total"),
-		clientResyncs:   reg.Counter("remote_client_resyncs_total"),
+		frames:          reg.Counter("remote_server_frames_total"),
+		bytes:           reg.Counter("remote_server_bytes_total"),
+		events:          reg.Counter("remote_server_events_total"),
+		snapChunks:      reg.Counter("remote_server_snap_chunks_total"),
 	}
 }
 
-// frame is the single wire message; exactly one pointer field is set.
-type frame struct {
-	// Client → server.
-	Watch    *watchReq
-	Cancel   *cancelReq
-	Snapshot *snapshotReq
-
-	// Server → client.
-	Event      *eventMsg
-	Progress   *progressMsg
-	Resync     *resyncMsg
-	SnapResult *snapshotResp
+// clientMetrics holds the client-side transport instruments (same sharing
+// semantics as serverMetrics: per-Dial resolution from one registry lands on
+// the same counters across reconnects).
+type clientMetrics struct {
+	connLost  *metrics.Counter
+	watches   *metrics.Counter
+	snapshots *metrics.Counter
+	resyncs   *metrics.Counter
+	frames    *metrics.Counter // wire messages decoded
+	bytes     *metrics.Counter // bytes read from the server socket
+	events    *metrics.Counter // change events received inside event frames
 }
 
-type watchReq struct {
-	ID   uint64
-	Low  keyspace.Key
-	High keyspace.Key
-	From core.Version
+func newClientMetrics(reg *metrics.Registry) clientMetrics {
+	reg = reg.Or()
+	return clientMetrics{
+		connLost:  reg.Counter("remote_client_conn_lost_total"),
+		watches:   reg.Counter("remote_client_watches_total"),
+		snapshots: reg.Counter("remote_client_snapshots_total"),
+		resyncs:   reg.Counter("remote_client_resyncs_total"),
+		frames:    reg.Counter("remote_client_frames_total"),
+		bytes:     reg.Counter("remote_client_bytes_total"),
+		events:    reg.Counter("remote_client_events_total"),
+	}
 }
 
-type cancelReq struct{ ID uint64 }
-
-type snapshotReq struct {
-	ID   uint64
-	Low  keyspace.Key
-	High keyspace.Key
-}
-
-type eventMsg struct {
-	ID uint64
-	Ev core.ChangeEvent
-}
-
-type progressMsg struct {
-	ID uint64
-	P  core.ProgressEvent
-}
-
-type resyncMsg struct {
-	ID uint64
-	R  core.ResyncEvent
-}
-
-type snapshotResp struct {
-	ID      uint64
-	Entries []core.Entry
-	At      core.Version
-	Err     string
+// ServerConfig tunes a Server beyond its defaults.
+type ServerConfig struct {
+	// Metrics is the registry the server's instruments resolve from; nil uses
+	// metrics.Default().
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, stamps trace.StageRemoteEnqueue as traced events
+	// enter a connection's outbound queue. Wire the same tracer into the
+	// source store / hub for end-to-end remote traces.
+	Tracer *trace.Tracer
 }
 
 // Server exposes a watch system and its recovery snapshots on a listener.
 type Server struct {
-	watch core.Watchable
-	snap  core.Snapshotter
-	ln    net.Listener
+	watch  core.Watchable
+	snap   core.Snapshotter
+	ln     net.Listener
+	tracer *trace.Tracer
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
-	met    remoteMetrics
+	met    serverMetrics
 }
 
-// Serve starts a server on addr (e.g. "127.0.0.1:0"). The returned server
-// is already accepting; Addr reports the bound address.
+// Serve starts a server on addr (e.g. "127.0.0.1:0") with default
+// configuration. The returned server is already accepting; Addr reports the
+// bound address.
 func Serve(addr string, watch core.Watchable, snap core.Snapshotter) (*Server, error) {
+	return ServeWith(addr, watch, snap, ServerConfig{})
+}
+
+// ServeWith starts a server with explicit configuration.
+func ServeWith(addr string, watch core.Watchable, snap core.Snapshotter, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen: %w", err)
 	}
-	s := &Server{watch: watch, snap: snap, ln: ln, conns: make(map[net.Conn]struct{}), met: newRemoteMetrics()}
+	s := &Server{
+		watch:  watch,
+		snap:   snap,
+		ln:     ln,
+		tracer: cfg.Tracer,
+		conns:  make(map[net.Conn]struct{}),
+		met:    newServerMetrics(cfg.Metrics),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -152,17 +196,33 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// outFrame is one queued outbound message; tag selects which payload field
+// is live. Event batches hold a pooled slice released after encode.
+type outFrame struct {
+	tag       uint8
+	id        uint64
+	evs       *[]core.ChangeEvent // tagEventBatch
+	prog      core.ProgressEvent  // tagProgress
+	resync    core.ResyncEvent    // tagResync
+	chunk     *snapChunk          // tagSnapChunk
+	chunkSize int                 // approx payload bytes, for snapshot flow control
+}
+
 // serverConn is the per-connection state: a bounded outbound queue drained
 // by one writer goroutine, and the active watches.
 type serverConn struct {
-	conn net.Conn
-	met  remoteMetrics
+	conn   net.Conn
+	met    serverMetrics
+	tracer *trace.Tracer
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []frame
-	dead    bool
-	watches map[uint64]serverWatch
+	mu         sync.Mutex
+	cond       *sync.Cond // wakes the writer when the queue fills
+	spaceCond  *sync.Cond // wakes snapshot streamers when chunk backlog drains
+	queue      []outFrame
+	queuedEvs  int // change events (and progress frames) queued, vs outboundLimit
+	chunkBytes int // snapshot chunk payload bytes queued, vs snapBacklogBytes
+	dead       bool
+	watches    map[uint64]serverWatch
 }
 
 type serverWatch struct {
@@ -170,15 +230,12 @@ type serverWatch struct {
 	rng    keyspace.Range
 }
 
-// outboundLimit bounds the per-connection frame queue; beyond it the
-// client's watches are resynced rather than buffered without bound.
-const outboundLimit = 8192
-
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	sc := &serverConn{conn: conn, met: s.met, watches: make(map[uint64]serverWatch)}
+	sc := &serverConn{conn: conn, met: s.met, tracer: s.tracer, watches: make(map[uint64]serverWatch)}
 	sc.cond = sync.NewCond(&sc.mu)
-	s.met.serverConns.Inc()
+	sc.spaceCond = sync.NewCond(&sc.mu)
+	s.met.conns.Inc()
 
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -187,13 +244,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		sc.writeLoop()
 	}()
 
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(bufio.NewReaderSize(conn, connReadBuffer))
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		var tag uint8
+		if err := dec.Decode(&tag); err != nil {
 			break // client gone (or sent garbage): tear the connection down
 		}
-		s.handleFrame(sc, f)
+		if !s.handleRequest(sc, dec, tag) {
+			break
+		}
 	}
 	// Reader done: cancel watches, stop the writer, drop the connection.
 	sc.mu.Lock()
@@ -201,6 +260,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	sc.watches = map[uint64]serverWatch{}
 	sc.dead = true
 	sc.cond.Broadcast()
+	sc.spaceCond.Broadcast()
 	sc.mu.Unlock()
 	for _, w := range watches {
 		w.cancel()
@@ -212,84 +272,262 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-func (s *Server) handleFrame(sc *serverConn, f frame) {
-	switch {
-	case f.Watch != nil:
-		req := *f.Watch
-		r := keyspace.Range{Low: req.Low, High: req.High}
-		id := req.ID
-		cancel, err := s.watch.Watch(r, req.From, core.Funcs{
-			Event:    func(ev core.ChangeEvent) { sc.send(frame{Event: &eventMsg{ID: id, Ev: ev}}) },
-			Progress: func(p core.ProgressEvent) { sc.send(frame{Progress: &progressMsg{ID: id, P: p}}) },
-			Resync:   func(rs core.ResyncEvent) { sc.send(frame{Resync: &resyncMsg{ID: id, R: rs}}) },
-		})
-		if err != nil {
-			// Report the failure as an immediate resync carrying the reason;
-			// the consumer's recovery path handles it uniformly.
-			s.met.watchRejects.Inc()
-			sc.send(frame{Resync: &resyncMsg{ID: id, R: core.ResyncEvent{Range: r, Reason: "watch rejected: " + err.Error()}}})
-			return
+// handleRequest decodes and dispatches one client request; false tears the
+// connection down.
+func (s *Server) handleRequest(sc *serverConn, dec *gob.Decoder, tag uint8) bool {
+	switch tag {
+	case tagWatch:
+		var req watchReq
+		if dec.Decode(&req) != nil {
+			return false
+		}
+		s.handleWatch(sc, req)
+	case tagCancel:
+		var req cancelReq
+		if dec.Decode(&req) != nil {
+			return false
 		}
 		sc.mu.Lock()
-		if sc.dead {
-			sc.mu.Unlock()
-			cancel()
-			return
-		}
-		sc.watches[id] = serverWatch{cancel: cancel, rng: r}
-		sc.mu.Unlock()
-
-	case f.Cancel != nil:
-		sc.mu.Lock()
-		w, ok := sc.watches[f.Cancel.ID]
-		delete(sc.watches, f.Cancel.ID)
+		w, ok := sc.watches[req.ID]
+		delete(sc.watches, req.ID)
 		sc.mu.Unlock()
 		if ok {
 			w.cancel()
 		}
-
-	case f.Snapshot != nil:
-		req := *f.Snapshot
-		resp := snapshotResp{ID: req.ID}
-		entries, at, err := s.snap.SnapshotRange(keyspace.Range{Low: req.Low, High: req.High})
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Entries = entries
-			resp.At = at
+	case tagSnapshot:
+		var req snapshotReq
+		if dec.Decode(&req) != nil {
+			return false
 		}
-		sc.send(frame{SnapResult: &resp})
+		// Stream on a dedicated goroutine so the reader keeps serving
+		// cancels (and further requests) while a large snapshot drains.
+		s.wg.Add(1)
+		go s.streamSnapshot(sc, req)
+	default:
+		return false // protocol violation
 	}
+	return true
 }
 
-// send enqueues a frame for the writer. Overflow lags the whole connection
-// out: the queue is replaced by per-watch resyncs.
-func (sc *serverConn) send(f frame) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if sc.dead {
+// connWatchSink feeds one watch's stream into the connection outbox. It
+// implements core.EventBatchCallback, so the hub's dispatch loop hands whole
+// ring-drain batches straight through to the wire.
+type connWatchSink struct {
+	sc *serverConn
+	id uint64
+}
+
+func (cs connWatchSink) OnEvent(ev core.ChangeEvent) {
+	evs := [1]core.ChangeEvent{ev}
+	cs.sc.sendEvents(cs.id, evs[:])
+}
+
+func (cs connWatchSink) OnEventBatch(evs []core.ChangeEvent) { cs.sc.sendEvents(cs.id, evs) }
+
+func (cs connWatchSink) OnProgress(p core.ProgressEvent) { cs.sc.sendProgress(cs.id, p) }
+
+func (cs connWatchSink) OnResync(r core.ResyncEvent) { cs.sc.sendResync(cs.id, r) }
+
+func (s *Server) handleWatch(sc *serverConn, req watchReq) {
+	r := keyspace.Range{Low: req.Low, High: req.High}
+	cancel, err := s.watch.Watch(r, req.From, connWatchSink{sc: sc, id: req.ID})
+	if err != nil {
+		// Report the failure as an immediate resync carrying the reason;
+		// the consumer's recovery path handles it uniformly.
+		s.met.watchRejects.Inc()
+		sc.sendResync(req.ID, core.ResyncEvent{Range: r, Reason: "watch rejected: " + err.Error()})
 		return
 	}
-	if len(sc.queue) >= outboundLimit && f.SnapResult == nil && f.Resync == nil {
-		sc.met.overflowResyncs.Add(int64(len(sc.watches)))
-		resyncs := make([]frame, 0, len(sc.watches))
-		for id, w := range sc.watches {
-			resyncs = append(resyncs, frame{Resync: &resyncMsg{ID: id, R: core.ResyncEvent{
-				Range:  w.rng,
-				Reason: "remote: connection outbound buffer overflow",
-			}}})
-		}
-		sc.queue = resyncs
-	} else {
-		sc.queue = append(sc.queue, f)
+	sc.mu.Lock()
+	if sc.dead {
+		sc.mu.Unlock()
+		cancel()
+		return
 	}
+	sc.watches[req.ID] = serverWatch{cancel: cancel, rng: r}
+	sc.mu.Unlock()
+}
+
+// sendEvents copies one batch into a pooled slice and enqueues it as a
+// single event-batch frame. Overflow (measured in queued events, so a giant
+// batch cannot sneak past a frame-count bound) lags the whole connection out.
+func (sc *serverConn) sendEvents(id uint64, evs []core.ChangeEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	sc.mu.Lock()
+	if sc.dead {
+		sc.mu.Unlock()
+		return
+	}
+	if sc.queuedEvs+len(evs) > outboundLimit {
+		sc.overflowLocked()
+		sc.mu.Unlock()
+		return
+	}
+	p := getEvs(len(evs))
+	*p = append(*p, evs...)
+	sc.queue = append(sc.queue, outFrame{tag: tagEventBatch, id: id, evs: p})
+	sc.queuedEvs += len(evs)
+	if sc.tracer.Enabled() {
+		for i := range evs {
+			if evs[i].Trace != 0 {
+				sc.tracer.Record(evs[i].Trace, trace.StageRemoteEnqueue)
+			}
+		}
+	}
+	sc.cond.Signal()
+	sc.mu.Unlock()
+}
+
+func (sc *serverConn) sendProgress(id uint64, p core.ProgressEvent) {
+	sc.mu.Lock()
+	if sc.dead {
+		sc.mu.Unlock()
+		return
+	}
+	if sc.queuedEvs+1 > outboundLimit {
+		sc.overflowLocked()
+		sc.mu.Unlock()
+		return
+	}
+	sc.queue = append(sc.queue, outFrame{tag: tagProgress, id: id, prog: p})
+	sc.queuedEvs++
+	sc.cond.Signal()
+	sc.mu.Unlock()
+}
+
+// sendResync enqueues unconditionally: resyncs are the contract's loss
+// signal and are never dropped by the bound they enforce.
+func (sc *serverConn) sendResync(id uint64, r core.ResyncEvent) {
+	sc.mu.Lock()
+	if !sc.dead {
+		sc.queue = append(sc.queue, outFrame{tag: tagResync, id: id, resync: r})
+		sc.cond.Signal()
+	}
+	sc.mu.Unlock()
+}
+
+// overflowLocked converts the connection's backlog into per-watch resyncs:
+// queued event and progress frames are dropped (their watches are being
+// resynced anyway), while queued resyncs and snapshot chunks survive — the
+// recovery path must not be starved by the overflow it heals. Caller holds
+// sc.mu.
+func (sc *serverConn) overflowLocked() {
+	sc.met.overflowResyncs.Add(int64(len(sc.watches)))
+	kept := make([]outFrame, 0, len(sc.watches)+4)
+	for id, w := range sc.watches {
+		kept = append(kept, outFrame{tag: tagResync, id: id, resync: core.ResyncEvent{
+			Range:  w.rng,
+			Reason: "remote: connection outbound buffer overflow",
+		}})
+	}
+	for i := range sc.queue {
+		f := &sc.queue[i]
+		switch f.tag {
+		case tagResync, tagSnapChunk:
+			kept = append(kept, *f)
+		case tagEventBatch:
+			putEvs(f.evs)
+		}
+		sc.queue[i] = outFrame{}
+	}
+	sc.queue = kept
+	sc.queuedEvs = 0
 	sc.cond.Signal()
 }
 
+// streamSnapshot reads the range snapshot and streams it as bounded chunks,
+// blocking on the connection's chunk-backlog bound rather than queueing the
+// whole result. Runs on its own goroutine, tracked by the server waitgroup.
+func (s *Server) streamSnapshot(sc *serverConn, req snapshotReq) {
+	defer s.wg.Done()
+	entries, at, err := s.snap.SnapshotRange(keyspace.Range{Low: req.Low, High: req.High})
+	if err != nil {
+		sc.sendChunk(&snapChunk{ID: req.ID, Err: err.Error(), Last: true}, len(err.Error())+32)
+		return
+	}
+	off := 0
+	for {
+		n, size := 0, 0
+		for off+n < len(entries) && n < snapChunkEntries && size < snapChunkBytes {
+			e := &entries[off+n]
+			size += len(e.Key) + len(e.Value) + 16
+			n++
+		}
+		chunk := &snapChunk{
+			ID:      req.ID,
+			Entries: entries[off : off+n],
+			At:      at,
+			Last:    off+n == len(entries),
+		}
+		if !sc.sendChunk(chunk, size+32) || chunk.Last {
+			return
+		}
+		off += n
+	}
+}
+
+// sendChunk enqueues one snapshot chunk, waiting while the connection's
+// queued chunk bytes exceed snapBacklogBytes. Returns false once the
+// connection is dead.
+func (sc *serverConn) sendChunk(ch *snapChunk, size int) bool {
+	sc.mu.Lock()
+	for !sc.dead && sc.chunkBytes > snapBacklogBytes {
+		sc.spaceCond.Wait()
+	}
+	if sc.dead {
+		sc.mu.Unlock()
+		return false
+	}
+	sc.queue = append(sc.queue, outFrame{tag: tagSnapChunk, id: ch.ID, chunk: ch, chunkSize: size})
+	sc.chunkBytes += size
+	sc.cond.Signal()
+	sc.mu.Unlock()
+	return true
+}
+
+// markDead tears the connection's write side down and wakes every waiter.
+func (sc *serverConn) markDead() {
+	sc.mu.Lock()
+	sc.dead = true
+	sc.cond.Broadcast()
+	sc.spaceCond.Broadcast()
+	sc.mu.Unlock()
+	sc.conn.Close()
+}
+
+// writeLoop drains the outbox through one buffered gob stream. Flush policy:
+// flush when the queue runs empty (the common low-load case, giving
+// per-batch latency), or when encoded frames have lingered past flushLinger
+// under sustained backlog; bufio additionally writes through whenever the
+// buffer fills. The result is a few large socket writes instead of one small
+// write per event.
 func (sc *serverConn) writeLoop() {
-	enc := gob.NewEncoder(sc.conn)
+	bw := bufio.NewWriterSize(&countingWriter{w: sc.conn, c: sc.met.bytes}, connWriteBuffer)
+	enc := gob.NewEncoder(bw)
+	var local []outFrame
+	var lastFlush time.Time
+	flush := func() bool {
+		if err := bw.Flush(); err != nil {
+			sc.markDead()
+			return false
+		}
+		lastFlush = time.Now()
+		return true
+	}
 	for {
 		sc.mu.Lock()
+		if len(sc.queue) == 0 && !sc.dead && bw.Buffered() > 0 {
+			// Queue drained: flush what the last rounds encoded before
+			// sleeping, so the tail of a burst is never held hostage by the
+			// linger.
+			sc.mu.Unlock()
+			if !flush() {
+				return
+			}
+			sc.mu.Lock()
+		}
 		for len(sc.queue) == 0 && !sc.dead {
 			sc.cond.Wait()
 		}
@@ -297,17 +535,49 @@ func (sc *serverConn) writeLoop() {
 			sc.mu.Unlock()
 			return
 		}
-		batch := sc.queue
-		sc.queue = nil
+		local, sc.queue = sc.queue, local[:0]
+		sc.queuedEvs = 0
 		sc.mu.Unlock()
-		for _, f := range batch {
-			if err := enc.Encode(&f); err != nil {
-				sc.mu.Lock()
-				sc.dead = true
-				sc.cond.Broadcast()
-				sc.mu.Unlock()
-				sc.conn.Close()
+
+		for i := range local {
+			f := &local[i]
+			err := enc.Encode(f.tag)
+			if err == nil {
+				switch f.tag {
+				case tagEventBatch:
+					m := eventBatchMsg{ID: f.id, Evs: *f.evs}
+					err = enc.Encode(&m)
+				case tagProgress:
+					m := progressMsg{ID: f.id, P: f.prog}
+					err = enc.Encode(&m)
+				case tagResync:
+					m := resyncMsg{ID: f.id, R: f.resync}
+					err = enc.Encode(&m)
+				case tagSnapChunk:
+					err = enc.Encode(f.chunk)
+				}
+			}
+			if err != nil {
+				sc.markDead()
 				return
+			}
+			sc.met.frames.Inc()
+			switch f.tag {
+			case tagEventBatch:
+				sc.met.events.Add(int64(len(*f.evs)))
+				putEvs(f.evs)
+			case tagSnapChunk:
+				sc.met.snapChunks.Inc()
+				sc.mu.Lock()
+				sc.chunkBytes -= f.chunkSize
+				sc.spaceCond.Signal()
+				sc.mu.Unlock()
+			}
+			local[i] = outFrame{}
+			if bw.Buffered() > 0 && time.Since(lastFlush) > flushLinger {
+				if !flush() {
+					return
+				}
 			}
 		}
 	}
@@ -338,17 +608,43 @@ var (
 	ErrClientClosed = errors.New("remote: client closed")
 )
 
+// ClientConfig tunes a Client beyond its defaults.
+type ClientConfig struct {
+	// Metrics is the registry the client's instruments resolve from; nil uses
+	// metrics.Default().
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, stamps trace.StageRemoteDeliver as traced events
+	// are handed to the consumer callback.
+	Tracer *trace.Tracer
+}
+
+// snapResult resolves one in-flight snapshot request.
+type snapResult struct {
+	entries []core.Entry
+	at      core.Version
+	err     string
+}
+
+// snapAccum accumulates a streamed snapshot's chunks until Last.
+type snapAccum struct {
+	entries []core.Entry
+	at      core.Version
+	ch      chan snapResult
+}
+
 // Client implements core.Watchable and core.Snapshotter against a Server.
 type Client struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	met  remoteMetrics
+	conn   net.Conn
+	bw     *bufio.Writer
+	enc    *gob.Encoder
+	met    clientMetrics
+	tracer *trace.Tracer
 
 	mu      sync.Mutex
 	encMu   sync.Mutex
 	nextID  uint64
 	watches map[uint64]core.WatchCallback
-	snaps   map[uint64]chan snapshotResp
+	snaps   map[uint64]*snapAccum
 	closed  bool
 	readErr error
 }
@@ -358,55 +654,131 @@ var (
 	_ core.Snapshotter = (*Client)(nil)
 )
 
-// Dial connects to a Server.
+// Dial connects to a Server with default configuration.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, ClientConfig{})
+}
+
+// DialWith connects to a Server with explicit configuration.
+func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial: %w", err)
 	}
+	bw := bufio.NewWriterSize(conn, 4<<10)
 	c := &Client{
 		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		met:     newRemoteMetrics(),
+		bw:      bw,
+		enc:     gob.NewEncoder(bw),
+		met:     newClientMetrics(cfg.Metrics),
+		tracer:  cfg.Tracer,
 		watches: make(map[uint64]core.WatchCallback),
-		snaps:   make(map[uint64]chan snapshotResp),
+		snaps:   make(map[uint64]*snapAccum),
 	}
 	go c.readLoop()
 	return c, nil
 }
 
+// readLoop decodes the server stream. The event-batch decode target is
+// persistent: its Evs backing array is reused across batches (gob grows it
+// only when a batch exceeds the previous capacity). Every recycled element is
+// zeroed before decoding — gob leaves absent fields untouched, so reuse
+// without clearing would leak one event's Value or Trace into the next — and
+// zeroing Value forces gob to allocate fresh byte slices, which consumers are
+// allowed to retain.
 func (c *Client) readLoop() {
-	dec := gob.NewDecoder(c.conn)
+	dec := gob.NewDecoder(bufio.NewReaderSize(&countingReader{r: c.conn, c: c.met.bytes}, connReadBuffer))
+	var batch eventBatchMsg
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		var tag uint8
+		if err := dec.Decode(&tag); err != nil {
 			c.fail(err)
 			return
 		}
-		switch {
-		case f.Event != nil:
-			if cb := c.callback(f.Event.ID); cb != nil {
-				cb.OnEvent(f.Event.Ev)
+		var err error
+		switch tag {
+		case tagEventBatch:
+			for i := range batch.Evs {
+				batch.Evs[i] = core.ChangeEvent{}
 			}
-		case f.Progress != nil:
-			if cb := c.callback(f.Progress.ID); cb != nil {
-				cb.OnProgress(f.Progress.P)
+			batch.ID = 0
+			batch.Evs = batch.Evs[:0]
+			if err = dec.Decode(&batch); err == nil {
+				c.met.frames.Inc()
+				c.met.events.Add(int64(len(batch.Evs)))
+				c.deliverBatch(&batch)
 			}
-		case f.Resync != nil:
-			if cb := c.callback(f.Resync.ID); cb != nil {
-				c.met.clientResyncs.Inc()
-				cb.OnResync(f.Resync.R)
+		case tagProgress:
+			var m progressMsg
+			if err = dec.Decode(&m); err == nil {
+				c.met.frames.Inc()
+				if cb := c.callback(m.ID); cb != nil {
+					cb.OnProgress(m.P)
+				}
 			}
-		case f.SnapResult != nil:
-			c.mu.Lock()
-			ch := c.snaps[f.SnapResult.ID]
-			delete(c.snaps, f.SnapResult.ID)
-			c.mu.Unlock()
-			if ch != nil {
-				ch <- *f.SnapResult
+		case tagResync:
+			var m resyncMsg
+			if err = dec.Decode(&m); err == nil {
+				c.met.frames.Inc()
+				if cb := c.callback(m.ID); cb != nil {
+					c.met.resyncs.Inc()
+					cb.OnResync(m.R)
+				}
 			}
+		case tagSnapChunk:
+			var m snapChunk
+			if err = dec.Decode(&m); err == nil {
+				c.met.frames.Inc()
+				c.handleSnapChunk(&m)
+			}
+		default:
+			err = fmt.Errorf("remote: unknown frame tag %d", tag)
+		}
+		if err != nil {
+			c.fail(err)
+			return
 		}
 	}
+}
+
+func (c *Client) deliverBatch(m *eventBatchMsg) {
+	cb := c.callback(m.ID)
+	if cb == nil {
+		return
+	}
+	traced := c.tracer.Enabled()
+	for i := range m.Evs {
+		ev := m.Evs[i]
+		if traced && ev.Trace != 0 {
+			c.tracer.Record(ev.Trace, trace.StageRemoteDeliver)
+		}
+		cb.OnEvent(ev)
+	}
+}
+
+func (c *Client) handleSnapChunk(m *snapChunk) {
+	c.mu.Lock()
+	acc := c.snaps[m.ID]
+	if acc == nil {
+		c.mu.Unlock()
+		return
+	}
+	if m.Err != "" {
+		delete(c.snaps, m.ID)
+		c.mu.Unlock()
+		acc.ch <- snapResult{err: m.Err}
+		return
+	}
+	acc.entries = append(acc.entries, m.Entries...)
+	acc.at = m.At
+	if !m.Last {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.snaps, m.ID)
+	res := snapResult{entries: acc.entries, at: acc.at}
+	c.mu.Unlock()
+	acc.ch <- res
 }
 
 // fail tears the client down: every active watch receives a resync telling
@@ -420,15 +792,15 @@ func (c *Client) fail(err error) {
 	watches := c.watches
 	c.watches = map[uint64]core.WatchCallback{}
 	snaps := c.snaps
-	c.snaps = map[uint64]chan snapshotResp{}
+	c.snaps = map[uint64]*snapAccum{}
 	c.mu.Unlock()
-	c.met.clientConnLost.Inc()
-	c.met.clientResyncs.Add(int64(len(watches)))
+	c.met.connLost.Inc()
+	c.met.resyncs.Add(int64(len(watches)))
 	for _, cb := range watches {
 		cb.OnResync(core.ResyncEvent{Range: keyspace.Full(), Reason: "remote: connection lost: " + err.Error()})
 	}
-	for _, ch := range snaps {
-		close(ch)
+	for _, acc := range snaps {
+		close(acc.ch)
 	}
 }
 
@@ -438,10 +810,18 @@ func (c *Client) callback(id uint64) core.WatchCallback {
 	return c.watches[id]
 }
 
-func (c *Client) sendFrame(f frame) error {
+// send encodes one request and flushes immediately: client→server traffic is
+// sparse control flow, not the hot path.
+func (c *Client) send(tag uint8, payload any) error {
 	c.encMu.Lock()
 	defer c.encMu.Unlock()
-	return c.enc.Encode(&f)
+	if err := c.enc.Encode(tag); err != nil {
+		return err
+	}
+	if err := c.enc.Encode(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // Watch implements core.Watchable over the wire.
@@ -462,28 +842,29 @@ func (c *Client) Watch(r keyspace.Range, from core.Version, cb core.WatchCallbac
 	c.watches[id] = cb
 	c.mu.Unlock()
 
-	if err := c.sendFrame(frame{Watch: &watchReq{ID: id, Low: r.Low, High: r.High, From: from}}); err != nil {
+	if err := c.send(tagWatch, &watchReq{ID: id, Low: r.Low, High: r.High, From: from}); err != nil {
 		c.mu.Lock()
 		delete(c.watches, id)
 		c.mu.Unlock()
 		return nil, fmt.Errorf("remote: watch: %w", err)
 	}
-	c.met.clientWatches.Inc()
+	c.met.watches.Inc()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			c.mu.Lock()
 			delete(c.watches, id)
 			c.mu.Unlock()
-			_ = c.sendFrame(frame{Cancel: &cancelReq{ID: id}})
+			_ = c.send(tagCancel, &cancelReq{ID: id})
 		})
 	}, nil
 }
 
 // SnapshotRange implements core.Snapshotter over the wire: the recovery read
 // travels through the same connection, so a consumer needs only the client.
+// The response arrives as bounded chunks reassembled here.
 func (c *Client) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, error) {
-	ch := make(chan snapshotResp, 1)
+	acc := &snapAccum{ch: make(chan snapResult, 1)}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -491,24 +872,24 @@ func (c *Client) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, er
 	}
 	c.nextID++
 	id := c.nextID
-	c.snaps[id] = ch
+	c.snaps[id] = acc
 	c.mu.Unlock()
 
-	if err := c.sendFrame(frame{Snapshot: &snapshotReq{ID: id, Low: r.Low, High: r.High}}); err != nil {
+	if err := c.send(tagSnapshot, &snapshotReq{ID: id, Low: r.Low, High: r.High}); err != nil {
 		c.mu.Lock()
 		delete(c.snaps, id)
 		c.mu.Unlock()
 		return nil, 0, fmt.Errorf("remote: snapshot: %w", err)
 	}
-	c.met.clientSnapshots.Inc()
-	resp, ok := <-ch
+	c.met.snapshots.Inc()
+	res, ok := <-acc.ch
 	if !ok {
 		return nil, 0, fmt.Errorf("remote: snapshot: %w", io.ErrUnexpectedEOF)
 	}
-	if resp.Err != "" {
-		return nil, 0, fmt.Errorf("remote: snapshot: %s", resp.Err)
+	if res.err != "" {
+		return nil, 0, fmt.Errorf("remote: snapshot: %s", res.err)
 	}
-	return resp.Entries, resp.At, nil
+	return res.entries, res.at, nil
 }
 
 // Close drops the connection; active watches receive a final resync.

@@ -54,9 +54,21 @@ const (
 	// StageDeliver is the consumer seeing the event: watch callback invoked,
 	// or Poll returning the message.
 	StageDeliver
+	// StageRemoteEnqueue is acceptance into a remote connection's outbound
+	// queue — the hand-off from the watch system's dispatch goroutine to the
+	// network transport. Only stamped when the remote server is wired with a
+	// tracer.
+	StageRemoteEnqueue
+	// StageRemoteDeliver is client-side delivery of an event received over
+	// the wire: the remote client invoking the consumer's watch callback.
+	// Meaningful when client and server share one process (loopback) or one
+	// trace table.
+	StageRemoteDeliver
 
-	// NumStages is the stage count; a complete trace has all of them stamped.
-	NumStages = int(StageDeliver) + 1
+	// NumStages is the stage count; a complete trace has every stage up to
+	// its final stage stamped. The two remote stages sit past the default
+	// final stage (StageDeliver), so in-process pipelines never wait on them.
+	NumStages = int(StageRemoteDeliver) + 1
 )
 
 // String returns the stage name.
@@ -70,6 +82,10 @@ func (s Stage) String() string {
 		return "enqueue"
 	case StageDeliver:
 		return "deliver"
+	case StageRemoteEnqueue:
+		return "remote-enqueue"
+	case StageRemoteDeliver:
+		return "remote-deliver"
 	default:
 		return "stage?"
 	}
@@ -84,12 +100,26 @@ type Trace struct {
 	Key     keyspace.Key
 	Version uint64
 	Stages  [NumStages]int64
+	// Final is the stage whose stamp completes this trace (the tracer's
+	// FinalStage at Begin time). The zero value means StageDeliver, the
+	// in-process pipeline's terminal hop.
+	Final Stage
 }
 
-// Complete reports whether every stage was reached.
+// FinalStage returns the stage that completes this trace, resolving the zero
+// value to StageDeliver.
+func (t *Trace) FinalStage() Stage {
+	if t.Final == 0 {
+		return StageDeliver
+	}
+	return t.Final
+}
+
+// Complete reports whether every stage up to and including the trace's final
+// stage was reached. Stages past the final stage are not required.
 func (t *Trace) Complete() bool {
-	for _, at := range t.Stages {
-		if at == 0 {
+	for s := 0; s <= int(t.FinalStage()); s++ {
+		if t.Stages[s] == 0 {
 			return false
 		}
 	}
@@ -127,6 +157,11 @@ type Config struct {
 	// Metrics receives the tracer's counters and stage-latency histograms;
 	// nil uses metrics.Default().
 	Metrics *metrics.Registry
+	// FinalStage is the stage whose stamp completes a trace and observes its
+	// end-to-end latency. The zero value means StageDeliver (in-process
+	// delivery). Deployments that serve watches over the remote transport set
+	// StageRemoteDeliver so traces span commit → client callback.
+	FinalStage Stage
 }
 
 // Tracer samples events at their source and records per-stage timestamps as
@@ -137,6 +172,7 @@ type Tracer struct {
 	every uint64
 	cap   int
 	maxIn int
+	final Stage
 	clock clockwork.Clock
 
 	counter atomic.Uint64 // source events seen (sampling counter)
@@ -167,10 +203,14 @@ func New(cfg Config) *Tracer {
 	if cfg.Clock == nil {
 		cfg.Clock = clockwork.Real()
 	}
+	if cfg.FinalStage < StageDeliver || cfg.FinalStage > StageRemoteDeliver {
+		cfg.FinalStage = StageDeliver
+	}
 	reg := cfg.Metrics.Or()
 	t := &Tracer{
 		cap:        cfg.Capacity,
 		maxIn:      cfg.MaxInflight,
+		final:      cfg.FinalStage,
 		clock:      cfg.Clock,
 		sampled:    reg.Counter("trace_sampled_total"),
 		completedN: reg.Counter("trace_completed_total"),
@@ -185,6 +225,8 @@ func New(cfg Config) *Tracer {
 	t.stageHist[StageAppend] = reg.Histogram("trace_commit_to_append_ns")
 	t.stageHist[StageEnqueue] = reg.Histogram("trace_append_to_enqueue_ns")
 	t.stageHist[StageDeliver] = reg.Histogram("trace_enqueue_to_deliver_ns")
+	t.stageHist[StageRemoteEnqueue] = reg.Histogram("trace_deliver_to_remote_enqueue_ns")
+	t.stageHist[StageRemoteDeliver] = reg.Histogram("trace_remote_enqueue_to_deliver_ns")
 	return t
 }
 
@@ -203,7 +245,7 @@ func (t *Tracer) Begin(key keyspace.Key, version uint64) ID {
 	}
 	id := t.nextID.Add(1)
 	now := t.clock.Now().UnixNano()
-	tr := &Trace{ID: id, Key: key, Version: version}
+	tr := &Trace{ID: id, Key: key, Version: version, Final: t.final}
 	tr.Stages[StageCommit] = now
 	t.mu.Lock()
 	for len(t.active) >= t.maxIn && len(t.order) > 0 {
@@ -234,9 +276,11 @@ func (t *Tracer) SetVersion(id ID, version uint64) {
 	t.mu.Unlock()
 }
 
-// Record stamps stage s on trace id, first occurrence wins. Reaching
-// StageDeliver completes the trace: it moves to the completed ring and its
-// end-to-end latency is observed. No-op for id 0 or a nil tracer.
+// Record stamps stage s on trace id, first occurrence wins. Reaching the
+// trace's final stage (StageDeliver by default, StageRemoteDeliver when the
+// tracer is configured for the remote transport) completes the trace: it
+// moves to the completed ring and its end-to-end latency is observed. No-op
+// for id 0 or a nil tracer.
 func (t *Tracer) Record(id ID, s Stage) {
 	if t == nil || id == 0 {
 		return
@@ -257,7 +301,7 @@ func (t *Tracer) Record(id ID, s Stage) {
 		}
 	}
 	var e2eNs int64 = -1
-	if s == StageDeliver {
+	if s == tr.FinalStage() {
 		delete(t.active, id)
 		t.done[t.next] = *tr
 		t.next++

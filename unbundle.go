@@ -234,6 +234,10 @@ type (
 	WatchServer = remote.Server
 	// WatchClient implements Watchable + Snapshotter against a WatchServer.
 	WatchClient = remote.Client
+	// WatchServerConfig wires metrics and tracing into a WatchServer.
+	WatchServerConfig = remote.ServerConfig
+	// WatchClientConfig wires metrics and tracing into a WatchClient.
+	WatchClientConfig = remote.ClientConfig
 )
 
 // NewShardedHub creates a watch system of n range-partitioned shards.
@@ -251,6 +255,20 @@ func ServeWatch(addr string, w Watchable, s Snapshotter) (*WatchServer, error) {
 // Watchable and a Snapshotter, so consumer stacks run against it unchanged.
 func DialWatch(addr string) (*WatchClient, error) {
 	return remote.Dial(addr)
+}
+
+// ServeWatchWith is ServeWatch with a metrics registry and tracer attached:
+// the server records remote_server_* counters and stamps the remote-enqueue
+// trace stage as batches enter a connection's outbox.
+func ServeWatchWith(addr string, w Watchable, s Snapshotter, cfg WatchServerConfig) (*WatchServer, error) {
+	return remote.ServeWith(addr, w, s, cfg)
+}
+
+// DialWatchWith is DialWatch with a metrics registry and tracer attached:
+// the client records remote_client_* counters and stamps the remote-deliver
+// trace stage as events reach the local callback.
+func DialWatchWith(addr string, cfg WatchClientConfig) (*WatchClient, error) {
+	return remote.DialWith(addr, cfg)
 }
 
 // Observability (see internal/metrics): every subsystem records named
@@ -291,6 +309,17 @@ type (
 // NewTracer creates a Tracer; SampleEvery <= 0 yields a disabled tracer
 // that costs one branch per pipeline stage.
 func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// TraceStage identifies one pipeline stage in an EventTrace.
+type TraceStage = trace.Stage
+
+// Final stages for TraceConfig.FinalStage: local consumers complete at
+// deliver (the default); consumers behind a WatchClient complete at
+// remote-deliver, so traces span commit → client callback.
+const (
+	TraceStageDeliver       = trace.StageDeliver
+	TraceStageRemoteDeliver = trace.StageRemoteDeliver
+)
 
 // The operational debug server (see internal/debugz): /metrics, /watchers
 // (lag radar), /traces, /regions, and /debug/pprof.
