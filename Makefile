@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-remote traceguard verify clean
+.PHONY: build test race vet bench bench-remote chaos traceguard verify clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,16 @@ bench-remote:
 	$(GO) test -run XXX -bench $(BENCH_REMOTE) -benchmem -count=5 ./internal/remote > bench_remote_raw.txt
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -in bench_remote_raw.txt -out BENCH_remote.json
 
+# chaos runs the transport fault-injection suite under the race detector:
+# heartbeat-detected half-open connections, repeated severs with resume,
+# graceful drain, close-ordering, malformed frames, overflow recovery, and
+# the E13 resilience experiment end to end.
+CHAOS_RUN = 'TestChaos|TestServerShutdown|TestClientClose|TestReconnect|TestMalformed|TestOverflow|TestPostOverflow|TestV2Interop'
+
+chaos:
+	$(GO) test -race -count=1 -run $(CHAOS_RUN) ./internal/remote
+	$(GO) test -race -count=1 -run 'TestAllExperimentsQuick/E13' ./internal/experiments
+
 # traceguard pins the cost of the (disabled) causal tracer on the hot hub
 # append path: a hub built with a disabled tracer must stay within 5% of one
 # with no tracer at all. Benchmark-grade, so it is opt-in via TRACE_GUARD.
@@ -44,9 +54,10 @@ traceguard:
 	TRACE_GUARD=1 $(GO) test -run TestTracingOverheadGuard -v -count=1 .
 
 # verify is the gate a change must pass before it ships. The race target
-# includes the hub contract, stress, and latency-isolation tests; traceguard
-# keeps tracing free when it is switched off.
-verify: vet build race traceguard
+# includes the hub contract, stress, and latency-isolation tests; chaos is
+# the transport fault-injection suite; traceguard keeps tracing free when it
+# is switched off.
+verify: vet build race chaos traceguard
 
 clean:
 	$(GO) clean ./...

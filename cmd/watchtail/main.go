@@ -15,6 +15,10 @@
 //	watchtail -remote                  # tail through the batched TCP
 //	                                   # transport on loopback instead of
 //	                                   # in-process
+//	watchtail -remote -reconnect       # auto-reconnect and resume the watch
+//	                                   # if the connection drops
+//	watchtail -remote -heartbeat 250ms # liveness probes every 250ms (0 =
+//	                                   # transport default, negative = off)
 package main
 
 import (
@@ -37,6 +41,8 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve the debug HTTP server on this address (empty = off)")
 		traceEvery = flag.Int("trace-every", 0, "sample 1 in N events into the trace ring (0 = off)")
 		remoteTail = flag.Bool("remote", false, "tail through the batched TCP transport on loopback")
+		reconnect  = flag.Bool("reconnect", false, "with -remote: auto-reconnect with backoff and resume the watch")
+		heartbeat  = flag.Duration("heartbeat", 0, "with -remote: heartbeat interval (0 = transport default, negative = disabled)")
 	)
 	flag.Parse()
 
@@ -61,16 +67,23 @@ func main() {
 		unbundle.Watchable
 		unbundle.Snapshotter
 	} = store
+	var watchSrv *unbundle.WatchServer
 	if *remoteTail {
 		srv, err := unbundle.ServeWatchWith("127.0.0.1:0", store, store,
-			unbundle.WatchServerConfig{Tracer: tracer})
+			unbundle.WatchServerConfig{Tracer: tracer, HeartbeatInterval: *heartbeat})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "watchtail: watch server: %v\n", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		client, err := unbundle.DialWatchWith(srv.Addr(),
-			unbundle.WatchClientConfig{Tracer: tracer})
+		watchSrv = srv
+		clientCfg := unbundle.WatchClientConfig{Tracer: tracer, HeartbeatInterval: *heartbeat}
+		if *reconnect {
+			// Zero-value backoff fields take the transport defaults
+			// (25ms base doubling to 1s, jittered, 8 attempts per outage).
+			clientCfg.Reconnect = unbundle.ReconnectPolicy{Enabled: true}
+		}
+		client, err := unbundle.DialWatchWith(srv.Addr(), clientCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "watchtail: watch client: %v\n", err)
 			os.Exit(1)
@@ -87,7 +100,7 @@ func main() {
 	ks := unbundle.NewKnowledgeSet()
 
 	if *debugAddr != "" {
-		dbg, err := unbundle.ServeDebug(*debugAddr, unbundle.DebugConfig{
+		dbgCfg := unbundle.DebugConfig{
 			Tracer: tracer,
 			Lags:   store.Hub().WatcherLags,
 			Regions: func() []unbundle.KnowledgeRegion {
@@ -95,7 +108,11 @@ func main() {
 				defer ksMu.Unlock()
 				return append([]unbundle.KnowledgeRegion(nil), ks.Regions()...)
 			},
-		})
+		}
+		if watchSrv != nil {
+			dbgCfg.RemoteConns = watchSrv.Conns
+		}
+		dbg, err := unbundle.ServeDebug(*debugAddr, dbgCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "watchtail: debug server: %v\n", err)
 			os.Exit(1)

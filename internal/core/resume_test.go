@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestResumePointMonotonic(t *testing.T) {
+	var rp ResumePoint
+	rp.Reset(10)
+	if got := rp.Version(); got != 10 {
+		t.Fatalf("after Reset(10): %v", got)
+	}
+	rp.NoteEvent(ChangeEvent{Version: 15})
+	rp.NoteProgress(ProgressEvent{Version: 12}) // stale: must not regress
+	if got := rp.Version(); got != 15 {
+		t.Fatalf("after event 15, progress 12: %v, want 15", got)
+	}
+	rp.NoteProgress(ProgressEvent{Version: 40})
+	rp.NoteEvent(ChangeEvent{Version: 22}) // stale again
+	if got := rp.Version(); got != 40 {
+		t.Fatalf("after progress 40, event 22: %v, want 40", got)
+	}
+}
+
+func TestResumePointConcurrent(t *testing.T) {
+	var rp ResumePoint
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				if g%2 == 0 {
+					rp.NoteEvent(ChangeEvent{Version: Version(i)})
+				} else {
+					rp.NoteProgress(ProgressEvent{Version: Version(i)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := rp.Version(); got != 1000 {
+		t.Fatalf("concurrent max = %v, want 1000", got)
+	}
+}

@@ -106,9 +106,13 @@ func (rw *ResyncWatcher) establish(expectGen int) error {
 			rw.mu.Lock()
 			rw.resyncs++
 			rw.mu.Unlock()
-			// Recover: fresh snapshot, new watch. Runs on the watch dispatch
-			// goroutine, which dies once the superseded watch is cancelled.
-			_ = rw.establish(gen)
+			// Recover: fresh snapshot, new watch — on its own goroutine, never
+			// the delivery goroutine. When the watch source is a remote client
+			// the recovery snapshot arrives over the same connection that is
+			// delivering this resync; re-snapshotting synchronously would
+			// deadlock the read loop against itself. establish re-checks gen,
+			// so a superseded recovery is a no-op.
+			go func() { _ = rw.establish(gen) }()
 		},
 	})
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"unbundle/internal/core"
 	"unbundle/internal/metrics"
+	"unbundle/internal/remote"
 	"unbundle/internal/trace"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	// (§4.3), typically read from the process's KnowledgeSet under its own
 	// lock.
 	Regions func() []core.KnowledgeRegion
+	// RemoteConns backs GET /conns — the remote watch server's live
+	// connections with their negotiated protocol, watch count, queued
+	// backlog and drain state; typically remote.Server.Conns.
+	RemoteConns func() []remote.ConnInfo
 }
 
 // traceJSON is the wire form of one completed trace.
@@ -76,6 +81,7 @@ func Handler(cfg Config) http.Handler {
 			"/watchers per-watcher staleness lag radar (JSON)\n"+
 			"/traces   completed event traces, newest first (JSON)\n"+
 			"/regions  consumer knowledge regions (JSON)\n"+
+			"/conns    remote watch server connections (JSON)\n"+
 			"/debug/pprof/ runtime profiles\n")
 	})
 
@@ -133,6 +139,16 @@ func Handler(cfg Config) http.Handler {
 					VHigh:    uint64(reg.High),
 					Rendered: reg.String(),
 				})
+			}
+		}
+		writeJSON(w, out)
+	})
+
+	mux.HandleFunc("/conns", func(w http.ResponseWriter, r *http.Request) {
+		out := []remote.ConnInfo{}
+		if cfg.RemoteConns != nil {
+			if c := cfg.RemoteConns(); c != nil {
+				out = c
 			}
 		}
 		writeJSON(w, out)

@@ -33,6 +33,7 @@ func TestEndpointsWithNilSources(t *testing.T) {
 		"/watchers": "application/json",
 		"/traces":   "application/json",
 		"/regions":  "application/json",
+		"/conns":    "application/json",
 	} {
 		rec := get(t, h, path)
 		if rec.Code != 200 {
@@ -43,7 +44,7 @@ func TestEndpointsWithNilSources(t *testing.T) {
 		}
 	}
 	// JSON endpoints with no sources serve empty arrays, not null.
-	for _, path := range []string{"/watchers", "/traces", "/regions"} {
+	for _, path := range []string{"/watchers", "/traces", "/regions", "/conns"} {
 		var v []json.RawMessage
 		if err := json.Unmarshal(get(t, h, path).Body.Bytes(), &v); err != nil {
 			t.Fatalf("GET %s: invalid JSON: %v", path, err)
@@ -279,5 +280,43 @@ func TestServeAndClose(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
 		t.Fatal("server still serving after Close")
+	}
+}
+
+// TestConnsEndpoint wires a live remote server behind /conns and asserts the
+// connection's negotiated protocol and watch count come through.
+func TestConnsEndpoint(t *testing.T) {
+	ws := mvcc.NewWatchableStore(core.HubConfig{})
+	defer ws.Close()
+	srv, err := remote.Serve("127.0.0.1:0", ws, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := remote.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cancel, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	h := Handler(Config{Metrics: metrics.NewRegistry(), RemoteConns: srv.Conns})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var conns []remote.ConnInfo
+		if err := json.Unmarshal(get(t, h, "/conns").Body.Bytes(), &conns); err != nil {
+			t.Fatalf("GET /conns: invalid JSON: %v", err)
+		}
+		if len(conns) == 1 && conns[0].Protocol == 3 && conns[0].Watches == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET /conns never showed the v3 watch conn: %+v", conns)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

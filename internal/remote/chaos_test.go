@@ -1,0 +1,874 @@
+package remote
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/trace"
+)
+
+// fastReconnect is the retry policy chaos tests use: effectively unlimited
+// attempts, millisecond backoff, fixed jitter seed.
+func fastReconnect() ReconnectPolicy {
+	return ReconnectPolicy{
+		Enabled:     true,
+		MaxAttempts: -1,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// TestChaosHeartbeatDetectsHalfOpen blackholes a live connection — reads
+// block, writes vanish, exactly the NAT-timeout / partition shape that used
+// to hang a watcher forever — and asserts both ends detect it via
+// heartbeat-scaled deadlines: the client reconnects and resumes without a
+// resync or a duplicate, and the server reaps the dead connection.
+func TestChaosHeartbeatDetectsHalfOpen(t *testing.T) {
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 16, Metrics: reg})
+	defer hub.Close()
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{
+		Metrics:           reg,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctrl := NewChaosController(ChaosConfig{})
+	client, err := DialWith(srv.Addr(), ClientConfig{
+		Metrics:           reg,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Reconnect:         fastReconnect(),
+		Dialer:            ctrl.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var mu sync.Mutex
+	seen := make(map[core.Version]bool)
+	var dups atomic.Int64
+	var resyncs atomic.Int64
+	cancel, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event: func(ev core.ChangeEvent) {
+			mu.Lock()
+			if seen[ev.Version] {
+				dups.Add(1)
+			}
+			seen[ev.Version] = true
+			mu.Unlock()
+		},
+		Resync: func(core.ResyncEvent) { resyncs.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	delivered := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen)
+	}
+	produce := func(from, to int) {
+		for i := from; i <= to; i++ {
+			if err := hub.Append(core.ChangeEvent{
+				Key:     keyspace.NumericKey(i % 64),
+				Mut:     core.Mutation{Op: core.OpPut, Value: []byte("v")},
+				Version: core.Version(i),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	produce(1, 100)
+	waitUntil(t, "first 100 events", func() bool { return delivered() == 100 })
+
+	// Half-open the connection: neither end gets a FIN or RST, only silence.
+	ctrl.BlackholeLive()
+	produce(101, 200) // lands while partitioned; resume must recover it
+	waitUntil(t, "client reconnect", func() bool { return ctrl.Dials() >= 2 })
+	produce(201, 300)
+	waitUntil(t, "all 300 events", func() bool { return delivered() == 300 })
+
+	if n := dups.Load(); n != 0 {
+		t.Fatalf("%d duplicate events across reconnect", n)
+	}
+	if n := resyncs.Load(); n != 0 {
+		t.Fatalf("%d resyncs; resume should have covered the gap silently", n)
+	}
+	waitUntil(t, "server reaps dead conn", func() bool { return len(srv.Conns()) == 1 })
+
+	snap := reg.Snapshot()
+	if snap.Counters["remote_client_reconnects_total"] < 1 {
+		t.Fatal("no reconnect counted")
+	}
+	if snap.Counters["remote_client_resumed_watches_total"] < 1 {
+		t.Fatal("no resumed watch counted")
+	}
+	if snap.Counters["remote_client_heartbeats_total"] == 0 {
+		t.Fatal("client sent no heartbeats")
+	}
+	if snap.Counters["remote_server_heartbeats_total"] == 0 {
+		t.Fatal("server sent no heartbeats")
+	}
+}
+
+// TestChaosRepeatedSeverConvergence is the acceptance-criteria run: ≥3
+// forced partitions under load, after which every watcher has converged with
+// no duplicates, no gaps, per-key order intact — and the client's metrics
+// and trace stages are continuous across the reconnects (one logical watch,
+// every trace complete through all six stages).
+func TestChaosRepeatedSeverConvergence(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tracer := trace.New(trace.Config{
+		SampleEvery: 1,
+		Metrics:     reg,
+		FinalStage:  trace.StageRemoteDeliver,
+	})
+	hub := core.NewHub(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 16, Metrics: reg, Tracer: tracer})
+	defer hub.Close()
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{
+		Metrics:           reg,
+		Tracer:            tracer,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctrl := NewChaosController(ChaosConfig{})
+	client, err := DialWith(srv.Addr(), ClientConfig{
+		Metrics:           reg,
+		Tracer:            tracer,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Reconnect:         fastReconnect(),
+		Dialer:            ctrl.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var mu sync.Mutex
+	lastByKey := make(map[keyspace.Key]core.Version)
+	var total atomic.Int64
+	var orderViolations, dups, resyncs atomic.Int64
+	cancel, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event: func(ev core.ChangeEvent) {
+			mu.Lock()
+			switch last := lastByKey[ev.Key]; {
+			case ev.Version == last:
+				dups.Add(1)
+			case ev.Version < last:
+				orderViolations.Add(1)
+			default:
+				lastByKey[ev.Key] = ev.Version
+				total.Add(1)
+			}
+			mu.Unlock()
+		},
+		Resync: func(core.ResyncEvent) { resyncs.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	const rounds, perRound = 4, 50
+	v := 0
+	for round := 1; round <= rounds; round++ {
+		for i := 0; i < perRound; i++ {
+			v++
+			key := keyspace.NumericKey(v % 16)
+			id := tracer.Begin(key, uint64(v))
+			if err := hub.Append(core.ChangeEvent{
+				Key:     key,
+				Mut:     core.Mutation{Op: core.OpPut, Value: []byte("chaos")},
+				Version: core.Version(v),
+				Trace:   id,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := int64(v)
+		waitUntil(t, "round delivery", func() bool { return total.Load() == want })
+		if round < rounds {
+			dial := ctrl.Dials()
+			ctrl.SeverAll()
+			waitUntil(t, "reconnect after sever", func() bool { return ctrl.Dials() > dial })
+		}
+	}
+
+	if n := dups.Load(); n != 0 {
+		t.Fatalf("%d duplicates", n)
+	}
+	if n := orderViolations.Load(); n != 0 {
+		t.Fatalf("%d per-key order violations", n)
+	}
+	if n := resyncs.Load(); n != 0 {
+		t.Fatalf("%d resyncs; retention covered every gap", n)
+	}
+
+	// Metrics continuity: one logical watch across all reconnects, each
+	// reconnect counted, no terminal loss.
+	snap := reg.Snapshot()
+	if got := snap.Counters["remote_client_watches_total"]; got != 1 {
+		t.Fatalf("remote_client_watches_total = %d, want 1 (stable watch ID)", got)
+	}
+	if got := snap.Counters["remote_client_reconnects_total"]; got < int64(rounds-1) {
+		t.Fatalf("remote_client_reconnects_total = %d, want >= %d", got, rounds-1)
+	}
+	if got := snap.Counters["remote_client_resumed_watches_total"]; got < int64(rounds-1) {
+		t.Fatalf("remote_client_resumed_watches_total = %d, want >= %d", got, rounds-1)
+	}
+	if got := snap.Counters["remote_client_conn_lost_total"]; got < int64(rounds-1) {
+		t.Fatalf("remote_client_conn_lost_total = %d, want >= %d", got, rounds-1)
+	}
+
+	// Trace continuity: every event's trace completed through all six
+	// pipeline stages, reconnects notwithstanding.
+	waitUntil(t, "traces completed", func() bool { return tracer.CompletedCount() >= int64(v) })
+	for _, tr := range tracer.Completed() {
+		if !tr.Complete() {
+			t.Fatalf("incomplete trace across reconnects: %+v", tr)
+		}
+		for s := 1; s < trace.NumStages; s++ {
+			if tr.Stages[s] == 0 {
+				t.Fatalf("trace %d missing stage %v", tr.ID, trace.Stage(s))
+			}
+		}
+	}
+}
+
+// TestServerShutdownDrainsGracefully shuts the server down mid-session and
+// asserts the client can tell it apart from a network failure: delivered
+// events stay delivered, the watch ends in a terminal "draining" resync, and
+// a reconnect-enabled client does not burn its budget redialing.
+func TestServerShutdownDrainsGracefully(t *testing.T) {
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Metrics: reg})
+	defer hub.Close()
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{
+		Metrics:           reg,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := DialWith(srv.Addr(), ClientConfig{
+		Metrics:           reg,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Reconnect:         fastReconnect(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var delivered atomic.Int64
+	var gotResync atomic.Value // core.ResyncEvent
+	cancel, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event:  func(core.ChangeEvent) { delivered.Add(1) },
+		Resync: func(r core.ResyncEvent) { gotResync.Store(r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	for i := 1; i <= 20; i++ {
+		if err := hub.Append(core.ChangeEvent{
+			Key:     keyspace.NumericKey(i),
+			Mut:     core.Mutation{Op: core.OpPut, Value: []byte("v")},
+			Version: core.Version(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "pre-drain delivery", func() bool { return delivered.Load() == 20 })
+
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	waitUntil(t, "terminal drain resync", func() bool { return gotResync.Load() != nil })
+	r := gotResync.Load().(core.ResyncEvent)
+	if r.Reason != "remote: server draining" {
+		t.Fatalf("resync reason %q, want draining marker", r.Reason)
+	}
+	if got := delivered.Load(); got != 20 {
+		t.Fatalf("delivered %d events, want 20 (drain must not drop delivered state)", got)
+	}
+
+	// The client learned this was a drain: it must refuse new work with the
+	// draining error rather than dial into the void.
+	waitUntil(t, "client terminal", func() bool {
+		_, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{})
+		return errors.Is(err, ErrServerDraining)
+	})
+	snap := reg.Snapshot()
+	if got := snap.Counters["remote_server_drained_watches_total"]; got != 1 {
+		t.Fatalf("remote_server_drained_watches_total = %d, want 1", got)
+	}
+	if got := snap.Counters["remote_client_reconnects_total"]; got != 0 {
+		t.Fatalf("client reconnected %d times during a deliberate drain", got)
+	}
+}
+
+// TestClientCloseUnderLoad closes the client while the server is streaming
+// at full tilt: no goroutine may leak, no data race may fire (run under
+// -race), the watch must end in exactly one terminal resync, and subsequent
+// calls must fail with ErrClientClosed.
+func TestClientCloseUnderLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 16, Metrics: reg})
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg, Reconnect: fastReconnect()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var delivered atomic.Int64
+	var resyncs atomic.Int64
+	if _, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event:  func(core.ChangeEvent) { delivered.Add(1) },
+		Resync: func(core.ResyncEvent) { resyncs.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var producerDone sync.WaitGroup
+	producerDone.Add(1)
+	go func() {
+		defer producerDone.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = hub.Append(core.ChangeEvent{
+				Key:     keyspace.NumericKey(i % 32),
+				Mut:     core.Mutation{Op: core.OpPut, Value: []byte("load")},
+				Version: core.Version(i),
+			})
+			// Keep a bounded backlog in flight so the hub never lags the
+			// watcher out; after Close the count freezes and we park here
+			// until the test releases us.
+			for delivered.Load()+4096 < int64(i) {
+				select {
+				case <-stop:
+					return
+				default:
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}
+	}()
+
+	waitUntil(t, "stream flowing", func() bool { return delivered.Load() > 100 })
+	client.Close() // mid-decode: the read loop is busy delivering right now
+
+	waitUntil(t, "terminal resync", func() bool { return resyncs.Load() == 1 })
+	if _, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Watch after Close = %v, want ErrClientClosed", err)
+	}
+	if _, _, err := client.SnapshotRange(keyspace.Full()); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("SnapshotRange after Close = %v, want ErrClientClosed", err)
+	}
+
+	close(stop)
+	producerDone.Wait()
+	srv.Close()
+	hub.Close()
+	waitUntil(t, "goroutines reaped", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+3
+	})
+}
+
+// TestClientCloseMidReconnect kills the server so the client enters its
+// redial loop, then closes the client mid-dial: the loop must exit promptly,
+// deliver the terminal resync, and leak nothing.
+func TestClientCloseMidReconnect(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Metrics: reg})
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewChaosController(ChaosConfig{})
+	client, err := DialWith(srv.Addr(), ClientConfig{
+		Metrics:   reg,
+		Reconnect: fastReconnect(),
+		Dialer:    ctrl.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var resyncs atomic.Int64
+	if _, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Resync: func(core.ResyncEvent) { resyncs.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl.FailNextDials(1 << 30) // every redial refused: the loop spins on backoff
+	srv.Close()
+	waitUntil(t, "reconnect loop spinning", func() bool {
+		return reg.Snapshot().Counters["remote_client_reconnect_failures_total"] >= 2
+	})
+	client.Close()
+
+	waitUntil(t, "terminal resync", func() bool { return resyncs.Load() == 1 })
+	if _, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Watch after Close = %v, want ErrClientClosed", err)
+	}
+	hub.Close()
+	waitUntil(t, "goroutines reaped", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+3
+	})
+}
+
+// TestReconnectBudgetExhausted takes the server away permanently and asserts
+// the retry budget is honored: the client fails terminally with
+// ErrReconnectBudget after exactly MaxAttempts refused dials, and the watch
+// gets a resync saying so — bounded recovery, not an infinite dial storm.
+func TestReconnectBudgetExhausted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Metrics: reg})
+	defer hub.Close()
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewChaosController(ChaosConfig{})
+	client, err := DialWith(srv.Addr(), ClientConfig{
+		Metrics: reg,
+		Reconnect: ReconnectPolicy{
+			Enabled:     true,
+			MaxAttempts: 3,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  4 * time.Millisecond,
+			Seed:        7,
+		},
+		Dialer: ctrl.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resyncCh := make(chan core.ResyncEvent, 1)
+	if _, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Resync: func(r core.ResyncEvent) { resyncCh <- r },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl.FailNextDials(1 << 30)
+	srv.Close()
+
+	var r core.ResyncEvent
+	select {
+	case r = <-resyncCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no terminal resync after budget exhaustion")
+	}
+	if want := "reconnect gave up after 3 attempts"; !contains(r.Reason, want) {
+		t.Fatalf("resync reason %q, want it to contain %q", r.Reason, want)
+	}
+	_, err = client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{})
+	if !errors.Is(err, ErrReconnectBudget) {
+		t.Fatalf("Watch after budget exhaustion = %v, want ErrReconnectBudget", err)
+	}
+	if got := reg.Snapshot().Counters["remote_client_reconnect_failures_total"]; got != 3 {
+		t.Fatalf("remote_client_reconnect_failures_total = %d, want 3", got)
+	}
+}
+
+// gobGarbage is a frame no gob decoder accepts: the uvarint length prefix
+// (0xf8 = eight big-endian bytes follow) declares a ~1.8e19-byte message,
+// tripping gob's message-size guard on the first read rather than leaving
+// the decoder waiting for payload.
+func gobGarbage() []byte {
+	return []byte{0xf8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMalformedFramesServer feeds the server raw garbage and a well-formed
+// frame with an unknown tag: each must kill only that connection and bump
+// remote_server_decode_errors_total — typed failure, never a hang.
+func TestMalformedFramesServer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Metrics: reg})
+	defer hub.Close()
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Raw garbage: a gob message-length prefix declaring an absurd size, so
+	// the decoder fails immediately instead of waiting for payload bytes.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write(gobGarbage()); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "garbage counted", func() bool {
+		return reg.Snapshot().Counters["remote_server_decode_errors_total"] >= 1
+	})
+
+	// Unknown tag on an otherwise valid gob stream.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(uint8(99)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "unknown tag counted", func() bool {
+		return reg.Snapshot().Counters["remote_server_decode_errors_total"] >= 2
+	})
+	waitUntil(t, "poisoned conns reaped", func() bool { return len(srv.Conns()) == 0 })
+}
+
+// TestMalformedFrameClient runs the client against a fake server that
+// responds with garbage: the connection must fail with a typed
+// *ProtocolError (surfaced from subsequent calls), the decode-error counter
+// must bump, and the watch must get its terminal resync.
+func TestMalformedFrameClient(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() { // drain the client's hello/watch frames
+			buf := make([]byte, 1024)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		time.Sleep(10 * time.Millisecond)
+		conn.Write(gobGarbage())
+	}()
+
+	reg := metrics.NewRegistry()
+	client, err := DialWith(ln.Addr().String(), ClientConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resyncCh := make(chan core.ResyncEvent, 1)
+	if _, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Resync: func(r core.ResyncEvent) { resyncCh <- r },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-resyncCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no resync after protocol error")
+	}
+	if got := reg.Snapshot().Counters["remote_client_decode_errors_total"]; got != 1 {
+		t.Fatalf("remote_client_decode_errors_total = %d, want 1", got)
+	}
+	_, err = client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{})
+	var perr *ProtocolError
+	if !errors.As(err, &perr) {
+		t.Fatalf("Watch after protocol error = %v, want wrapped *ProtocolError", err)
+	}
+}
+
+// TestOverflowPreservesRecoveryFrameOrder is the white-box half of the
+// overflow coverage: overflowLocked must drop exactly the event/progress
+// backlog while keeping resync and snapshot-chunk frames in their original
+// per-watch order, prefixed by one overflow resync per live watch.
+func TestOverflowPreservesRecoveryFrameOrder(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sc := &serverConn{
+		met: newServerMetrics(reg),
+		watches: map[uint64]serverWatch{
+			1: {cancel: func() {}, rng: keyspace.Full()},
+			2: {cancel: func() {}, rng: keyspace.Full()},
+		},
+	}
+	sc.cond = sync.NewCond(&sc.mu)
+	sc.spaceCond = sync.NewCond(&sc.mu)
+
+	evFrame := func(id uint64, n int) outFrame {
+		p := getEvs(n)
+		for i := 0; i < n; i++ {
+			*p = append(*p, core.ChangeEvent{Version: core.Version(i + 1)})
+		}
+		return outFrame{tag: tagEventBatch, id: id, evs: p}
+	}
+	sc.queue = []outFrame{
+		evFrame(1, 3),
+		{tag: tagResync, id: 1, resync: core.ResyncEvent{Reason: "first"}},
+		{tag: tagProgress, id: 2, prog: core.ProgressEvent{Version: 9}},
+		{tag: tagSnapChunk, id: 1, chunk: &snapChunk{ID: 1, At: 5}},
+		evFrame(2, 4),
+		{tag: tagResync, id: 1, resync: core.ResyncEvent{Reason: "second"}},
+		{tag: tagSnapChunk, id: 1, chunk: &snapChunk{ID: 1, At: 6, Last: true}},
+	}
+	sc.queuedEvs = 8
+
+	sc.mu.Lock()
+	sc.overflowLocked()
+	kept := append([]outFrame(nil), sc.queue...)
+	queuedEvs := sc.queuedEvs
+	sc.mu.Unlock()
+
+	if queuedEvs != 0 {
+		t.Fatalf("queuedEvs = %d after overflow, want 0", queuedEvs)
+	}
+	// Prefix: one overflow resync per live watch (map order unspecified).
+	if len(kept) != 6 {
+		t.Fatalf("kept %d frames, want 6 (2 overflow resyncs + 4 recovery frames)", len(kept))
+	}
+	prefix := map[uint64]bool{}
+	for _, f := range kept[:2] {
+		if f.tag != tagResync || !contains(f.resync.Reason, "overflow") {
+			t.Fatalf("overflow prefix frame = %+v, want overflow resync", f)
+		}
+		prefix[f.id] = true
+	}
+	if !prefix[1] || !prefix[2] {
+		t.Fatalf("overflow resyncs cover watches %v, want {1,2}", prefix)
+	}
+	// Suffix: the surviving recovery frames in original order.
+	wantTail := []struct {
+		tag    uint8
+		reason string
+		at     core.Version
+	}{
+		{tagResync, "first", 0},
+		{tagSnapChunk, "", 5},
+		{tagResync, "second", 0},
+		{tagSnapChunk, "", 6},
+	}
+	for i, want := range wantTail {
+		f := kept[2+i]
+		if f.tag != want.tag {
+			t.Fatalf("kept[%d].tag = %d, want %d", 2+i, f.tag, want.tag)
+		}
+		if want.tag == tagResync && f.resync.Reason != want.reason {
+			t.Fatalf("kept[%d] resync reason %q, want %q", 2+i, f.resync.Reason, want.reason)
+		}
+		if want.tag == tagSnapChunk && f.chunk.At != want.at {
+			t.Fatalf("kept[%d] chunk At %d, want %d", 2+i, f.chunk.At, want.at)
+		}
+	}
+	if got := reg.Snapshot().Counters["remote_server_overflow_resyncs_total"]; got != 2 {
+		t.Fatalf("remote_server_overflow_resyncs_total = %d, want 2", got)
+	}
+}
+
+// gatedSink wraps a SyncedConsumer with a stall switch: while held, the
+// client's read loop blocks in the consumer, which is exactly how a slow
+// application backs the transport up.
+type gatedSink struct {
+	inner core.SyncedConsumer
+	hold  atomic.Bool
+}
+
+func (g *gatedSink) ResetSnapshot(r keyspace.Range, entries []core.Entry, at core.Version) {
+	g.inner.ResetSnapshot(r, entries, at)
+}
+
+func (g *gatedSink) ApplyChange(ev core.ChangeEvent) {
+	for g.hold.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	g.inner.ApplyChange(ev)
+}
+
+func (g *gatedSink) AdvanceFrontier(p core.ProgressEvent) { g.inner.AdvanceFrontier(p) }
+
+// TestPostOverflowResumeConverges is the end-to-end half of the overflow
+// coverage, on a v2 (no-hello) client for interop: a stalled consumer backs
+// the server's outbox past its bound, the overflow resync flows once the
+// stall lifts, the ResyncWatcher recovers by snapshot, and a subsequent
+// sever/reconnect converges again.
+func TestPostOverflowResumeConverges(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ws := mvcc.NewWatchableStore(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 17, Metrics: reg})
+	defer ws.Close()
+	srv, err := ServeWith("127.0.0.1:0", ws, ws, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctrl := NewChaosController(ChaosConfig{})
+	client, err := DialWith(srv.Addr(), ClientConfig{
+		Metrics:           reg,
+		HeartbeatInterval: -1, // speak v2: no hello, no heartbeats
+		Reconnect:         fastReconnect(),
+		Dialer:            ctrl.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	waitUntil(t, "server sees conn", func() bool { return len(srv.Conns()) == 1 })
+	if infos := srv.Conns(); infos[0].Protocol != protoV2 {
+		t.Fatalf("server negotiated protocol %d for hello-less client, want %d", infos[0].Protocol, protoV2)
+	}
+
+	sink := &mapSink{mu: &sync.Mutex{}, state: make(map[keyspace.Key]string)}
+	gate := &gatedSink{inner: sink}
+	rw := core.NewResyncWatcher(client, client, keyspace.Full(), gate)
+	if err := rw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+
+	converged := func() bool {
+		entries, _, err := ws.SnapshotRange(keyspace.Full())
+		if err != nil {
+			return false
+		}
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		if len(sink.state) != len(entries) {
+			return false
+		}
+		for _, e := range entries {
+			if sink.state[e.Key] != string(e.Value) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for i := 0; i < 50; i++ {
+		ws.Put(keyspace.NumericKey(i), []byte("seed"))
+	}
+	waitUntil(t, "initial convergence", func() bool { return converged() })
+
+	// Stall the consumer and flood well past the outbox bound: the server
+	// must lag this connection out with an overflow resync, not block. The
+	// values are large enough that the flood cannot hide in kernel socket
+	// buffers — the writer has to stall and the outbox has to fill.
+	gate.hold.Store(true)
+	val := make([]byte, 1024)
+	for i := 0; i < 4*outboundLimit; i++ {
+		ws.Put(keyspace.NumericKey(i%200), val)
+	}
+	waitUntil(t, "outbox overflow", func() bool {
+		return reg.Snapshot().Counters["remote_server_overflow_resyncs_total"] >= 1
+	})
+	gate.hold.Store(false)
+	waitUntil(t, "resync recovery", func() bool { return rw.Resyncs() >= 1 && converged() })
+
+	// Now kill the connection outright: reconnect-resume must converge too.
+	dials := ctrl.Dials()
+	ctrl.SeverAll()
+	waitUntil(t, "reconnect", func() bool { return ctrl.Dials() > dials })
+	for i := 0; i < 50; i++ {
+		ws.Put(keyspace.NumericKey(i), []byte("after-sever"))
+	}
+	waitUntil(t, "post-sever convergence", func() bool { return converged() })
+}
+
+// TestV2InteropIdle pins the negotiation contract: a client that never sends
+// a hello is v2, and the server must not send it heartbeat frames (which a
+// real legacy decoder would reject) no matter how long the stream idles.
+func TestV2InteropIdle(t *testing.T) {
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Metrics: reg})
+	defer hub.Close()
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{
+		Metrics:           reg,
+		HeartbeatInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg, HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var delivered atomic.Int64
+	cancel, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Event: func(core.ChangeEvent) { delivered.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	time.Sleep(100 * time.Millisecond) // 20 server heartbeat intervals of idle
+	if err := hub.Append(core.ChangeEvent{
+		Key:     keyspace.NumericKey(1),
+		Mut:     core.Mutation{Op: core.OpPut, Value: []byte("v")},
+		Version: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "delivery after idle", func() bool { return delivered.Load() == 1 })
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["remote_server_heartbeats_total"]; got != 0 {
+		t.Fatalf("server sent %d heartbeats to a v2 client", got)
+	}
+	if got := snap.Counters["remote_client_heartbeats_total"]; got != 0 {
+		t.Fatalf("v2 client sent %d heartbeats", got)
+	}
+}

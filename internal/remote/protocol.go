@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"fmt"
 	"io"
 	"sync"
 
@@ -9,19 +10,30 @@ import (
 	"unbundle/internal/metrics"
 )
 
-// Wire protocol (v2, batched): every message is a one-byte tag followed by
-// its payload, both encoded on a single gob stream per direction. Tag-first
-// framing lets each side decode into a type-specific target — which is what
-// makes decode-buffer reuse possible — instead of a union struct whose unused
-// pointer fields gob must consider on every message.
+// Wire protocol (v3, batched + liveness): every message is a one-byte tag
+// followed by its payload, both encoded on a single gob stream per direction.
+// Tag-first framing lets each side decode into a type-specific target — which
+// is what makes decode-buffer reuse possible — instead of a union struct whose
+// unused pointer fields gob must consider on every message.
 //
-// Client → server: tagWatch, tagCancel, tagSnapshot.
-// Server → client: tagEventBatch, tagProgress, tagResync, tagSnapChunk.
+// Client → server: tagHello, tagWatch, tagCancel, tagSnapshot, tagHeartbeat.
+// Server → client: tagHello, tagEventBatch, tagProgress, tagResync,
+// tagSnapChunk, tagHeartbeat, tagShutdown.
 //
-// The old per-event protocol encoded (and usually wrote) one frame per change
-// event; v2 carries a whole ring-drain's worth of events per watch in one
-// tagEventBatch frame and streams snapshot responses as bounded tagSnapChunk
-// frames ending with Last=true.
+// v2 carried a whole ring-drain's worth of events per watch in one
+// tagEventBatch frame and streamed snapshot responses as bounded tagSnapChunk
+// frames. v3 adds the liveness layer: a v3 client opens the stream with
+// tagHello announcing its version and heartbeat interval, the server replies
+// in kind, and both ends then (a) send tagHeartbeat on an idle stream and (b)
+// arm read deadlines sized to the peer's announced interval, so a half-open
+// connection is detected in O(heartbeat interval) instead of hanging forever.
+// tagShutdown is the graceful-drain marker: the server sends it after the
+// terminal per-watch resyncs so clients can tell "server going away" (do not
+// reconnect) from "network died" (reconnect and resume).
+//
+// Negotiation is first-frame based, so v2 peers keep working: a client that
+// never sends tagHello is treated as v2 — no heartbeats, no read deadline, no
+// shutdown marker on that connection.
 const (
 	tagWatch uint8 = iota + 1
 	tagCancel
@@ -30,7 +42,48 @@ const (
 	tagProgress
 	tagResync
 	tagSnapChunk
+	tagHello
+	tagHeartbeat
+	tagShutdown
 )
+
+// Protocol versions. protoV2 is the batched pre-liveness protocol (no hello
+// exchanged); protoV3 adds hello/heartbeat/shutdown frames.
+const (
+	protoV2 = 2
+	protoV3 = 3
+)
+
+// helloMsg opens a v3 stream in each direction: the sender's protocol
+// version and the interval at which it will emit heartbeats on an idle
+// stream. The receiver sizes its read deadline from HeartbeatMillis, so the
+// two ends never need to agree on one global interval.
+type helloMsg struct {
+	Version         uint32
+	HeartbeatMillis int64
+}
+
+// shutdownMsg is the graceful-drain marker (v3 only). It follows the terminal
+// per-watch resync frames; after it the server flushes and closes.
+type shutdownMsg struct {
+	Reason string
+}
+
+// ProtocolError reports a wire-level violation: a corrupt frame, an unknown
+// tag, or a payload gob refuses to decode. It is terminal for the connection
+// it occurred on — the stream position is unrecoverable after a failed
+// decode — and is counted in remote_{server,client}_decode_errors_total.
+type ProtocolError struct {
+	Op  string // what was being decoded ("tag", "watch request", ...)
+	Err error
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("remote: protocol error decoding %s: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying decode error.
+func (e *ProtocolError) Unwrap() error { return e.Err }
 
 type watchReq struct {
 	ID   uint64

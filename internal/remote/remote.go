@@ -22,16 +22,52 @@
 // applied at the transport layer. Snapshot responses stream as bounded
 // chunks with their own flow control, so a large recovery read neither
 // triggers that overflow nor materializes unbounded memory on either end.
+//
+// # Resilience
+//
+// The network is allowed to fail without breaking the contract's trichotomy
+// (current, lagging with a known frontier, or explicitly resyncing):
+//
+//   - Liveness (protocol v3): both ends exchange hello frames announcing
+//     their heartbeat interval, send heartbeats on an idle stream, and arm
+//     read deadlines sized to the peer's interval — a half-open connection
+//     (NAT timeout, partition, peer crash) is detected in O(heartbeat
+//     interval) instead of hanging a watcher forever. Write deadlines bound
+//     the server's flush so a stalled reader converts to connection teardown
+//     (and, before that, outbox overflow→resync), never a wedged writer.
+//
+//   - Recovery: a Client built with ReconnectPolicy.Enabled redials on
+//     connection loss with exponential backoff + jitter and a bounded retry
+//     budget, then re-establishes every live watch from its resume point
+//     (the highest delivered event/progress version, tracked per watch by a
+//     core.ResumePoint). Watch IDs, metrics counters and trace stages stay
+//     continuous across reconnects; the consumer sees a ResyncEvent only
+//     when the server's retention window genuinely cannot cover the gap.
+//     In-flight snapshot reads are re-issued on the new connection.
+//
+//   - Graceful drain: Server.Shutdown stops accepting, sends a terminal
+//     resync per watch plus a shutdown marker, flushes, and closes — so
+//     clients can tell "server going away" (terminal, do not reconnect)
+//     from "network died" (reconnect and resume).
+//
+// Faults are injected for tests via ChaosConn (chaosconn.go): scripted
+// drops, stalls, blackholes, partial writes and byte corruption, behind a
+// ClientConfig.Dialer hook.
 package remote
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"unbundle/internal/core"
@@ -68,6 +104,40 @@ const (
 	snapBacklogBytes = 1 << 20
 )
 
+// Liveness tuning defaults (overridable per Server/Client config).
+const (
+	// defaultHeartbeatInterval is how often an idle v3 stream carries a
+	// heartbeat frame in each direction.
+	defaultHeartbeatInterval = time.Second
+	// heartbeatTimeoutMult sizes the read deadline from the peer's announced
+	// heartbeat interval: a connection silent for this many intervals is
+	// declared dead.
+	heartbeatTimeoutMult = 4
+	// defaultWriteTimeout bounds one socket write on the server; a reader
+	// stalled longer than this has its connection torn down (its watches
+	// were already being lagged out by the outbox bound).
+	defaultWriteTimeout = 10 * time.Second
+	// defaultDialTimeout bounds one dial attempt.
+	defaultDialTimeout = 5 * time.Second
+)
+
+// connLossErr reports whether err is ordinary connection loss (EOF, closed
+// or reset socket, deadline expiry) rather than a protocol violation. The
+// distinction feeds the decode-error counters: loss is expected and handled
+// by reconnect/resync; a decode failure means the stream itself is corrupt.
+func connLossErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
 // serverMetrics holds the server-side transport instruments, resolved once at
 // Serve so the per-frame paths stay atomic-only. Instruments are created on
 // first use and shared by name, so resolving the same registry twice (two
@@ -81,6 +151,10 @@ type serverMetrics struct {
 	bytes           *metrics.Counter // bytes written to client sockets
 	events          *metrics.Counter // change events sent inside event frames
 	snapChunks      *metrics.Counter // snapshot response chunks streamed
+	heartbeats      *metrics.Counter // heartbeat frames sent on idle v3 conns
+	decodeErrs      *metrics.Counter // corrupt/unknown frames that killed a conn
+	connDrops       *metrics.Counter // events+frames queued but unsent when a conn died
+	drainedWatches  *metrics.Counter // watches terminally resynced by Shutdown
 }
 
 func newServerMetrics(reg *metrics.Registry) serverMetrics {
@@ -93,6 +167,10 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		bytes:           reg.Counter("remote_server_bytes_total"),
 		events:          reg.Counter("remote_server_events_total"),
 		snapChunks:      reg.Counter("remote_server_snap_chunks_total"),
+		heartbeats:      reg.Counter("remote_server_heartbeats_total"),
+		decodeErrs:      reg.Counter("remote_server_decode_errors_total"),
+		connDrops:       reg.Counter("remote_server_conn_drops_total"),
+		drainedWatches:  reg.Counter("remote_server_drained_watches_total"),
 	}
 }
 
@@ -100,25 +178,35 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 // semantics as serverMetrics: per-Dial resolution from one registry lands on
 // the same counters across reconnects).
 type clientMetrics struct {
-	connLost  *metrics.Counter
-	watches   *metrics.Counter
-	snapshots *metrics.Counter
-	resyncs   *metrics.Counter
-	frames    *metrics.Counter // wire messages decoded
-	bytes     *metrics.Counter // bytes read from the server socket
-	events    *metrics.Counter // change events received inside event frames
+	connLost       *metrics.Counter
+	watches        *metrics.Counter
+	snapshots      *metrics.Counter
+	resyncs        *metrics.Counter
+	frames         *metrics.Counter // wire messages decoded
+	bytes          *metrics.Counter // bytes read from the server socket
+	events         *metrics.Counter // change events received inside event frames
+	heartbeats     *metrics.Counter // heartbeat frames sent on idle v3 conns
+	decodeErrs     *metrics.Counter // corrupt/unknown frames that killed a conn
+	reconnects     *metrics.Counter // successful reconnects
+	reconnectFails *metrics.Counter // failed dial attempts during reconnect
+	resumedWatches *metrics.Counter // watches re-established from a resume point
 }
 
 func newClientMetrics(reg *metrics.Registry) clientMetrics {
 	reg = reg.Or()
 	return clientMetrics{
-		connLost:  reg.Counter("remote_client_conn_lost_total"),
-		watches:   reg.Counter("remote_client_watches_total"),
-		snapshots: reg.Counter("remote_client_snapshots_total"),
-		resyncs:   reg.Counter("remote_client_resyncs_total"),
-		frames:    reg.Counter("remote_client_frames_total"),
-		bytes:     reg.Counter("remote_client_bytes_total"),
-		events:    reg.Counter("remote_client_events_total"),
+		connLost:       reg.Counter("remote_client_conn_lost_total"),
+		watches:        reg.Counter("remote_client_watches_total"),
+		snapshots:      reg.Counter("remote_client_snapshots_total"),
+		resyncs:        reg.Counter("remote_client_resyncs_total"),
+		frames:         reg.Counter("remote_client_frames_total"),
+		bytes:          reg.Counter("remote_client_bytes_total"),
+		events:         reg.Counter("remote_client_events_total"),
+		heartbeats:     reg.Counter("remote_client_heartbeats_total"),
+		decodeErrs:     reg.Counter("remote_client_decode_errors_total"),
+		reconnects:     reg.Counter("remote_client_reconnects_total"),
+		reconnectFails: reg.Counter("remote_client_reconnect_failures_total"),
+		resumedWatches: reg.Counter("remote_client_resumed_watches_total"),
 	}
 }
 
@@ -131,17 +219,29 @@ type ServerConfig struct {
 	// enter a connection's outbound queue. Wire the same tracer into the
 	// source store / hub for end-to-end remote traces.
 	Tracer *trace.Tracer
+	// HeartbeatInterval is how often an idle v3 connection carries a
+	// server→client heartbeat, and what the server announces in its hello
+	// (the client sizes its read deadline from it). 0 uses the 1s default;
+	// negative disables server heartbeats (v3 clients will still heartbeat
+	// toward the server).
+	HeartbeatInterval time.Duration
+	// WriteTimeout bounds one socket write; a client stalled past it has its
+	// connection torn down (overflow→resync already lagged its watches out).
+	// 0 uses the 10s default; negative disables write deadlines.
+	WriteTimeout time.Duration
 }
 
 // Server exposes a watch system and its recovery snapshots on a listener.
 type Server struct {
-	watch  core.Watchable
-	snap   core.Snapshotter
-	ln     net.Listener
-	tracer *trace.Tracer
+	watch      core.Watchable
+	snap       core.Snapshotter
+	ln         net.Listener
+	tracer     *trace.Tracer
+	hbInterval time.Duration
+	writeTO    time.Duration
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[*serverConn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 	met    serverMetrics
@@ -160,13 +260,23 @@ func ServeWith(addr string, watch core.Watchable, snap core.Snapshotter, cfg Ser
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen: %w", err)
 	}
+	hb := cfg.HeartbeatInterval
+	if hb == 0 {
+		hb = defaultHeartbeatInterval
+	}
+	wto := cfg.WriteTimeout
+	if wto == 0 {
+		wto = defaultWriteTimeout
+	}
 	s := &Server{
-		watch:  watch,
-		snap:   snap,
-		ln:     ln,
-		tracer: cfg.Tracer,
-		conns:  make(map[net.Conn]struct{}),
-		met:    newServerMetrics(cfg.Metrics),
+		watch:      watch,
+		snap:       snap,
+		ln:         ln,
+		tracer:     cfg.Tracer,
+		hbInterval: hb,
+		writeTO:    wto,
+		conns:      make(map[*serverConn]struct{}),
+		met:        newServerMetrics(cfg.Metrics),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -183,16 +293,26 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		sc := &serverConn{
+			conn:    conn,
+			met:     s.met,
+			tracer:  s.tracer,
+			writeTO: s.writeTO,
+			done:    make(chan struct{}),
+			watches: make(map[uint64]serverWatch),
+		}
+		sc.cond = sync.NewCond(&sc.mu)
+		sc.spaceCond = sync.NewCond(&sc.mu)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		go s.serveConn(sc)
 	}
 }
 
@@ -206,14 +326,37 @@ type outFrame struct {
 	resync    core.ResyncEvent    // tagResync
 	chunk     *snapChunk          // tagSnapChunk
 	chunkSize int                 // approx payload bytes, for snapshot flow control
+	aux       any                 // tagHello (*helloMsg), tagShutdown (*shutdownMsg)
+}
+
+// frameDropWeight is the loss accounting for one queued-but-unsent frame:
+// event batches weigh their event count, per-watch control frames weigh one,
+// liveness frames weigh nothing. Summed into remote_server_conn_drops_total
+// when a connection dies with a non-empty outbox, so transport loss the
+// resync contract will heal is still visible to operators.
+func frameDropWeight(f *outFrame) int64 {
+	switch f.tag {
+	case tagEventBatch:
+		return int64(len(*f.evs))
+	case tagProgress, tagResync, tagSnapChunk:
+		return 1
+	}
+	return 0
 }
 
 // serverConn is the per-connection state: a bounded outbound queue drained
 // by one writer goroutine, and the active watches.
 type serverConn struct {
-	conn   net.Conn
-	met    serverMetrics
-	tracer *trace.Tracer
+	conn    net.Conn
+	met     serverMetrics
+	tracer  *trace.Tracer
+	writeTO time.Duration
+
+	v3       atomic.Bool  // hello received: heartbeats + read deadlines armed
+	peerHB   atomic.Int64 // client's announced heartbeat interval (nanoseconds)
+	lastSend atomic.Int64 // UnixNano of the last flush, for idle detection
+	done     chan struct{}
+	dieOnce  sync.Once
 
 	mu         sync.Mutex
 	cond       *sync.Cond // wakes the writer when the queue fills
@@ -222,6 +365,7 @@ type serverConn struct {
 	queuedEvs  int // change events (and progress frames) queued, vs outboundLimit
 	chunkBytes int // snapshot chunk payload bytes queued, vs snapBacklogBytes
 	dead       bool
+	draining   bool // Shutdown sent terminal resyncs; flush and close
 	watches    map[uint64]serverWatch
 }
 
@@ -230,11 +374,8 @@ type serverWatch struct {
 	rng    keyspace.Range
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(sc *serverConn) {
 	defer s.wg.Done()
-	sc := &serverConn{conn: conn, met: s.met, tracer: s.tracer, watches: make(map[uint64]serverWatch)}
-	sc.cond = sync.NewCond(&sc.mu)
-	sc.spaceCond = sync.NewCond(&sc.mu)
 	s.met.conns.Inc()
 
 	var writerWG sync.WaitGroup
@@ -243,11 +384,32 @@ func (s *Server) serveConn(conn net.Conn) {
 		defer writerWG.Done()
 		sc.writeLoop()
 	}()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		sc.heartbeatLoop(s.hbInterval)
+	}()
 
-	dec := gob.NewDecoder(bufio.NewReaderSize(conn, connReadBuffer))
+	dec := gob.NewDecoder(bufio.NewReaderSize(sc.conn, connReadBuffer))
+	// Read deadlines are re-armed coarsely — only once a quarter of the
+	// timeout has elapsed — so a busy connection pays one deadline syscall
+	// per TO/4 rather than per frame. The effective timeout stretches to at
+	// most 1.25×, well inside the 4× heartbeat multiplier's slack.
+	var armedAt time.Time
+	var armedTO time.Duration
 	for {
+		if sc.v3.Load() {
+			to := readTimeoutFor(sc.peerHB.Load())
+			if now := time.Now(); to != armedTO || now.Sub(armedAt) > to/4 {
+				sc.conn.SetReadDeadline(now.Add(to))
+				armedAt, armedTO = now, to
+			}
+		}
 		var tag uint8
 		if err := dec.Decode(&tag); err != nil {
+			if !connLossErr(err) {
+				s.met.decodeErrs.Inc()
+			}
 			break // client gone (or sent garbage): tear the connection down
 		}
 		if !s.handleRequest(sc, dec, tag) {
@@ -265,26 +427,112 @@ func (s *Server) serveConn(conn net.Conn) {
 	for _, w := range watches {
 		w.cancel()
 	}
-	conn.Close()
+	sc.die()
 	writerWG.Wait()
+	<-hbDone
+	// Account what the outbox never managed to send: without this a
+	// connection dying with queued frames would vanish with no drop counter
+	// anywhere, hiding transport loss the resync contract papers over.
+	sc.mu.Lock()
+	var drops int64
+	for i := range sc.queue {
+		f := &sc.queue[i]
+		drops += frameDropWeight(f)
+		if f.tag == tagEventBatch {
+			putEvs(f.evs)
+		}
+		sc.queue[i] = outFrame{}
+	}
+	sc.queue = nil
+	sc.mu.Unlock()
+	if drops > 0 {
+		s.met.connDrops.Add(drops)
+	}
 	s.mu.Lock()
-	delete(s.conns, conn)
+	delete(s.conns, sc)
 	s.mu.Unlock()
+}
+
+// readTimeoutFor sizes a read deadline from the peer's announced heartbeat
+// interval (nanoseconds); 0 or negative falls back to the default interval.
+func readTimeoutFor(peerHB int64) time.Duration {
+	iv := time.Duration(peerHB)
+	if iv <= 0 {
+		iv = defaultHeartbeatInterval
+	}
+	return iv * heartbeatTimeoutMult
+}
+
+// heartbeatLoop keeps an idle v3 connection visibly alive: whenever no frame
+// has been flushed for a full interval, a heartbeat frame is queued. v2
+// connections (no hello) never receive one.
+func (sc *serverConn) heartbeatLoop(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sc.done:
+			return
+		case <-t.C:
+		}
+		if !sc.v3.Load() {
+			continue
+		}
+		if time.Since(time.Unix(0, sc.lastSend.Load())) < interval {
+			continue
+		}
+		sc.mu.Lock()
+		if !sc.dead && !sc.draining {
+			sc.queue = append(sc.queue, outFrame{tag: tagHeartbeat})
+			sc.met.heartbeats.Inc()
+			sc.cond.Signal()
+		}
+		sc.mu.Unlock()
+	}
 }
 
 // handleRequest decodes and dispatches one client request; false tears the
 // connection down.
 func (s *Server) handleRequest(sc *serverConn, dec *gob.Decoder, tag uint8) bool {
+	decode := func(op string, v any) bool {
+		if err := dec.Decode(v); err != nil {
+			if !connLossErr(err) {
+				s.met.decodeErrs.Inc()
+			}
+			return false
+		}
+		return true
+	}
 	switch tag {
+	case tagHello:
+		var h helloMsg
+		if !decode("hello", &h) {
+			return false
+		}
+		sc.peerHB.Store(int64(time.Duration(h.HeartbeatMillis) * time.Millisecond))
+		sc.v3.Store(true)
+		reply := &helloMsg{Version: protoV3, HeartbeatMillis: s.hbInterval.Milliseconds()}
+		sc.mu.Lock()
+		if !sc.dead {
+			sc.queue = append(sc.queue, outFrame{tag: tagHello, aux: reply})
+			sc.cond.Signal()
+		}
+		sc.mu.Unlock()
+	case tagHeartbeat:
+		// Liveness only; the read deadline reset on the next loop iteration
+		// is the entire effect.
 	case tagWatch:
 		var req watchReq
-		if dec.Decode(&req) != nil {
+		if !decode("watch request", &req) {
 			return false
 		}
 		s.handleWatch(sc, req)
 	case tagCancel:
 		var req cancelReq
-		if dec.Decode(&req) != nil {
+		if !decode("cancel request", &req) {
 			return false
 		}
 		sc.mu.Lock()
@@ -296,7 +544,7 @@ func (s *Server) handleRequest(sc *serverConn, dec *gob.Decoder, tag uint8) bool
 		}
 	case tagSnapshot:
 		var req snapshotReq
-		if dec.Decode(&req) != nil {
+		if !decode("snapshot request", &req) {
 			return false
 		}
 		// Stream on a dedicated goroutine so the reader keeps serving
@@ -304,6 +552,7 @@ func (s *Server) handleRequest(sc *serverConn, dec *gob.Decoder, tag uint8) bool
 		s.wg.Add(1)
 		go s.streamSnapshot(sc, req)
 	default:
+		s.met.decodeErrs.Inc()
 		return false // protocol violation
 	}
 	return true
@@ -330,6 +579,14 @@ func (cs connWatchSink) OnResync(r core.ResyncEvent) { cs.sc.sendResync(cs.id, r
 
 func (s *Server) handleWatch(sc *serverConn, req watchReq) {
 	r := keyspace.Range{Low: req.Low, High: req.High}
+	sc.mu.Lock()
+	if sc.draining || sc.dead {
+		// A watch racing the drain gets no stream; the client's teardown
+		// path resyncs every unestablished watch when the connection ends.
+		sc.mu.Unlock()
+		return
+	}
+	sc.mu.Unlock()
 	cancel, err := s.watch.Watch(r, req.From, connWatchSink{sc: sc, id: req.ID})
 	if err != nil {
 		// Report the failure as an immediate resync carrying the reason;
@@ -339,7 +596,7 @@ func (s *Server) handleWatch(sc *serverConn, req watchReq) {
 		return
 	}
 	sc.mu.Lock()
-	if sc.dead {
+	if sc.dead || sc.draining {
 		sc.mu.Unlock()
 		cancel()
 		return
@@ -356,7 +613,7 @@ func (sc *serverConn) sendEvents(id uint64, evs []core.ChangeEvent) {
 		return
 	}
 	sc.mu.Lock()
-	if sc.dead {
+	if sc.dead || sc.draining {
 		sc.mu.Unlock()
 		return
 	}
@@ -382,7 +639,7 @@ func (sc *serverConn) sendEvents(id uint64, evs []core.ChangeEvent) {
 
 func (sc *serverConn) sendProgress(id uint64, p core.ProgressEvent) {
 	sc.mu.Lock()
-	if sc.dead {
+	if sc.dead || sc.draining {
 		sc.mu.Unlock()
 		return
 	}
@@ -398,10 +655,12 @@ func (sc *serverConn) sendProgress(id uint64, p core.ProgressEvent) {
 }
 
 // sendResync enqueues unconditionally: resyncs are the contract's loss
-// signal and are never dropped by the bound they enforce.
+// signal and are never dropped by the bound they enforce. (During a drain
+// the watch already received its terminal resync, so later ones are noise
+// and are skipped.)
 func (sc *serverConn) sendResync(id uint64, r core.ResyncEvent) {
 	sc.mu.Lock()
-	if !sc.dead {
+	if !sc.dead && !sc.draining {
 		sc.queue = append(sc.queue, outFrame{tag: tagResync, id: id, resync: r})
 		sc.cond.Signal()
 	}
@@ -473,10 +732,10 @@ func (s *Server) streamSnapshot(sc *serverConn, req snapshotReq) {
 // connection is dead.
 func (sc *serverConn) sendChunk(ch *snapChunk, size int) bool {
 	sc.mu.Lock()
-	for !sc.dead && sc.chunkBytes > snapBacklogBytes {
+	for !sc.dead && !sc.draining && sc.chunkBytes > snapBacklogBytes {
 		sc.spaceCond.Wait()
 	}
-	if sc.dead {
+	if sc.dead || sc.draining {
 		sc.mu.Unlock()
 		return false
 	}
@@ -487,8 +746,9 @@ func (sc *serverConn) sendChunk(ch *snapChunk, size int) bool {
 	return true
 }
 
-// markDead tears the connection's write side down and wakes every waiter.
-func (sc *serverConn) markDead() {
+// die tears the connection down and wakes every waiter. Idempotent.
+func (sc *serverConn) die() {
+	sc.dieOnce.Do(func() { close(sc.done) })
 	sc.mu.Lock()
 	sc.dead = true
 	sc.cond.Broadcast()
@@ -497,12 +757,51 @@ func (sc *serverConn) markDead() {
 	sc.conn.Close()
 }
 
+// beginDrain converts the connection to graceful-shutdown mode: every live
+// watch gets a terminal resync, a shutdown marker follows (v3 peers only),
+// new frames are refused, and the writer closes the connection once the
+// queue has flushed. Watch cancels run outside the lock.
+func (sc *serverConn) beginDrain(reason string) {
+	sc.mu.Lock()
+	if sc.dead || sc.draining {
+		sc.mu.Unlock()
+		return
+	}
+	var cancels []core.Cancel
+	n := 0
+	for id, w := range sc.watches {
+		sc.queue = append(sc.queue, outFrame{tag: tagResync, id: id, resync: core.ResyncEvent{
+			Range:  w.rng,
+			Reason: reason,
+		}})
+		cancels = append(cancels, w.cancel)
+		n++
+	}
+	sc.watches = map[uint64]serverWatch{}
+	if sc.v3.Load() {
+		sc.queue = append(sc.queue, outFrame{tag: tagShutdown, aux: &shutdownMsg{Reason: reason}})
+	}
+	sc.draining = true
+	sc.cond.Signal()
+	sc.spaceCond.Broadcast() // unblock snapshot streamers; their conn is going away
+	sc.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	if n > 0 {
+		sc.met.drainedWatches.Add(int64(n))
+	}
+}
+
 // writeLoop drains the outbox through one buffered gob stream. Flush policy:
 // flush when the queue runs empty (the common low-load case, giving
 // per-batch latency), or when encoded frames have lingered past flushLinger
 // under sustained backlog; bufio additionally writes through whenever the
 // buffer fills. The result is a few large socket writes instead of one small
-// write per event.
+// write per event. Every socket write sits under the configured write
+// deadline, so a stalled reader tears the connection down instead of
+// wedging this loop. When the connection is draining, the loop flushes the
+// final frames and closes.
 func (sc *serverConn) writeLoop() {
 	bw := bufio.NewWriterSize(&countingWriter{w: sc.conn, c: sc.met.bytes}, connWriteBuffer)
 	enc := gob.NewEncoder(bw)
@@ -510,11 +809,27 @@ func (sc *serverConn) writeLoop() {
 	var lastFlush time.Time
 	flush := func() bool {
 		if err := bw.Flush(); err != nil {
-			sc.markDead()
+			sc.die()
 			return false
 		}
 		lastFlush = time.Now()
+		sc.lastSend.Store(lastFlush.UnixNano())
 		return true
+	}
+	// fail counts the frames an encode/flush error strands (the current
+	// frame onward) before tearing the connection down.
+	fail := func(local []outFrame, from int) {
+		var drops int64
+		for i := from; i < len(local); i++ {
+			drops += frameDropWeight(&local[i])
+			if local[i].tag == tagEventBatch {
+				putEvs(local[i].evs)
+			}
+		}
+		if drops > 0 {
+			sc.met.connDrops.Add(drops)
+		}
+		sc.die()
 	}
 	for {
 		sc.mu.Lock()
@@ -523,12 +838,21 @@ func (sc *serverConn) writeLoop() {
 			// sleeping, so the tail of a burst is never held hostage by the
 			// linger.
 			sc.mu.Unlock()
+			if sc.writeTO > 0 {
+				sc.conn.SetWriteDeadline(time.Now().Add(sc.writeTO))
+			}
 			if !flush() {
 				return
 			}
 			sc.mu.Lock()
 		}
 		for len(sc.queue) == 0 && !sc.dead {
+			if sc.draining {
+				// Drain complete: final frames are flushed (above), close.
+				sc.mu.Unlock()
+				sc.die()
+				return
+			}
 			sc.cond.Wait()
 		}
 		if sc.dead {
@@ -539,6 +863,9 @@ func (sc *serverConn) writeLoop() {
 		sc.queuedEvs = 0
 		sc.mu.Unlock()
 
+		if sc.writeTO > 0 {
+			sc.conn.SetWriteDeadline(time.Now().Add(sc.writeTO))
+		}
 		for i := range local {
 			f := &local[i]
 			err := enc.Encode(f.tag)
@@ -555,10 +882,16 @@ func (sc *serverConn) writeLoop() {
 					err = enc.Encode(&m)
 				case tagSnapChunk:
 					err = enc.Encode(f.chunk)
+				case tagHello:
+					err = enc.Encode(f.aux.(*helloMsg))
+				case tagShutdown:
+					err = enc.Encode(f.aux.(*shutdownMsg))
+				case tagHeartbeat:
+					// Tag-only frame.
 				}
 			}
 			if err != nil {
-				sc.markDead()
+				fail(local, i)
 				return
 			}
 			sc.met.frames.Inc()
@@ -576,6 +909,8 @@ func (sc *serverConn) writeLoop() {
 			local[i] = outFrame{}
 			if bw.Buffered() > 0 && time.Since(lastFlush) > flushLinger {
 				if !flush() {
+					// Frames past i were encoded into the dead buffer.
+					fail(local, i+1)
 					return
 				}
 			}
@@ -583,22 +918,98 @@ func (sc *serverConn) writeLoop() {
 	}
 }
 
+// ConnInfo is one connection's state, for the debug plane (debugz /conns).
+type ConnInfo struct {
+	RemoteAddr   string `json:"remote_addr"`
+	Protocol     int    `json:"protocol"` // 2 (legacy) or 3 (liveness)
+	Watches      int    `json:"watches"`
+	QueuedEvents int    `json:"queued_events"`
+	Draining     bool   `json:"draining"`
+}
+
+// Conns snapshots the server's live connections.
+func (s *Server) Conns() []ConnInfo {
+	s.mu.Lock()
+	scs := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		scs = append(scs, sc)
+	}
+	s.mu.Unlock()
+	out := make([]ConnInfo, 0, len(scs))
+	for _, sc := range scs {
+		info := ConnInfo{RemoteAddr: sc.conn.RemoteAddr().String(), Protocol: protoV2}
+		if sc.v3.Load() {
+			info.Protocol = protoV3
+		}
+		sc.mu.Lock()
+		info.Watches = len(sc.watches)
+		info.QueuedEvents = sc.queuedEvs
+		info.Draining = sc.draining
+		sc.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}
+
+// Shutdown drains the server gracefully: it stops accepting, sends every
+// live watch a terminal resync followed by a shutdown marker, flushes each
+// connection's queued frames, and closes. Clients therefore learn "server
+// going away" explicitly — a reconnecting client will not burn its retry
+// budget against a deliberate drain. If ctx expires first, remaining
+// connections are torn down abruptly and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	scs := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		scs = append(scs, sc)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, sc := range scs {
+		sc.beginDrain("remote: server draining")
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, sc := range scs {
+			sc.die()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
 // Close stops accepting, drops every connection and cancels their watches.
+// Unlike Shutdown it does not drain: clients observe an abrupt connection
+// loss, exactly as if the network had died.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return
 	}
 	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
+	scs := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		scs = append(scs, sc)
 	}
 	s.mu.Unlock()
 	s.ln.Close()
-	for _, c := range conns {
-		c.Close()
+	for _, sc := range scs {
+		sc.die()
 	}
 	s.wg.Wait()
 }
@@ -606,7 +1017,46 @@ func (s *Server) Close() {
 // Client errors.
 var (
 	ErrClientClosed = errors.New("remote: client closed")
+	// ErrServerDraining marks a terminal client failure caused by a graceful
+	// server shutdown: the server announced the drain, so reconnecting is
+	// pointless and the consumer must recover against a new endpoint.
+	ErrServerDraining = errors.New("remote: server draining")
+	// ErrReconnectBudget marks a terminal client failure after the reconnect
+	// retry budget was exhausted without re-establishing a connection.
+	ErrReconnectBudget = errors.New("remote: reconnect budget exhausted")
 )
+
+// ReconnectPolicy governs a Client's automatic recovery from connection
+// loss. The zero value disables reconnection (a loss terminally resyncs
+// every watch, the pre-resilience behaviour).
+type ReconnectPolicy struct {
+	// Enabled turns auto-reconnect on.
+	Enabled bool
+	// MaxAttempts is the budget of consecutive failed dial attempts before
+	// the client gives up and terminally resyncs its watches. 0 means the
+	// default (8); negative means unlimited.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay; each failure doubles it up to
+	// MaxBackoff, and every wait is jittered in [d/2, d). Defaults 25ms / 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed fixes the jitter source for deterministic tests; 0 seeds from
+	// the clock.
+	Seed int64
+}
+
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	return p
+}
 
 // ClientConfig tunes a Client beyond its defaults.
 type ClientConfig struct {
@@ -616,6 +1066,18 @@ type ClientConfig struct {
 	// Tracer, when non-nil, stamps trace.StageRemoteDeliver as traced events
 	// are handed to the consumer callback.
 	Tracer *trace.Tracer
+	// HeartbeatInterval is how often an idle connection carries a
+	// client→server heartbeat, announced to the server in the hello so it
+	// can size its read deadline. 0 uses the 1s default. Negative speaks
+	// protocol v2: no hello, no heartbeats, no read deadline — the
+	// pre-resilience wire behaviour.
+	HeartbeatInterval time.Duration
+	// Reconnect governs automatic recovery from connection loss.
+	Reconnect ReconnectPolicy
+	// Dialer overrides how connections are established (fault injection,
+	// proxies). nil uses net.DialTimeout("tcp", addr, 5s). The dialer is
+	// invoked again on every reconnect attempt.
+	Dialer func(addr string) (net.Conn, error)
 }
 
 // snapResult resolves one in-flight snapshot request.
@@ -625,28 +1087,86 @@ type snapResult struct {
 	err     string
 }
 
-// snapAccum accumulates a streamed snapshot's chunks until Last.
+// snapAccum accumulates a streamed snapshot's chunks until Last. On
+// reconnect the request is re-issued and the accumulator reset, so a
+// snapshot read survives connection loss transparently.
 type snapAccum struct {
+	rng     keyspace.Range
 	entries []core.Entry
 	at      core.Version
 	ch      chan snapResult
 }
 
+// clientWatch is one logical watch, stable across reconnects: the ID the
+// server multiplexes on, the consumer callback, and the resume point the
+// watch is re-established from after a reconnect.
+type clientWatch struct {
+	id  uint64
+	rng keyspace.Range
+	cb  core.WatchCallback
+	// resume tracks the highest version this watch has consumed (event or
+	// progress); a reconnect re-watches from here, so the stream continues
+	// without duplicates and without a resync unless the server's retention
+	// can no longer cover the gap.
+	resume core.ResumePoint
+	// terminal is set once a resync has been delivered (or the client shut
+	// down): the watch is dead per the contract — the consumer recovers via
+	// snapshot+rewatch — so it is neither resumed nor fed further frames.
+	terminal atomic.Bool
+}
+
+// clientConn is one physical connection's state. The Client swaps these on
+// reconnect; everything logical (watches, snapshots, metrics, trace IDs)
+// lives on the Client and survives the swap.
+type clientConn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+	gen  int
+
+	v3       atomic.Bool  // server hello received
+	peerHB   atomic.Int64 // server's announced heartbeat interval (ns)
+	lastSend atomic.Int64
+	done     chan struct{} // closed on teardown; stops the heartbeat loop
+	readDone chan struct{} // closed when the read loop has fully exited
+	dieOnce  sync.Once
+}
+
+func (cc *clientConn) die() {
+	cc.dieOnce.Do(func() { close(cc.done) })
+	cc.conn.Close()
+}
+
 // Client implements core.Watchable and core.Snapshotter against a Server.
+// With ReconnectPolicy.Enabled it survives connection loss: watches resume
+// from their last delivered/progress version on a fresh connection, and the
+// consumer sees a ResyncEvent only when the server can no longer supply the
+// gap. Watch IDs and metrics counters stay continuous across reconnects.
 type Client struct {
-	conn   net.Conn
-	bw     *bufio.Writer
-	enc    *gob.Encoder
+	addr   string
 	met    clientMetrics
 	tracer *trace.Tracer
+	hbIv   time.Duration // negative: speak v2 (no hello/heartbeats)
+	policy ReconnectPolicy
+	dialer func(addr string) (net.Conn, error)
+	jitter *rand.Rand // used only by the single active reconnect loop
 
-	mu      sync.Mutex
-	encMu   sync.Mutex
-	nextID  uint64
-	watches map[uint64]core.WatchCallback
-	snaps   map[uint64]*snapAccum
-	closed  bool
-	readErr error
+	ctx       context.Context
+	cancelCtx context.CancelFunc
+
+	mu         sync.Mutex
+	cur        *clientConn // nil while disconnected
+	gen        int         // bumped whenever cur changes
+	lastRead   chan struct{}
+	nextID     uint64
+	watches    map[uint64]*clientWatch
+	snaps      map[uint64]*snapAccum
+	closed     bool
+	draining   bool  // server announced shutdown
+	failed     error // terminal: budget exhausted, drain, or close
+	terminated bool  // terminal callbacks already delivered
+
+	encMu sync.Mutex // serializes frame encoding on the current connection
 }
 
 var (
@@ -661,89 +1181,274 @@ func Dial(addr string) (*Client, error) {
 
 // DialWith connects to a Server with explicit configuration.
 func DialWith(addr string, cfg ClientConfig) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	hb := cfg.HeartbeatInterval
+	if hb == 0 {
+		hb = defaultHeartbeatInterval
+	}
+	dialer := cfg.Dialer
+	if dialer == nil {
+		dialer = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, defaultDialTimeout)
+		}
+	}
+	seed := cfg.Reconnect.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		addr:      addr,
+		met:       newClientMetrics(cfg.Metrics),
+		tracer:    cfg.Tracer,
+		hbIv:      hb,
+		policy:    cfg.Reconnect.withDefaults(),
+		dialer:    dialer,
+		jitter:    rand.New(rand.NewSource(seed)),
+		ctx:       ctx,
+		cancelCtx: cancel,
+		watches:   make(map[uint64]*clientWatch),
+		snaps:     make(map[uint64]*snapAccum),
+	}
+	conn, err := dialer(addr)
 	if err != nil {
+		cancel()
 		return nil, fmt.Errorf("remote: dial: %w", err)
 	}
-	bw := bufio.NewWriterSize(conn, 4<<10)
-	c := &Client{
-		conn:    conn,
-		bw:      bw,
-		enc:     gob.NewEncoder(bw),
-		met:     newClientMetrics(cfg.Metrics),
-		tracer:  cfg.Tracer,
-		watches: make(map[uint64]core.WatchCallback),
-		snaps:   make(map[uint64]*snapAccum),
+	cc := c.installConn(conn)
+	if cc == nil {
+		cancel()
+		conn.Close()
+		return nil, ErrClientClosed
 	}
-	go c.readLoop()
+	if err := c.handshake(cc); err != nil {
+		cc.die()
+		cancel()
+		return nil, fmt.Errorf("remote: dial: %w", err)
+	}
+	c.startConn(cc)
 	return c, nil
 }
 
-// readLoop decodes the server stream. The event-batch decode target is
-// persistent: its Evs backing array is reused across batches (gob grows it
-// only when a batch exceeds the previous capacity). Every recycled element is
-// zeroed before decoding — gob leaves absent fields untouched, so reuse
-// without clearing would leak one event's Value or Trace into the next — and
-// zeroing Value forces gob to allocate fresh byte slices, which consumers are
-// allowed to retain.
-func (c *Client) readLoop() {
-	dec := gob.NewDecoder(bufio.NewReaderSize(&countingReader{r: c.conn, c: c.met.bytes}, connReadBuffer))
-	var batch eventBatchMsg
+// installConn makes conn the client's current connection and returns its
+// state, or nil if the client closed meanwhile.
+func (c *Client) installConn(conn net.Conn) *clientConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.gen++
+	cc := &clientConn{
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 4<<10),
+		gen:      c.gen,
+		done:     make(chan struct{}),
+		readDone: make(chan struct{}),
+	}
+	cc.enc = gob.NewEncoder(cc.bw)
+	c.cur = cc
+	c.lastRead = cc.readDone
+	return cc
+}
+
+// handshake opens the v3 stream (hello announcing our heartbeat interval).
+// With a negative heartbeat interval the client speaks v2: no hello at all.
+func (c *Client) handshake(cc *clientConn) error {
+	if c.hbIv < 0 {
+		return nil
+	}
+	return c.sendOn(cc, tagHello, &helloMsg{Version: protoV3, HeartbeatMillis: c.hbIv.Milliseconds()})
+}
+
+// startConn launches the per-connection goroutines.
+func (c *Client) startConn(cc *clientConn) {
+	go c.readLoop(cc)
+	go c.heartbeatLoop(cc)
+}
+
+// sendOn encodes one frame on the given connection and flushes: client→server
+// traffic is sparse control flow, not the hot path. payload may be nil for
+// tag-only frames.
+func (c *Client) sendOn(cc *clientConn, tag uint8, payload any) error {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	if err := cc.enc.Encode(tag); err != nil {
+		return err
+	}
+	if payload != nil {
+		if err := cc.enc.Encode(payload); err != nil {
+			return err
+		}
+	}
+	if err := cc.bw.Flush(); err != nil {
+		return err
+	}
+	cc.lastSend.Store(time.Now().UnixNano())
+	return nil
+}
+
+// conn returns the current connection, or nil while disconnected.
+func (c *Client) connNow() *clientConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// heartbeatLoop keeps an idle v3 stream visibly alive toward the server,
+// which sizes its read deadline from the interval we announced.
+func (c *Client) heartbeatLoop(cc *clientConn) {
+	if c.hbIv <= 0 {
+		return
+	}
+	t := time.NewTicker(c.hbIv)
+	defer t.Stop()
 	for {
-		var tag uint8
-		if err := dec.Decode(&tag); err != nil {
-			c.fail(err)
+		select {
+		case <-cc.done:
+			return
+		case <-t.C:
+		}
+		if time.Since(time.Unix(0, cc.lastSend.Load())) < c.hbIv {
+			continue
+		}
+		if err := c.sendOn(cc, tagHeartbeat, nil); err != nil {
+			c.connFailed(cc, err)
 			return
 		}
-		var err error
+		c.met.heartbeats.Inc()
+	}
+}
+
+// readLoop decodes the server stream for one connection, then hands the
+// failure to connFailed. readDone is closed before connFailed runs so that
+// anything waiting to take over delivery (reconnect, terminal teardown)
+// knows no further callbacks can come from this connection.
+func (c *Client) readLoop(cc *clientConn) {
+	err := c.readFrames(cc)
+	close(cc.readDone)
+	c.connFailed(cc, err)
+}
+
+// readFrames decodes frames until the connection fails, returning the
+// failure. The event-batch decode target is persistent: its Evs backing
+// array is reused across batches (gob grows it only when a batch exceeds the
+// previous capacity). Every recycled element is zeroed before decoding — gob
+// leaves absent fields untouched, so reuse without clearing would leak one
+// event's Value or Trace into the next — and zeroing Value forces gob to
+// allocate fresh byte slices, which consumers are allowed to retain.
+func (c *Client) readFrames(cc *clientConn) error {
+	dec := gob.NewDecoder(bufio.NewReaderSize(&countingReader{r: cc.conn, c: c.met.bytes}, connReadBuffer))
+	var batch eventBatchMsg
+	fail := func(op string, err error) error {
+		if connLossErr(err) {
+			return err
+		}
+		c.met.decodeErrs.Inc()
+		return &ProtocolError{Op: op, Err: err}
+	}
+	// Coarse deadline re-arm (see serveConn): one syscall per TO/4, not per
+	// frame, stretching the effective timeout to at most 1.25×.
+	var armedAt time.Time
+	var armedTO time.Duration
+	for {
+		var to time.Duration
+		if cc.v3.Load() {
+			to = readTimeoutFor(cc.peerHB.Load())
+		} else if c.hbIv > 0 {
+			// Provisional deadline until the server's hello arrives, sized
+			// from our own interval: a connection blackholed right after
+			// dial must not hang the read loop forever either.
+			to = readTimeoutFor(int64(c.hbIv))
+		}
+		if to != 0 {
+			if now := time.Now(); to != armedTO || now.Sub(armedAt) > to/4 {
+				cc.conn.SetReadDeadline(now.Add(to))
+				armedAt, armedTO = now, to
+			}
+		}
+		var tag uint8
+		if err := dec.Decode(&tag); err != nil {
+			return fail("tag", err)
+		}
 		switch tag {
+		case tagHello:
+			var h helloMsg
+			if err := dec.Decode(&h); err != nil {
+				return fail("hello", err)
+			}
+			cc.peerHB.Store(int64(time.Duration(h.HeartbeatMillis) * time.Millisecond))
+			cc.v3.Store(true)
+		case tagHeartbeat:
+			// Liveness only: the next loop iteration re-arms the deadline.
+		case tagShutdown:
+			var m shutdownMsg
+			if err := dec.Decode(&m); err != nil {
+				return fail("shutdown", err)
+			}
+			c.mu.Lock()
+			c.draining = true
+			c.mu.Unlock()
 		case tagEventBatch:
 			for i := range batch.Evs {
 				batch.Evs[i] = core.ChangeEvent{}
 			}
 			batch.ID = 0
 			batch.Evs = batch.Evs[:0]
-			if err = dec.Decode(&batch); err == nil {
-				c.met.frames.Inc()
-				c.met.events.Add(int64(len(batch.Evs)))
-				c.deliverBatch(&batch)
+			if err := dec.Decode(&batch); err != nil {
+				return fail("event batch", err)
 			}
+			c.met.frames.Inc()
+			c.met.events.Add(int64(len(batch.Evs)))
+			c.deliverBatch(&batch)
 		case tagProgress:
 			var m progressMsg
-			if err = dec.Decode(&m); err == nil {
-				c.met.frames.Inc()
-				if cb := c.callback(m.ID); cb != nil {
-					cb.OnProgress(m.P)
-				}
+			if err := dec.Decode(&m); err != nil {
+				return fail("progress", err)
+			}
+			c.met.frames.Inc()
+			if w := c.watchFor(m.ID); w != nil {
+				w.resume.NoteProgress(m.P)
+				w.cb.OnProgress(m.P)
 			}
 		case tagResync:
 			var m resyncMsg
-			if err = dec.Decode(&m); err == nil {
-				c.met.frames.Inc()
-				if cb := c.callback(m.ID); cb != nil {
-					c.met.resyncs.Inc()
-					cb.OnResync(m.R)
-				}
+			if err := dec.Decode(&m); err != nil {
+				return fail("resync", err)
+			}
+			c.met.frames.Inc()
+			if w := c.watchFor(m.ID); w != nil {
+				w.terminal.Store(true)
+				c.met.resyncs.Inc()
+				w.cb.OnResync(m.R)
 			}
 		case tagSnapChunk:
 			var m snapChunk
-			if err = dec.Decode(&m); err == nil {
-				c.met.frames.Inc()
-				c.handleSnapChunk(&m)
+			if err := dec.Decode(&m); err != nil {
+				return fail("snapshot chunk", err)
 			}
+			c.met.frames.Inc()
+			c.handleSnapChunk(&m)
 		default:
-			err = fmt.Errorf("remote: unknown frame tag %d", tag)
-		}
-		if err != nil {
-			c.fail(err)
-			return
+			c.met.decodeErrs.Inc()
+			return &ProtocolError{Op: "tag", Err: fmt.Errorf("unknown frame tag %d", tag)}
 		}
 	}
 }
 
+// watchFor returns the live (non-terminal) watch for id.
+func (c *Client) watchFor(id uint64) *clientWatch {
+	c.mu.Lock()
+	w := c.watches[id]
+	c.mu.Unlock()
+	if w == nil || w.terminal.Load() {
+		return nil
+	}
+	return w
+}
+
 func (c *Client) deliverBatch(m *eventBatchMsg) {
-	cb := c.callback(m.ID)
-	if cb == nil {
+	w := c.watchFor(m.ID)
+	if w == nil {
 		return
 	}
 	traced := c.tracer.Enabled()
@@ -752,7 +1457,8 @@ func (c *Client) deliverBatch(m *eventBatchMsg) {
 		if traced && ev.Trace != 0 {
 			c.tracer.Record(ev.Trace, trace.StageRemoteDeliver)
 		}
-		cb.OnEvent(ev)
+		w.resume.NoteEvent(ev)
+		w.cb.OnEvent(ev)
 	}
 }
 
@@ -781,50 +1487,208 @@ func (c *Client) handleSnapChunk(m *snapChunk) {
 	acc.ch <- res
 }
 
-// fail tears the client down: every active watch receives a resync telling
-// its consumer to recover through a new client — a connection loss is loss
-// of soft state, nothing more.
-func (c *Client) fail(err error) {
+// connFailed handles the loss of one connection. Exactly one caller per
+// connection transitions the client: either into a reconnect (resume every
+// watch on a fresh connection) or into terminal teardown (resync every
+// watch, fail every snapshot). Later callers and stale connections no-op.
+func (c *Client) connFailed(cc *clientConn, err error) {
+	cc.die()
 	c.mu.Lock()
-	if c.readErr == nil {
-		c.readErr = err
+	if c.cur != cc {
+		c.mu.Unlock()
+		return // stale: a newer connection (or this failure) was already handled
 	}
-	watches := c.watches
-	c.watches = map[uint64]core.WatchCallback{}
+	c.cur = nil
+	c.gen++
+	gen := c.gen
+	closed, draining := c.closed, c.draining
+	reconnect := c.policy.Enabled && !closed && !draining
+	c.mu.Unlock()
+
+	c.met.connLost.Inc()
+	switch {
+	case closed:
+		c.terminate("remote: client closed", ErrClientClosed)
+	case draining:
+		c.terminate("remote: server draining", ErrServerDraining)
+	case !reconnect:
+		c.terminate("remote: connection lost: "+err.Error(), err)
+	default:
+		go c.reconnectLoop(gen, cc.readDone)
+	}
+}
+
+// terminate delivers the terminal teardown exactly once: every non-terminal
+// watch gets a final resync with the given reason, every in-flight snapshot
+// fails, and the client refuses further requests with err. It waits for the
+// last read loop to exit first, so terminal callbacks never race delivery.
+func (c *Client) terminate(reason string, err error) {
+	c.mu.Lock()
+	if c.terminated {
+		c.mu.Unlock()
+		return
+	}
+	c.terminated = true
+	if c.failed == nil {
+		c.failed = err
+	}
+	last := c.lastRead
+	c.mu.Unlock()
+	if last != nil {
+		<-last
+	}
+
+	c.mu.Lock()
+	var watches []*clientWatch
+	for _, w := range c.watches {
+		if !w.terminal.Load() {
+			w.terminal.Store(true)
+			watches = append(watches, w)
+		}
+	}
 	snaps := c.snaps
 	c.snaps = map[uint64]*snapAccum{}
 	c.mu.Unlock()
-	c.met.connLost.Inc()
-	c.met.resyncs.Add(int64(len(watches)))
-	for _, cb := range watches {
-		cb.OnResync(core.ResyncEvent{Range: keyspace.Full(), Reason: "remote: connection lost: " + err.Error()})
+
+	if len(watches) > 0 {
+		c.met.resyncs.Add(int64(len(watches)))
+	}
+	for _, w := range watches {
+		w.cb.OnResync(core.ResyncEvent{Range: w.rng, Reason: reason})
 	}
 	for _, acc := range snaps {
-		close(acc.ch)
+		acc.ch <- snapResult{err: reason}
 	}
 }
 
-func (c *Client) callback(id uint64) core.WatchCallback {
+// reconnectLoop redials with exponential backoff + jitter until the retry
+// budget runs out, then terminates the client. Exactly one loop is active at
+// a time (connFailed spawns it only for the generation it retired), so the
+// jitter source needs no lock. It first waits for the failed connection's
+// read loop to exit, guaranteeing the resume points are final and no two
+// goroutines ever deliver to the same callback.
+func (c *Client) reconnectLoop(gen int, prevRead chan struct{}) {
+	select {
+	case <-prevRead:
+	case <-c.ctx.Done():
+		c.terminate("remote: client closed", ErrClientClosed)
+		return
+	}
+	backoff := c.policy.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		wait := backoff/2 + time.Duration(c.jitter.Int63n(int64(backoff/2)+1))
+		select {
+		case <-c.ctx.Done():
+			c.terminate("remote: client closed", ErrClientClosed)
+			return
+		case <-time.After(wait):
+		}
+		c.mu.Lock()
+		stale := c.closed || c.gen != gen
+		c.mu.Unlock()
+		if stale {
+			return
+		}
+		conn, err := c.dialer(c.addr)
+		if err == nil {
+			if err = c.resume(gen, conn); err == nil {
+				return
+			}
+			conn.Close()
+		}
+		c.met.reconnectFails.Inc()
+		if c.policy.MaxAttempts >= 0 && attempt >= c.policy.MaxAttempts {
+			c.terminate(
+				fmt.Sprintf("remote: connection lost; reconnect gave up after %d attempts: %v", attempt, err),
+				fmt.Errorf("%w after %d attempts: %v", ErrReconnectBudget, attempt, err))
+			return
+		}
+		if backoff *= 2; backoff > c.policy.MaxBackoff {
+			backoff = c.policy.MaxBackoff
+		}
+	}
+}
+
+// resume installs conn as the new current connection and re-establishes the
+// client's logical state on it: hello, then every live watch from its resume
+// point, then every pending snapshot from scratch. Watch IDs are reused, so
+// server-side multiplexing, client metrics and trace stages all continue as
+// if the connection had never dropped.
+func (c *Client) resume(gen int, conn net.Conn) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.watches[id]
-}
+	if c.closed || c.gen != gen {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.gen++
+	cc := &clientConn{
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 4<<10),
+		gen:      c.gen,
+		done:     make(chan struct{}),
+		readDone: make(chan struct{}),
+	}
+	cc.enc = gob.NewEncoder(cc.bw)
+	c.cur = cc
+	c.lastRead = cc.readDone
+	gen = c.gen
+	var watches []*clientWatch
+	for _, w := range c.watches {
+		if !w.terminal.Load() {
+			watches = append(watches, w)
+		}
+	}
+	var snaps []*snapAccum
+	snapIDs := make([]uint64, 0, len(c.snaps))
+	for id, acc := range c.snaps {
+		acc.entries = nil // restart accumulation: the old stream died mid-way
+		acc.at = 0
+		snaps = append(snaps, acc)
+		snapIDs = append(snapIDs, id)
+	}
+	c.mu.Unlock()
 
-// send encodes one request and flushes immediately: client→server traffic is
-// sparse control flow, not the hot path.
-func (c *Client) send(tag uint8, payload any) error {
-	c.encMu.Lock()
-	defer c.encMu.Unlock()
-	if err := c.enc.Encode(tag); err != nil {
+	if err := c.handshake(cc); err != nil {
+		c.dropConn(cc)
 		return err
 	}
-	if err := c.enc.Encode(payload); err != nil {
-		return err
+	for _, w := range watches {
+		from := w.resume.Version()
+		if err := c.sendOn(cc, tagWatch, &watchReq{ID: w.id, Low: w.rng.Low, High: w.rng.High, From: from}); err != nil {
+			c.dropConn(cc)
+			return err
+		}
+		c.met.resumedWatches.Inc()
 	}
-	return c.bw.Flush()
+	for i, acc := range snaps {
+		if err := c.sendOn(cc, tagSnapshot, &snapshotReq{ID: snapIDs[i], Low: acc.rng.Low, High: acc.rng.High}); err != nil {
+			c.dropConn(cc)
+			return err
+		}
+	}
+	c.met.reconnects.Inc()
+	c.startConn(cc)
+	return nil
 }
 
-// Watch implements core.Watchable over the wire.
+// dropConn retires a connection that failed during resume, before its read
+// loop ever started: the caller (the reconnect loop) keeps driving recovery.
+func (c *Client) dropConn(cc *clientConn) {
+	cc.die()
+	close(cc.readDone)
+	c.mu.Lock()
+	if c.cur == cc {
+		c.cur = nil
+		c.gen++
+	}
+	c.mu.Unlock()
+}
+
+// Watch implements core.Watchable over the wire. With reconnection enabled
+// the watch survives connection loss transparently (resuming from its last
+// delivered/progress version); it fails over to an explicit resync only when
+// the server cannot supply the gap, the reconnect budget runs out, or the
+// server drains.
 func (c *Client) Watch(r keyspace.Range, from core.Version, cb core.WatchCallback) (core.Cancel, error) {
 	if cb == nil {
 		return nil, fmt.Errorf("%w: nil callback", core.ErrBadWatch)
@@ -837,49 +1701,81 @@ func (c *Client) Watch(r keyspace.Range, from core.Version, cb core.WatchCallbac
 		c.mu.Unlock()
 		return nil, ErrClientClosed
 	}
-	c.nextID++
-	id := c.nextID
-	c.watches[id] = cb
-	c.mu.Unlock()
-
-	if err := c.send(tagWatch, &watchReq{ID: id, Low: r.Low, High: r.High, From: from}); err != nil {
-		c.mu.Lock()
-		delete(c.watches, id)
+	if c.failed != nil {
+		err := c.failed
 		c.mu.Unlock()
 		return nil, fmt.Errorf("remote: watch: %w", err)
 	}
+	c.nextID++
+	id := c.nextID
+	w := &clientWatch{id: id, rng: r, cb: cb}
+	w.resume.Reset(from)
+	c.watches[id] = w
+	cc := c.cur
+	c.mu.Unlock()
+
+	if cc != nil {
+		if err := c.sendOn(cc, tagWatch, &watchReq{ID: id, Low: r.Low, High: r.High, From: from}); err != nil {
+			if !c.policy.Enabled {
+				c.mu.Lock()
+				delete(c.watches, id)
+				c.mu.Unlock()
+				return nil, fmt.Errorf("remote: watch: %w", err)
+			}
+			// The connection is dying; the reconnect path re-establishes
+			// this watch along with the rest.
+			c.connFailed(cc, err)
+		}
+	}
+	// cc == nil: a reconnect is in flight and will establish the watch.
 	c.met.watches.Inc()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			c.mu.Lock()
 			delete(c.watches, id)
+			cc := c.cur
 			c.mu.Unlock()
-			_ = c.send(tagCancel, &cancelReq{ID: id})
+			if cc != nil {
+				_ = c.sendOn(cc, tagCancel, &cancelReq{ID: id})
+			}
 		})
 	}, nil
 }
 
 // SnapshotRange implements core.Snapshotter over the wire: the recovery read
 // travels through the same connection, so a consumer needs only the client.
-// The response arrives as bounded chunks reassembled here.
+// The response arrives as bounded chunks reassembled here. With reconnection
+// enabled the request is re-issued on a fresh connection if the current one
+// dies mid-stream; it fails only on terminal client failure.
 func (c *Client) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, error) {
-	acc := &snapAccum{ch: make(chan snapResult, 1)}
+	acc := &snapAccum{rng: r, ch: make(chan snapResult, 1)}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, 0, ErrClientClosed
 	}
+	if c.failed != nil {
+		err := c.failed
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("remote: snapshot: %w", err)
+	}
 	c.nextID++
 	id := c.nextID
 	c.snaps[id] = acc
+	cc := c.cur
 	c.mu.Unlock()
 
-	if err := c.send(tagSnapshot, &snapshotReq{ID: id, Low: r.Low, High: r.High}); err != nil {
-		c.mu.Lock()
-		delete(c.snaps, id)
-		c.mu.Unlock()
-		return nil, 0, fmt.Errorf("remote: snapshot: %w", err)
+	if cc != nil {
+		if err := c.sendOn(cc, tagSnapshot, &snapshotReq{ID: id, Low: r.Low, High: r.High}); err != nil {
+			if !c.policy.Enabled {
+				c.mu.Lock()
+				delete(c.snaps, id)
+				c.mu.Unlock()
+				return nil, 0, fmt.Errorf("remote: snapshot: %w", err)
+			}
+			c.connFailed(cc, err)
+		}
 	}
 	c.met.snapshots.Inc()
 	res, ok := <-acc.ch
@@ -892,7 +1788,10 @@ func (c *Client) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, er
 	return res.entries, res.at, nil
 }
 
-// Close drops the connection; active watches receive a final resync.
+// Close drops the connection and stops any reconnect in flight; active
+// watches receive a final resync. Safe to call at any point, including
+// mid-dial and mid-decode: the read loop owns delivery until it exits, and
+// the terminal callbacks run only after it has.
 func (c *Client) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -900,6 +1799,15 @@ func (c *Client) Close() {
 		return
 	}
 	c.closed = true
+	cc := c.cur
 	c.mu.Unlock()
-	c.conn.Close()
+	c.cancelCtx()
+	if cc != nil {
+		cc.die() // the read loop fails next and routes into terminate
+	} else {
+		// Disconnected (reconnect was in flight): nothing will fail on our
+		// behalf, deliver the terminal teardown directly.
+		c.met.connLost.Inc()
+		c.terminate("remote: client closed", ErrClientClosed)
+	}
 }

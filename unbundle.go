@@ -238,6 +238,14 @@ type (
 	WatchServerConfig = remote.ServerConfig
 	// WatchClientConfig wires metrics and tracing into a WatchClient.
 	WatchClientConfig = remote.ClientConfig
+	// ReconnectPolicy enables client auto-reconnect with backoff
+	// (WatchClientConfig.Reconnect); watches resume from the last delivered
+	// version, falling back to an explicit resync when retention can't cover
+	// the gap.
+	ReconnectPolicy = remote.ReconnectPolicy
+	// WatchConnInfo describes one live server connection (WatchServer.Conns,
+	// the debug server's /conns endpoint).
+	WatchConnInfo = remote.ConnInfo
 )
 
 // NewShardedHub creates a watch system of n range-partitioned shards.
@@ -270,6 +278,17 @@ func ServeWatchWith(addr string, w Watchable, s Snapshotter, cfg WatchServerConf
 func DialWatchWith(addr string, cfg WatchClientConfig) (*WatchClient, error) {
 	return remote.DialWith(addr, cfg)
 }
+
+// Sentinel errors from the remote watch transport, for errors.Is against the
+// terminal-resync reasons and Watch/SnapshotRange failures.
+var (
+	// ErrWatchClientClosed: the client was closed locally.
+	ErrWatchClientClosed = remote.ErrClientClosed
+	// ErrWatchServerDraining: the server announced a graceful shutdown.
+	ErrWatchServerDraining = remote.ErrServerDraining
+	// ErrWatchReconnectBudget: auto-reconnect exhausted its retry budget.
+	ErrWatchReconnectBudget = remote.ErrReconnectBudget
+)
 
 // Observability (see internal/metrics): every subsystem records named
 // counters, gauges and histograms into a registry — either one passed via
