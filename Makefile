@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-remote chaos traceguard verify clean
+.PHONY: build test race vet bench bench-remote bench-replay bench-diff chaos traceguard verify clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,25 @@ BENCH_REMOTE = 'BenchmarkRemoteFanout8$$|BenchmarkRemoteFanout64$$|BenchmarkRemo
 bench-remote:
 	$(GO) test -run XXX -bench $(BENCH_REMOTE) -benchmem -count=5 ./internal/remote > bench_remote_raw.txt
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -in bench_remote_raw.txt -out BENCH_remote.json
+
+# bench-replay records the catch-up path: full-window replay plus the
+# resume-storm scaling benchmarks (64/256/512 watchers reconnecting at once),
+# medians-of-5 folded into BENCH_hub.json under REPLAY_LABEL. -merge adds the
+# records to the label's entry without clobbering what `make bench` wrote
+# there.
+REPLAY_LABEL ?= post-segments
+BENCH_REPLAY = 'BenchmarkHubWatchReplay$$|BenchmarkHubResumeStorm64$$|BenchmarkHubResumeStorm256$$|BenchmarkHubResumeStorm512$$'
+
+bench-replay:
+	$(GO) test -run XXX -bench $(BENCH_REPLAY) -benchmem -count=5 ./internal/core > bench_replay_raw.txt
+	$(GO) run ./cmd/benchjson -label $(REPLAY_LABEL) -merge -in bench_replay_raw.txt -out BENCH_hub.json
+
+# bench-diff compares the two most recent labeled runs in BENCH_hub.json,
+# printing per-benchmark ns/op, B/op and allocs/op deltas, and fails above a
+# 10% ns/op regression — run it after `make bench BENCH_LABEL=<new>` to gate
+# a change against the previous label.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff BENCH_hub.json
 
 # chaos runs the transport fault-injection suite under the race detector:
 # heartbeat-detected half-open connections, repeated severs with resume,

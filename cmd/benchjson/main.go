@@ -7,6 +7,20 @@
 //
 //	go test -run XXX -bench 'Hub|Store|WatchEndToEnd' -benchmem -count=5 . > bench_raw.txt
 //	go run ./cmd/benchjson -label post-sharding -in bench_raw.txt -out BENCH_hub.json
+//
+// With -merge, a re-run of a label folds its benchmarks into the label's
+// existing entry by name instead of replacing the whole entry — how targeted
+// benchmark sets (`make bench-replay`) add records to a label the full
+// `make bench` also writes.
+//
+// With -diff, benchjson compares the two most recent runs in a trajectory
+// file instead of ingesting raw output:
+//
+//	go run ./cmd/benchjson -diff BENCH_hub.json
+//
+// It prints per-benchmark deltas for ns/op, B/op and allocs/op, and exits
+// nonzero when any benchmark's ns/op regressed by more than -threshold
+// (default 10%) — the `make bench-diff` regression gate.
 package main
 
 import (
@@ -61,7 +75,17 @@ func main() {
 	label := flag.String("label", "", "label for this run (required), e.g. pre-sharding")
 	in := flag.String("in", "", "raw `go test -bench` output file (default stdin)")
 	out := flag.String("out", "BENCH_hub.json", "JSON file to merge the run into")
+	merge := flag.Bool("merge", false, "fold benchmarks into an existing label entry by name instead of replacing it")
+	diff := flag.Bool("diff", false, "compare the two most recent runs in a trajectory file (positional arg, default -out) and exit nonzero on regression")
+	threshold := flag.Float64("threshold", 0.10, "with -diff: maximum tolerated fractional ns/op regression")
 	flag.Parse()
+	if *diff {
+		path := *out
+		if flag.NArg() > 0 {
+			path = flag.Arg(0)
+		}
+		os.Exit(runDiff(path, *threshold))
+	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
 		os.Exit(2)
@@ -160,7 +184,11 @@ func main() {
 	replaced := false
 	for i := range doc.Runs {
 		if doc.Runs[i].Label == run.Label {
-			doc.Runs[i] = run
+			if *merge {
+				doc.Runs[i] = mergeRuns(doc.Runs[i], run)
+			} else {
+				doc.Runs[i] = run
+			}
 			replaced = true
 			break
 		}
@@ -176,6 +204,95 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks under label %q to %s\n", len(run.Benchmarks), run.Label, *out)
+}
+
+// mergeRuns folds fresh benchmarks into an existing label entry: records are
+// replaced by name, new names append, and everything else the old entry
+// holds is kept.
+func mergeRuns(old, fresh Run) Run {
+	merged := old
+	if fresh.CPU != "" {
+		merged.CPU = fresh.CPU
+	}
+	if fresh.GoMaxProcs != 0 {
+		merged.GoMaxProcs = fresh.GoMaxProcs
+	}
+	merged.Benchmarks = append([]Benchmark(nil), old.Benchmarks...)
+	for _, b := range fresh.Benchmarks {
+		replaced := false
+		for i := range merged.Benchmarks {
+			if merged.Benchmarks[i].Name == b.Name {
+				merged.Benchmarks[i] = b
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged.Benchmarks = append(merged.Benchmarks, b)
+		}
+	}
+	return merged
+}
+
+// runDiff compares the two most recent runs in the trajectory file at path,
+// printing per-benchmark deltas, and returns the process exit code: 0 when
+// every shared benchmark's ns/op stayed within threshold, 1 otherwise.
+func runDiff(path string, threshold float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(doc.Runs) < 2 {
+		fatal(fmt.Errorf("%s: need at least two runs to diff, have %d", path, len(doc.Runs)))
+	}
+	old, fresh := doc.Runs[len(doc.Runs)-2], doc.Runs[len(doc.Runs)-1]
+	fmt.Printf("benchjson: %s: %q → %q\n", path, old.Label, fresh.Label)
+
+	byName := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		byName[b.Name] = b
+	}
+	pct := func(from, to float64) string {
+		if from == 0 {
+			return "   n/a"
+		}
+		return fmt.Sprintf("%+6.1f%%", (to-from)/from*100)
+	}
+	worst, worstName := 0.0, ""
+	for _, b := range fresh.Benchmarks {
+		o, ok := byName[b.Name]
+		if !ok {
+			fmt.Printf("  %-28s (new in %q)\n", b.Name, fresh.Label)
+			continue
+		}
+		delete(byName, b.Name)
+		fmt.Printf("  %-28s ns/op %12.1f → %12.1f %s   B/op %10.0f → %10.0f %s   allocs %6.0f → %6.0f %s\n",
+			b.Name,
+			o.NsPerOp, b.NsPerOp, pct(o.NsPerOp, b.NsPerOp),
+			o.BytesPerOp, b.BytesPerOp, pct(o.BytesPerOp, b.BytesPerOp),
+			o.AllocsPerOp, b.AllocsPerOp, pct(o.AllocsPerOp, b.AllocsPerOp))
+		if o.NsPerOp > 0 {
+			if d := (b.NsPerOp - o.NsPerOp) / o.NsPerOp; d > worst {
+				worst, worstName = d, b.Name
+			}
+		}
+	}
+	for _, b := range old.Benchmarks {
+		if _, dropped := byName[b.Name]; dropped {
+			fmt.Printf("  %-28s (only in %q)\n", b.Name, old.Label)
+		}
+	}
+	if worst > threshold {
+		fmt.Printf("benchjson: FAIL — %s regressed %+.1f%% ns/op (threshold %+.1f%%)\n",
+			worstName, worst*100, threshold*100)
+		return 1
+	}
+	fmt.Printf("benchjson: ok — worst ns/op regression %+.1f%% (threshold %+.1f%%)\n", worst*100, threshold*100)
+	return 0
 }
 
 func median(vals []float64) float64 {

@@ -137,9 +137,12 @@ type WatchCallback interface {
 // events in one synchronized step. Semantics are otherwise identical to
 // per-event delivery: events arrive in enqueue order, per-key version order
 // holds within and across batches, and progress/resync callbacks interleave
-// at their queued positions. The callee must not retain evs (or the slice's
-// backing array) after returning — the dispatcher reuses it; the event
-// *values* (including Mutation.Value bytes) may be retained as usual.
+// at their queued positions. The callee must not retain or mutate evs (or
+// the slice's backing array) after returning — a live drain's array is
+// reused by the dispatcher, and a catch-up replay's is a view of sealed
+// retention history shared read-only with every other replaying watcher;
+// the event *values* (including Mutation.Value bytes) may be retained as
+// usual.
 type EventBatchCallback interface {
 	OnEventBatch(evs []ChangeEvent)
 }
@@ -182,7 +185,10 @@ type Cancel func()
 // Semantics: the stream contains every change event with version > from for
 // keys in r, in per-key version order, unless a resync intervenes. Watching
 // from a version older than retained history yields an immediate resync, not
-// silent truncation.
+// silent truncation. Catch-up replay of retained history is not performed
+// inside the Watch call: Watch pins the covering history and returns, and
+// the replay streams to cb on the watch's own delivery goroutine, ahead of
+// any live events.
 type Watchable interface {
 	Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, error)
 }

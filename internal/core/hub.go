@@ -65,9 +65,18 @@ type hubMetrics struct {
 	// "would have been a silent drop" that the watch contract converts into
 	// an explicit resync.
 	appendOverflow, progressOverflow, replayOverflow *metrics.Counter
-	appendLatency                                    *metrics.Histogram
+	// replayEvents counts change events delivered through the catch-up
+	// (retained-history) stream, as opposed to the live fanout; replayLatency
+	// observes one whole-watch replay stream each.
+	replayEvents  *metrics.Counter
+	appendLatency *metrics.Histogram
+	replayLatency *metrics.Histogram
 	queueHighwater                                   *metrics.Gauge
 	watchers, retained                               *metrics.Gauge
+	// sealedSegments/sealedBytes track the immutable portion of the
+	// retention windows: how many sealed segments the shards hold and their
+	// approximate payload footprint.
+	sealedSegments, sealedBytes *metrics.Gauge
 }
 
 func newHubMetrics(reg *metrics.Registry) hubMetrics {
@@ -81,10 +90,14 @@ func newHubMetrics(reg *metrics.Registry) hubMetrics {
 		appendOverflow:   reg.Counter("core_hub_append_overflow_total"),
 		progressOverflow: reg.Counter("core_hub_progress_overflow_total"),
 		replayOverflow:   reg.Counter("core_hub_replay_overflow_total"),
+		replayEvents:     reg.Counter("core_hub_replay_events_total"),
 		appendLatency:    reg.Histogram("core_hub_append_latency_ns"),
+		replayLatency:    reg.Histogram("core_hub_replay_latency_ns"),
 		queueHighwater:   reg.Gauge("core_hub_watcher_queue_highwater"),
 		watchers:         reg.Gauge("core_hub_watchers"),
 		retained:         reg.Gauge("core_hub_retained_events"),
+		sealedSegments:   reg.Gauge("core_hub_sealed_segments"),
+		sealedBytes:      reg.Gauge("core_hub_sealed_segment_bytes"),
 	}
 }
 
@@ -156,6 +169,10 @@ type Hub struct {
 	lows   []keyspace.Key // shard lower bounds, ascending (lows[0] == "")
 	shards []*hubShard
 
+	// segPool recycles retention-segment arrays across all shards; the
+	// per-segment event capacity is fixed at construction from Retention.
+	segPool segPool
+
 	regMu    sync.Mutex // watcher lifecycle: Watch, cancel, Wipe, Close
 	closed   bool
 	watchers map[int64]*hubWatcher
@@ -172,12 +189,13 @@ type hubShard struct {
 	mu     sync.Mutex
 	closed bool
 
-	// Retained window: a circular buffer in arrival order. The backing array
-	// grows geometrically up to Retention and is then reused in place, so a
-	// steady-state append writes one slot and allocates nothing.
-	win   []ChangeEvent
-	start int // index of the oldest retained event
-	count int
+	// Retained window: a chain of segments in arrival order. All but the
+	// last are sealed — immutable and shared zero-copy with replaying
+	// watchers; the last is the active tail, the only part of the window a
+	// live append mutates. Steady state recycles arrays through the hub's
+	// segment pool, so an append writes one slot and allocates nothing.
+	segs  []*segment
+	count int // retained events, summed over the chain
 
 	evicted  atomic.Uint64 // max version among evicted events (read cross-shard)
 	maxSeen  atomic.Uint64 // max version ever appended here (read cross-shard)
@@ -187,6 +205,15 @@ type hubShard struct {
 	progSet  map[int64]struct{}    // reusable dedupe set for progress fanout
 
 	appends, evictions, delivered int64
+}
+
+// tailLocked returns the shard's active tail segment, opening the chain's
+// first segment on demand. Caller holds s.mu.
+func (s *hubShard) tailLocked(h *Hub) *segment {
+	if len(s.segs) == 0 {
+		s.segs = append(s.segs, h.segPool.get())
+	}
+	return s.segs[len(s.segs)-1]
 }
 
 var (
@@ -207,6 +234,7 @@ func NewHub(cfg HubConfig) *Hub {
 		clock:    clock,
 		tracer:   cfg.Tracer,
 		watchers: make(map[int64]*hubWatcher),
+		segPool:  segPool{size: segSizeFor(cfg.Retention)},
 	}
 	for _, r := range keyspace.EvenSplit(cfg.Shards*1000, cfg.Shards) {
 		h.lows = append(h.lows, r.Low)
@@ -335,40 +363,37 @@ func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 	if v := uint64(ev.Version); v > s.maxSeen.Load() {
 		s.maxSeen.Store(v)
 	}
-	// Window insert with FIFO eviction beyond the per-shard retention.
-	if s.count >= h.cfg.Retention {
-		old := &s.win[s.start]
-		if v := uint64(old.Version); v > s.evicted.Load() {
+	// FIFO eviction beyond the per-shard retention: advance the oldest
+	// segment's trim one event at a time (exact per-event accounting) and
+	// drop the segment once fully consumed. A pinned replay view keeps a
+	// dropped array alive — and readable — until it releases its reference.
+	if s.count >= h.cfg.Retention && len(s.segs) > 0 {
+		oldest := s.segs[0]
+		if v := uint64(oldest.evs[oldest.trim].Version); v > s.evicted.Load() {
 			s.evicted.Store(v)
 		}
-		if s.start++; s.start == len(s.win) {
-			s.start = 0
-		}
+		oldest.trim++
 		s.count--
 		s.evictions++
 		fx.evictions++
 		fx.retained--
-	} else if s.count == len(s.win) {
-		// Grow geometrically toward the retention bound.
-		newCap := len(s.win) * 2
-		if newCap < ringMinCap {
-			newCap = ringMinCap
+		if oldest.sealed && oldest.trim == len(oldest.evs) {
+			s.segs[0] = nil
+			s.segs = s.segs[1:]
+			h.met.sealedSegments.Add(-1)
+			h.met.sealedBytes.Add(-oldest.bytes)
+			oldest.release(&h.segPool)
 		}
-		if newCap > h.cfg.Retention {
-			newCap = h.cfg.Retention
-		}
-		nw := make([]ChangeEvent, newCap)
-		for i := 0; i < s.count; i++ {
-			nw[i] = s.win[(s.start+i)%len(s.win)]
-		}
-		s.win = nw
-		s.start = 0
 	}
-	pos := s.start + s.count
-	if pos >= len(s.win) {
-		pos -= len(s.win)
+	tail := s.tailLocked(h)
+	if tail.full() {
+		tail.seal()
+		h.met.sealedSegments.Add(1)
+		h.met.sealedBytes.Add(tail.bytes)
+		tail = h.segPool.get()
+		s.segs = append(s.segs, tail)
 	}
-	s.win[pos] = ev
+	tail.push(ev)
 	s.count++
 	fx.retained++
 	if ev.Trace != 0 {
@@ -526,9 +551,12 @@ func (h *Hub) Progress(p ProgressEvent) error {
 }
 
 // Watch implements Watchable. The watcher registers in every shard its range
-// overlaps; each shard replays its slice of the retained window (batch-copied
-// into the watcher's queue under the shard lock, so registration and replay
-// are atomic per shard) and then feeds the live stream.
+// overlaps; each shard does O(segments) work under its lock — pin the
+// retention chain's segments and record the cut version — and the watcher's
+// dispatch goroutine then streams the replay outside every lock, zero-copy
+// from the pinned arrays, before falling into the live stream. Registration
+// and the replay snapshot are atomic per shard: an append that ran before
+// registration is in the snapshot, one that ran after is enqueued live.
 func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, error) {
 	if cb == nil {
 		return nil, fmt.Errorf("%w: nil callback", ErrBadWatch)
@@ -546,9 +574,8 @@ func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, e
 	h.watchers[w.id] = w
 
 	var fx ingestFx
-	var scratch []item // replay batch, reused across this watch's shards
+	var marks []item // frontier marks, reused across this watch's shards
 	failReason := ""
-	replayOverflowed := false
 	for _, s := range h.shards {
 		clip := r.Intersect(s.rng)
 		if clip.Empty() {
@@ -565,63 +592,34 @@ func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, e
 		}
 		s.index.add(w.id, clip)
 		s.watchers[w.id] = w
-		// Replay the shard's retained window (arrival order preserves
-		// per-key version order) as one batch-copy into the queue, then the
-		// watcher rides the live stream. A replay larger than the watcher's
-		// buffer lags it out with a resync — the truncated stream a silent
-		// drop would leave behind is precisely the gapped delivery the
-		// contract forbids.
-		scratch = scratch[:0]
-		events := 0
-		scan := func(part []ChangeEvent) {
-			for i := range part {
-				ev := &part[i]
-				if ev.Version > from && clip.Contains(ev.Key) {
-					scratch = append(scratch, item{kind: kindEvent, ev: *ev})
-					events++
-				}
-			}
-		}
-		head := s.win[s.start:]
-		if len(head) > s.count {
-			head = head[:s.count]
-		}
-		scan(head)
-		if rest := s.count - len(head); rest > 0 {
-			scan(s.win[:rest])
-		}
+		// Pin the shard's retention chain for off-lock replay (arrival order
+		// preserves per-key version order). The events are not copied here:
+		// the dispatch goroutine streams them straight out of the pinned
+		// segment arrays, and a replay larger than the watcher's buffer lags
+		// it out with a resync there — the truncated stream a silent drop
+		// would leave behind is precisely the gapped delivery the contract
+		// forbids.
+		w.replay = s.snapshotReplayLocked(w.replay, clip, from)
 		// Tell the watcher the current frontier over its range so it can
 		// establish knowledge without waiting for the next progress tick.
+		// The marks ride the ring, which drains only after the replay stream
+		// finishes, so no claim outruns the replayed events it covers.
+		marks = marks[:0]
 		for _, seg := range s.frontier.Segments() {
 			fc := seg.Range.Intersect(clip)
 			if fc.Empty() {
 				continue
 			}
-			scratch = append(scratch, item{kind: kindProgress, prog: ProgressEvent{Range: fc, Version: seg.Version}})
+			marks = append(marks, item{kind: kindProgress, prog: ProgressEvent{Range: fc, Version: seg.Version}})
 		}
-		accepted, ok := w.q.enqueueBatch(scratch)
-		if delivered := min(accepted, events); delivered > 0 {
-			s.delivered += int64(delivered)
-			fx.delivered += int64(delivered)
-		}
-		if h.tracer.Enabled() {
-			for i := 0; i < accepted; i++ {
-				if it := &scratch[i]; it.kind == kindEvent && it.ev.Trace != 0 {
-					h.tracer.Record(it.ev.Trace, trace.StageEnqueue)
-				}
-			}
-		}
+		_, ok := w.q.enqueueBatch(marks)
 		s.mu.Unlock()
 		if !ok {
 			failReason = "retained-window replay exceeds watcher buffer"
-			replayOverflowed = true
 			break
 		}
 	}
 	if failReason != "" {
-		if replayOverflowed {
-			h.met.replayOverflow.Inc()
-		}
 		h.lagOutLocked(w, nil, failReason, &fx)
 	}
 	h.met.watchers.Set(int64(len(h.watchers)))
@@ -667,8 +665,15 @@ func (h *Hub) Wipe() {
 		s.mu.Lock()
 	}
 	for _, s := range h.shards {
-		s.win = nil
-		s.start, s.count = 0, 0
+		for _, g := range s.segs {
+			if g.sealed {
+				h.met.sealedSegments.Add(-1)
+				h.met.sealedBytes.Add(-g.bytes)
+			}
+			g.release(&h.segPool)
+		}
+		s.segs = nil
+		s.count = 0
 		s.evicted.Store(s.maxSeen.Load())
 		s.frontier = VersionMap{}
 	}
@@ -768,6 +773,11 @@ type hubWatcher struct {
 	batchCB EventBatchCallback
 	q       *ring
 
+	// replay is the pinned retained-history snapshot assembled at
+	// registration: segment views this watcher's dispatch goroutine streams
+	// (and releases) exactly once, before entering the live drain loop.
+	replay []segView
+
 	// lagged marks that the hub has stopped feeding this watcher; the only
 	// remaining delivery is the resync already queued. It is a fast-path
 	// filter — the ring's own state is what makes the cut-over atomic.
@@ -796,6 +806,10 @@ func newHubWatcher(h *Hub, id int64, r keyspace.Range, from Version, cb WatchCal
 // untouched); otherwise events dispatch one OnEvent at a time. The queue
 // highwater gauge is published here, off the ingest path.
 func (w *hubWatcher) run() {
+	// Stream the pinned retained-history snapshot first: the ring holds only
+	// frontier marks and live events enqueued after registration, so the
+	// catch-up prefix lands before anything the live stream produced.
+	w.runReplay()
 	var buf []item
 	var evs []ChangeEvent // batch hand-off scratch, reused across drains
 	for {

@@ -11,7 +11,11 @@ import "sync/atomic"
 // gap since then is still coverable, lagging the watcher out with a resync
 // if it is not. This is the client half of the paper's recovery contract:
 // the resume point says where delivery provably reached, the resync says
-// when that point has fallen off the retained window.
+// when that point has fallen off the retained window. The hub keeps the
+// server half cheap even when many points resume at once: re-registering a
+// watch pins sealed retention segments by reference and replays them off
+// the ingest locks, so a reconnect storm costs O(segments) lock work per
+// watch, not O(backlog) (see BenchmarkHubResumeStorm*).
 //
 // All methods are safe for concurrent use; advancement is monotonic (a
 // stale note never moves the point backward). Reset is the one exception —

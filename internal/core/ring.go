@@ -17,8 +17,10 @@ const (
 )
 
 // item is one queued delivery for a watcher. Items are held by value: the
-// retained-window replay and the live fanout both copy events straight into
-// ring slots, so delivery costs no per-event heap allocation.
+// live fanout copies events straight into ring slots, so delivery costs no
+// per-event heap allocation. (Retained-window replay does not pass through
+// the ring at all — it streams zero-copy from pinned retention segments
+// before the dispatch goroutine starts draining; see runReplay.)
 type item struct {
 	kind   itemKind
 	ev     ChangeEvent

@@ -85,6 +85,12 @@ type Store struct {
 	// Ingesters must not retain the slices (the AppendBatch contract).
 	batch, sub []core.ChangeEvent
 
+	// tx is the transaction scratch, reused across Commit calls under mu:
+	// the write map and order slice are cleared in place rather than
+	// reallocated, so a steady-state commit's only allocations are the
+	// value copies the transaction itself makes.
+	tx Tx
+
 	// tracer, when non-nil, samples committed events at the source: the
 	// commit under mu is this store's StageCommit instant.
 	tracer *trace.Tracer
@@ -114,7 +120,9 @@ func (s *Store) SetTracer(t *trace.Tracer) {
 
 // Tx is an open transaction. It provides read-your-writes semantics over the
 // store's latest state; all writes commit atomically at a single version.
-// Transactions are serializable: the store runs one writer at a time.
+// Transactions are serializable: the store runs one writer at a time. A Tx
+// is valid only inside its Commit callback — the store reuses the underlying
+// scratch for the next transaction, so callers must not retain it.
 type Tx struct {
 	s      *Store
 	writes map[keyspace.Key]core.Mutation
@@ -162,7 +170,14 @@ func (tx *Tx) Delete(k keyspace.Key) {
 func (s *Store) Commit(fn func(tx *Tx) error) (core.Version, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tx := &Tx{s: s, writes: make(map[keyspace.Key]core.Mutation)}
+	tx := &s.tx
+	tx.s = s
+	if tx.writes == nil {
+		tx.writes = make(map[keyspace.Key]core.Mutation)
+	} else {
+		clear(tx.writes)
+	}
+	tx.order = tx.order[:0]
 	if err := fn(tx); err != nil {
 		return core.NoVersion, fmt.Errorf("%w: %v", ErrTxnAborted, err)
 	}

@@ -1,0 +1,95 @@
+package remote
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+)
+
+// benchRemoteResumeStorm measures the server-side cost of a reconnect storm
+// over the wire: `watchers` remote watches (re-)register at once, every one
+// resuming from the same cut with a 1024-event backlog in the hub's
+// retention — the load PR 5's auto-reconnect generates after a network blip.
+// Each server-side Watch is O(segments) under the shard locks and the replay
+// streams on the watch's dispatch goroutine straight into the connection's
+// outbound queue, so the wire path sees the same batched frames a live drain
+// produces. Watches are spread four per connection, keeping each
+// connection's worst-case queued backlog well inside the server's outbound
+// bound so no storm ends in an overflow resync.
+func benchRemoteResumeStorm(b *testing.B, watchers int) {
+	const window = 1 << 13
+	const backlog = 1024
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Retention: window, WatcherBuffer: window, Metrics: reg})
+	defer hub.Close()
+	val := []byte("0123456789abcdef")
+	for i := 1; i <= window; i++ {
+		if err := hub.Append(core.ChangeEvent{
+			Key:     keyspace.NumericKey(i % 1024),
+			Mut:     core.Mutation{Op: core.OpPut, Value: val},
+			Version: core.Version(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	const perConn = 4
+	conns := make([]*Client, watchers/perConn)
+	for i := range conns {
+		c, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	from := core.Version(window - backlog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		var seen atomic.Int64
+		cancels := make([]core.Cancel, watchers)
+		var wg sync.WaitGroup
+		for wi := 0; wi < watchers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				cancel, err := conns[wi/perConn].Watch(keyspace.Full(), from, core.Funcs{
+					Event: func(core.ChangeEvent) { seen.Add(1) },
+					Resync: func(r core.ResyncEvent) {
+						panic("remote resume storm: unexpected resync: " + r.Reason)
+					},
+				})
+				if err != nil {
+					panic(err)
+				}
+				cancels[wi] = cancel
+			}(wi)
+		}
+		wg.Wait()
+		target := int64(watchers) * backlog
+		for seen.Load() < target {
+			time.Sleep(50 * time.Microsecond)
+		}
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*watchers), "ns/watcher")
+	b.ReportMetric(backlog, "events/watcher")
+}
+
+func BenchmarkRemoteResumeStorm64(b *testing.B)  { benchRemoteResumeStorm(b, 64) }
+func BenchmarkRemoteResumeStorm256(b *testing.B) { benchRemoteResumeStorm(b, 256) }

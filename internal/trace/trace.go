@@ -20,8 +20,11 @@
 //
 // The tracer aggregates per-stage latencies into registry histograms
 // (trace_commit_to_append_ns, trace_append_to_enqueue_ns,
-// trace_enqueue_to_deliver_ns, trace_e2e_ns), so even with sampling the
-// operator plane gets pipeline latency distributions for free.
+// trace_append_to_replay_ns, trace_enqueue_to_deliver_ns, trace_e2e_ns), so
+// even with sampling the operator plane gets pipeline latency distributions
+// for free. Replay (catch-up streaming from retained history at watch
+// registration) is a stage of its own, parallel to enqueue: an event enters
+// delivery by one path or the other, and Complete accepts either.
 package trace
 
 import (
@@ -51,6 +54,13 @@ const (
 	// StageEnqueue is acceptance into a watcher's delivery queue (or the
 	// consumer-visible fetch, for the pull-based pubsub baseline).
 	StageEnqueue
+	// StageReplay is hand-off into a watcher's catch-up stream: the event was
+	// retained history at watch registration and is being re-streamed from a
+	// sealed retention segment rather than enqueued live. Enqueue and replay
+	// are alternative entries into delivery — a complete trace carries at
+	// least one of the two (both, when a resume re-streams an event that was
+	// once enqueued live for the same watch ID).
+	StageReplay
 	// StageDeliver is the consumer seeing the event: watch callback invoked,
 	// or Poll returning the message.
 	StageDeliver
@@ -80,6 +90,8 @@ func (s Stage) String() string {
 		return "append"
 	case StageEnqueue:
 		return "enqueue"
+	case StageReplay:
+		return "replay"
 	case StageDeliver:
 		return "deliver"
 	case StageRemoteEnqueue:
@@ -116,12 +128,21 @@ func (t *Trace) FinalStage() Stage {
 }
 
 // Complete reports whether every stage up to and including the trace's final
-// stage was reached. Stages past the final stage are not required.
+// stage was reached. Stages past the final stage are not required. Enqueue
+// and replay are alternative entries into delivery, so a zero stamp for one
+// of them is tolerated when the other is stamped.
 func (t *Trace) Complete() bool {
 	for s := 0; s <= int(t.FinalStage()); s++ {
-		if t.Stages[s] == 0 {
-			return false
+		if t.Stages[s] != 0 {
+			continue
 		}
+		if Stage(s) == StageEnqueue && t.Stages[StageReplay] != 0 {
+			continue
+		}
+		if Stage(s) == StageReplay && t.Stages[StageEnqueue] != 0 {
+			continue
+		}
+		return false
 	}
 	return true
 }
@@ -224,6 +245,7 @@ func New(cfg Config) *Tracer {
 	}
 	t.stageHist[StageAppend] = reg.Histogram("trace_commit_to_append_ns")
 	t.stageHist[StageEnqueue] = reg.Histogram("trace_append_to_enqueue_ns")
+	t.stageHist[StageReplay] = reg.Histogram("trace_append_to_replay_ns")
 	t.stageHist[StageDeliver] = reg.Histogram("trace_enqueue_to_deliver_ns")
 	t.stageHist[StageRemoteEnqueue] = reg.Histogram("trace_deliver_to_remote_enqueue_ns")
 	t.stageHist[StageRemoteDeliver] = reg.Histogram("trace_remote_enqueue_to_deliver_ns")
