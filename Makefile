@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-remote bench-replay bench-diff chaos traceguard verify clean
+.PHONY: build test race vet bench bench-remote bench-replay bench-diff chaos traceguard recguard detectors verify clean
 
 build:
 	$(GO) build ./...
 
-test:
+# test is the tier-1 gate: vet + build + the full unit/property/integration
+# suite.
+test: vet build
 	$(GO) test ./...
 
 race:
@@ -49,12 +51,14 @@ bench-replay:
 	$(GO) test -run XXX -bench $(BENCH_REPLAY) -benchmem -count=5 ./internal/core > bench_replay_raw.txt
 	$(GO) run ./cmd/benchjson -label $(REPLAY_LABEL) -merge -in bench_replay_raw.txt -out BENCH_hub.json
 
-# bench-diff compares the two most recent labeled runs in BENCH_hub.json,
-# printing per-benchmark ns/op, B/op and allocs/op deltas, and fails above a
-# 10% ns/op regression — run it after `make bench BENCH_LABEL=<new>` to gate
-# a change against the previous label.
+# bench-diff compares the two most recent labeled runs in BENCH_hub.json and
+# BENCH_remote.json, printing per-benchmark ns/op, B/op and allocs/op deltas,
+# and fails above a 10% ns/op regression — run it after
+# `make bench BENCH_LABEL=<new>` (and bench-remote) to gate a change against
+# the previous label.
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff BENCH_hub.json
+	$(GO) run ./cmd/benchjson -diff BENCH_remote.json
 
 # chaos runs the transport fault-injection suite under the race detector:
 # heartbeat-detected half-open connections, repeated severs with resume,
@@ -64,7 +68,8 @@ CHAOS_RUN = 'TestChaos|TestServerShutdown|TestClientClose|TestReconnect|TestMalf
 
 chaos:
 	$(GO) test -race -count=1 -run $(CHAOS_RUN) ./internal/remote
-	$(GO) test -race -count=1 -run 'TestAllExperimentsQuick/E13' ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestChaosPartitionProducesRetrievableDump' ./internal/debugz
+	$(GO) test -race -count=1 -run 'TestAllExperimentsQuick/(E13|E15)' ./internal/experiments
 
 # traceguard pins the cost of the (disabled) causal tracer on the hot hub
 # append path: a hub built with a disabled tracer must stay within 5% of one
@@ -72,11 +77,25 @@ chaos:
 traceguard:
 	TRACE_GUARD=1 $(GO) test -run TestTracingOverheadGuard -v -count=1 .
 
+# recguard is traceguard's flight-recorder twin: a hub with the always-on
+# recorder attached must run the hot append/fan-out workload within 5% of a
+# hub with no recorder. Benchmark-grade, so it is opt-in via REC_GUARD.
+recguard:
+	REC_GUARD=1 $(GO) test -run TestFlightRecorderOverheadGuard -v -count=1 .
+
+# detectors runs the deterministic anomaly-detector suite alone: every
+# detector fires on its synthetic anomaly, none fires across ten simulated
+# steady-state minutes, and the monitor/capture plumbing works on the fake
+# clock.
+detectors:
+	$(GO) test -race -count=1 ./internal/flightrec
+
 # verify is the gate a change must pass before it ships. The race target
 # includes the hub contract, stress, and latency-isolation tests; chaos is
-# the transport fault-injection suite; traceguard keeps tracing free when it
-# is switched off.
-verify: vet build race chaos traceguard
+# the transport fault-injection suite (including the black-box dump e2e);
+# detectors is the deterministic anomaly-detector suite; traceguard and
+# recguard keep tracing and flight recording free on the hot path.
+verify: vet build race chaos detectors traceguard recguard
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,10 @@
 //	                                   # if the connection drops
 //	watchtail -remote -heartbeat 250ms # liveness probes every 250ms (0 =
 //	                                   # transport default, negative = off)
+//	watchtail -flightrec               # run the flight-recorder stack: tail
+//	                                   # the black box at exit, dump on any
+//	                                   # anomaly (serve it at -debug-addr's
+//	                                   # /flightrec and /dump)
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 		remoteTail = flag.Bool("remote", false, "tail through the batched TCP transport on loopback")
 		reconnect  = flag.Bool("reconnect", false, "with -remote: auto-reconnect with backoff and resume the watch")
 		heartbeat  = flag.Duration("heartbeat", 0, "with -remote: heartbeat interval (0 = transport default, negative = disabled)")
+		flightRec  = flag.Bool("flightrec", false, "run the flight recorder + anomaly detectors; print the black-box tail at exit")
 	)
 	flag.Parse()
 
@@ -57,7 +62,19 @@ func main() {
 		}
 		tracer = unbundle.NewTracer(cfg)
 	}
-	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: *retention, Tracer: tracer})
+	// The flight-recorder stack: an always-on event ring wired through every
+	// layer below, detectors on a 1s cadence, dumps retained in memory (and
+	// served at /dump when -debug-addr is set).
+	var flight *unbundle.FlightStack
+	var recorder *unbundle.FlightRecorder
+	if *flightRec {
+		flight = unbundle.NewFlightStack(unbundle.FlightStackConfig{Tracer: tracer})
+		recorder = flight.Rec
+		flight.Mon.Start()
+		defer flight.Mon.Stop()
+	}
+
+	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: *retention, Tracer: tracer, Recorder: recorder})
 	defer store.Close()
 
 	// The view the tail consumes from: the store itself, or — with -remote —
@@ -70,14 +87,14 @@ func main() {
 	var watchSrv *unbundle.WatchServer
 	if *remoteTail {
 		srv, err := unbundle.ServeWatchWith("127.0.0.1:0", store, store,
-			unbundle.WatchServerConfig{Tracer: tracer, HeartbeatInterval: *heartbeat})
+			unbundle.WatchServerConfig{Tracer: tracer, HeartbeatInterval: *heartbeat, Recorder: recorder})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "watchtail: watch server: %v\n", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
 		watchSrv = srv
-		clientCfg := unbundle.WatchClientConfig{Tracer: tracer, HeartbeatInterval: *heartbeat}
+		clientCfg := unbundle.WatchClientConfig{Tracer: tracer, HeartbeatInterval: *heartbeat, Recorder: recorder}
 		if *reconnect {
 			// Zero-value backoff fields take the transport defaults
 			// (25ms base doubling to 1s, jittered, 8 attempts per outage).
@@ -111,6 +128,10 @@ func main() {
 		}
 		if watchSrv != nil {
 			dbgCfg.RemoteConns = watchSrv.Conns
+		}
+		if flight != nil {
+			dbgCfg.Flight = flight.Rec
+			dbgCfg.Dumps = flight.Cap
 		}
 		dbg, err := unbundle.ServeDebug(*debugAddr, dbgCfg)
 		if err != nil {
@@ -182,5 +203,17 @@ func main() {
 	if *dumpMet {
 		fmt.Println("--- metrics ---")
 		unbundle.DefaultMetrics().WriteTo(os.Stdout)
+	}
+	if flight != nil {
+		fmt.Println("--- flight recorder ---")
+		for _, rec := range flight.Rec.Tail(64) {
+			fmt.Printf("%6d %s %-18s %s id=%d v=%d n=%d %s\n",
+				rec.Seq, time.Unix(0, rec.At).Format("15:04:05.000"), rec.Kind,
+				rec.Comp, rec.ID, rec.Version, rec.N, rec.Detail)
+		}
+		for _, d := range flight.Cap.Dumps() {
+			fmt.Printf("dump %d: %s (%s) — %d records, %d traces\n",
+				d.ID, d.Detector, d.Reason, len(d.Records), len(d.Traces))
+		}
 	}
 }

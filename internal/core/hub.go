@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -10,7 +11,9 @@ import (
 	"time"
 
 	"unbundle/internal/clockwork"
+	"unbundle/internal/flightrec"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/logz"
 	"unbundle/internal/metrics"
 	"unbundle/internal/trace"
 )
@@ -54,6 +57,15 @@ type HubConfig struct {
 	// store and the hub so one trace spans commit→deliver. Nil disables the
 	// hub's tracing stages at the cost of one branch per stage.
 	Tracer *trace.Tracer
+	// Recorder, when non-nil, receives flight-recorder records for the
+	// hub's rare lifecycle events: watcher add/remove/lag-out, segment
+	// seal/retire, state wipes. The hot append/deliver paths record
+	// nothing per event, so the always-on cost is one branch at each
+	// already-rare transition; nil disables recording entirely.
+	Recorder *flightrec.Recorder
+	// Log receives structured records for the same lifecycle transitions;
+	// nil uses the process-wide logz ring under component "core.hub".
+	Log *slog.Logger
 }
 
 // hubMetrics holds the hub's registry instruments, resolved once at
@@ -161,6 +173,8 @@ type Hub struct {
 	met    hubMetrics
 	clock  clockwork.Clock
 	tracer *trace.Tracer
+	rec    *flightrec.Recorder
+	log    *slog.Logger
 
 	// verTimes maps versions to the wall-clock instant the hub's frontier
 	// first passed them — the substrate for time-behind-frontier lag.
@@ -184,6 +198,7 @@ type Hub struct {
 
 // hubShard owns one key range's ingest state.
 type hubShard struct {
+	idx int // position in Hub.shards, for flight-record attribution
 	rng keyspace.Range
 
 	mu     sync.Mutex
@@ -228,17 +243,24 @@ func NewHub(cfg HubConfig) *Hub {
 	if clock == nil {
 		clock = clockwork.Real()
 	}
+	log := cfg.Log
+	if log == nil {
+		log = logz.Logger("core.hub")
+	}
 	h := &Hub{
 		cfg:      cfg,
 		met:      newHubMetrics(cfg.Metrics),
 		clock:    clock,
 		tracer:   cfg.Tracer,
+		rec:      cfg.Recorder,
+		log:      log,
 		watchers: make(map[int64]*hubWatcher),
 		segPool:  segPool{size: segSizeFor(cfg.Retention)},
 	}
-	for _, r := range keyspace.EvenSplit(cfg.Shards*1000, cfg.Shards) {
+	for i, r := range keyspace.EvenSplit(cfg.Shards*1000, cfg.Shards) {
 		h.lows = append(h.lows, r.Low)
 		h.shards = append(h.shards, &hubShard{
+			idx:      i,
 			rng:      r,
 			watchers: make(map[int64]*hubWatcher),
 			progSet:  make(map[int64]struct{}),
@@ -340,7 +362,10 @@ func (h *Hub) finishLagged(fx *ingestFx) {
 // Index entries in other shards are cleaned up by finishLagged after the
 // origin lock is released; the atomic lagged flag keeps them inert until
 // then. Exactly one caller wins the flag, so accounting happens once.
-func (h *Hub) lagOutLocked(w *hubWatcher, origin *hubShard, reason string, fx *ingestFx) {
+// tid, when nonzero, is the trace of the event whose delivery failure
+// caused the cut-over — it correlates the flight record with the sampled
+// trace that hit the full buffer.
+func (h *Hub) lagOutLocked(w *hubWatcher, origin *hubShard, reason string, tid trace.ID, fx *ingestFx) {
 	if !w.lagged.CompareAndSwap(false, true) {
 		return
 	}
@@ -349,8 +374,13 @@ func (h *Hub) lagOutLocked(w *hubWatcher, origin *hubShard, reason string, fx *i
 	if origin != nil {
 		origin.index.remove(w.id, w.rng.Intersect(origin.rng))
 	}
-	w.q.lagOut(ResyncEvent{Range: w.rng, MinVersion: h.minResyncVersion(), Reason: reason})
+	min := h.minResyncVersion()
+	w.q.lagOut(ResyncEvent{Range: w.rng, MinVersion: min, Reason: reason})
 	fx.lagged = append(fx.lagged, laggedRef{w: w, origin: origin})
+	h.rec.Record(flightrec.KindWatcherLagOut, flightrec.Event{
+		Comp: "core.hub", ID: w.id, Version: uint64(min), Trace: tid, Detail: reason,
+	})
+	h.log.Warn("watcher lagged out", "id", w.id, "reason", reason, "min_version", uint64(min), "trace", tid)
 }
 
 // appendLocked ingests one event into the shard; the caller holds s.mu.
@@ -382,6 +412,12 @@ func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 			s.segs = s.segs[1:]
 			h.met.sealedSegments.Add(-1)
 			h.met.sealedBytes.Add(-oldest.bytes)
+			// One retire record stands in for the len(evs) per-event trims
+			// that consumed the segment — eviction is flight-recorded at
+			// segment granularity, never per event.
+			h.rec.Record(flightrec.KindSegmentRetire, flightrec.Event{
+				Comp: "core.hub", ID: int64(s.idx), Version: uint64(oldest.maxVer), N: int64(len(oldest.evs)),
+			})
 			oldest.release(&h.segPool)
 		}
 	}
@@ -390,6 +426,9 @@ func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 		tail.seal()
 		h.met.sealedSegments.Add(1)
 		h.met.sealedBytes.Add(tail.bytes)
+		h.rec.Record(flightrec.KindSegmentSeal, flightrec.Event{
+			Comp: "core.hub", ID: int64(s.idx), Version: uint64(tail.maxVer), N: int64(len(tail.evs)),
+		})
 		tail = h.segPool.get()
 		s.segs = append(s.segs, tail)
 	}
@@ -415,7 +454,7 @@ func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 			}
 		} else {
 			fx.appendOverflow++
-			h.lagOutLocked(w, s, "watcher buffer overflow", fx)
+			h.lagOutLocked(w, s, "watcher buffer overflow", ev.Trace, fx)
 		}
 	})
 }
@@ -533,7 +572,7 @@ func (h *Hub) Progress(p ProgressEvent) error {
 			}
 			if !w.q.enqueue(item{kind: kindProgress, prog: ProgressEvent{Range: wc, Version: p.Version}}) {
 				fx.progressOverflow++
-				h.lagOutLocked(w, s, "watcher buffer overflow on progress", &fx)
+				h.lagOutLocked(w, s, "watcher buffer overflow on progress", 0, &fx)
 			}
 		})
 		s.mu.Unlock()
@@ -620,12 +659,16 @@ func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, e
 		}
 	}
 	if failReason != "" {
-		h.lagOutLocked(w, nil, failReason, &fx)
+		h.lagOutLocked(w, nil, failReason, 0, &fx)
 	}
 	h.met.watchers.Set(int64(len(h.watchers)))
 	h.regMu.Unlock()
 	h.finishLagged(&fx)
 	h.flushIngest(&fx)
+	h.rec.Record(flightrec.KindWatcherAdd, flightrec.Event{
+		Comp: "core.hub", ID: w.id, Version: uint64(from), Detail: r.String(),
+	})
+	h.log.Debug("watch registered", "id", w.id, "range", r.String(), "from", uint64(from))
 
 	go w.run()
 	return func() { h.cancel(w) }, nil
@@ -636,6 +679,8 @@ func (h *Hub) cancel(w *hubWatcher) {
 	delete(h.watchers, w.id)
 	h.met.watchers.Set(int64(len(h.watchers)))
 	h.regMu.Unlock()
+	h.rec.Record(flightrec.KindWatcherRemove, flightrec.Event{Comp: "core.hub", ID: w.id})
+	h.log.Debug("watch cancelled", "id", w.id)
 	for _, s := range h.shards {
 		clip := w.rng.Intersect(s.rng)
 		if clip.Empty() {
@@ -694,6 +739,10 @@ func (h *Hub) Wipe() {
 	for i := len(h.shards) - 1; i >= 0; i-- {
 		h.shards[i].mu.Unlock()
 	}
+	h.rec.Record(flightrec.KindHubWipe, flightrec.Event{
+		Comp: "core.hub", Version: uint64(min), N: int64(len(h.watchers)),
+	})
+	h.log.Warn("hub state wiped", "watchers", len(h.watchers), "min_version", uint64(min))
 }
 
 // Frontier returns a copy of the current progress frontier, merged across

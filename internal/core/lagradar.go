@@ -152,12 +152,14 @@ func (h *Hub) WatcherLags() []WatcherLag {
 
 // registerLagGauges publishes the radar's worst-case values as scrape-time
 // gauges, so a plain /metrics dump shows the most stale watcher without
-// anyone polling WatcherLags.
+// anyone polling WatcherLags. Lagged watchers are excluded: they have been
+// resynced and their frozen cut-over lag would otherwise read as a
+// permanently stale consumer long after the client re-established the watch.
 func (h *Hub) registerLagGauges(reg *metrics.Registry) {
 	reg.GaugeFunc("core_hub_watcher_version_lag_max", func() int64 {
 		var max uint64
 		for _, wl := range h.WatcherLags() {
-			if wl.VersionLag > max {
+			if !wl.Lagged && wl.VersionLag > max {
 				max = wl.VersionLag
 			}
 		}
@@ -166,7 +168,7 @@ func (h *Hub) registerLagGauges(reg *metrics.Registry) {
 	reg.GaugeFunc("core_hub_watcher_time_behind_ns_max", func() int64 {
 		var max time.Duration
 		for _, wl := range h.WatcherLags() {
-			if wl.TimeBehind > max {
+			if !wl.Lagged && wl.TimeBehind > max {
 				max = wl.TimeBehind
 			}
 		}

@@ -238,3 +238,59 @@ func TestWatcherLagsConcurrentWithIngest(t *testing.T) {
 		t.Fatalf("frontier %v != Stats().MaxSeen %v", got, h.Stats().MaxSeen)
 	}
 }
+
+// TestLagGaugesExcludeLaggedAndCancelledWatchers is the regression test for
+// the dead-watcher-reads-as-lagged bug: a watcher that lagged out (or was
+// cancelled) must not pin core_hub_watcher_version_lag_max at its frozen
+// cut-over lag forever.
+func TestLagGaugesExcludeLaggedAndCancelledWatchers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := NewHub(HubConfig{WatcherBuffer: 4, Retention: 1024, Metrics: reg})
+	defer h.Close()
+
+	g := newBlockGate()
+	g.block()
+	cancel, err := h.Watch(keyspace.Full(), NoVersion, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	// Overflow the blocked watcher far past its buffer: it lags out with a
+	// large frozen version lag.
+	for i := 1; i <= 64; i++ {
+		h.Append(put(fmt.Sprintf("k%d", i), Version(i)))
+	}
+	waitUntil(t, "lag-out", func() bool {
+		_, _, rs := g.snapshot()
+		return len(rs) > 0
+	})
+	g.unblock()
+
+	ls := h.WatcherLags()
+	if len(ls) != 1 || !ls[0].Lagged {
+		t.Fatalf("radar = %+v, want one lagged watcher", ls)
+	}
+	if ls[0].VersionLag == 0 {
+		t.Fatal("lagged watcher shows zero lag; test lost its premise")
+	}
+	// The radar still reports the lagged watcher (operators want to see it),
+	// but the worst-case gauges exclude it: with no healthy watcher behind,
+	// both must read zero.
+	snap := reg.Snapshot()
+	if got := snap.Gauges["core_hub_watcher_version_lag_max"]; got != 0 {
+		t.Fatalf("version_lag_max = %d with only a lagged watcher, want 0", got)
+	}
+	if got := snap.Gauges["core_hub_watcher_time_behind_ns_max"]; got != 0 {
+		t.Fatalf("time_behind_ns_max = %d with only a lagged watcher, want 0", got)
+	}
+
+	// Cancelling removes the watcher from the radar entirely.
+	cancel()
+	if ls := h.WatcherLags(); len(ls) != 0 {
+		t.Fatalf("radar after cancel = %+v, want empty", ls)
+	}
+	if got, _ := reg.GaugeValue("core_hub_watcher_version_lag_max"); got != 0 {
+		t.Fatalf("version_lag_max after cancel = %d, want 0", got)
+	}
+}

@@ -96,7 +96,7 @@ func (w *hubWatcher) runReplay() {
 	if overflowed {
 		h.met.replayOverflow.Inc()
 		var fx ingestFx
-		h.lagOutLocked(w, nil, "retained-window replay exceeds watcher buffer", &fx)
+		h.lagOutLocked(w, nil, "retained-window replay exceeds watcher buffer", 0, &fx)
 		h.finishLagged(&fx)
 	}
 }

@@ -16,9 +16,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"unbundle/internal/core"
+	"unbundle/internal/flightrec"
+	"unbundle/internal/logz"
 	"unbundle/internal/metrics"
 	"unbundle/internal/remote"
 	"unbundle/internal/trace"
@@ -43,6 +46,15 @@ type Config struct {
 	// connections with their negotiated protocol, watch count, queued
 	// backlog and drain state; typically remote.Server.Conns.
 	RemoteConns func() []remote.ConnInfo
+	// Flight backs GET /flightrec — the live flight-recorder ring, newest
+	// tail first-served (?n= bounds the tail, default 256).
+	Flight *flightrec.Recorder
+	// Dumps backs GET /dump — captured black-box dumps: the index without an
+	// id, one full dump with ?id=N.
+	Dumps *flightrec.Capturer
+	// Logs backs GET /logz — the retained log ring, oldest first; nil uses
+	// the process-wide ring.
+	Logs func() []logz.Entry
 }
 
 // traceJSON is the wire form of one completed trace.
@@ -55,6 +67,18 @@ type traceJSON struct {
 	// nanoseconds spent entering it from the previous reached stage.
 	Latencies map[string]int64 `json:"stage_latency_ns"`
 	E2ENs     int64            `json:"e2e_ns"`
+}
+
+// dumpMetaJSON is the /dump index entry: a dump's identity and sizes,
+// without its (potentially large) body.
+type dumpMetaJSON struct {
+	ID       int       `json:"id"`
+	At       time.Time `json:"at"`
+	Detector string    `json:"detector"`
+	Reason   string    `json:"reason"`
+	Records  int       `json:"records"`
+	Traces   int       `json:"traces"`
+	File     string    `json:"file,omitempty"`
 }
 
 // regionJSON is the wire form of one knowledge region.
@@ -82,6 +106,9 @@ func Handler(cfg Config) http.Handler {
 			"/traces   completed event traces, newest first (JSON)\n"+
 			"/regions  consumer knowledge regions (JSON)\n"+
 			"/conns    remote watch server connections (JSON)\n"+
+			"/flightrec flight-recorder tail, oldest first (JSON, ?n= bounds)\n"+
+			"/dump     black-box dump index; ?id=N serves one full dump (JSON)\n"+
+			"/logz     retained log ring, oldest first (JSON)\n"+
 			"/debug/pprof/ runtime profiles\n")
 	})
 
@@ -150,6 +177,59 @@ func Handler(cfg Config) http.Handler {
 			if c := cfg.RemoteConns(); c != nil {
 				out = c
 			}
+		}
+		writeJSON(w, out)
+	})
+
+	mux.HandleFunc("/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		recs := []flightrec.Record{}
+		if tail := cfg.Flight.Tail(n); tail != nil {
+			recs = tail
+		}
+		writeJSON(w, recs)
+	})
+
+	mux.HandleFunc("/dump", func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("id"); q != "" {
+			id, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad id", http.StatusBadRequest)
+				return
+			}
+			d, ok := cfg.Dumps.Dump(id)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			writeJSON(w, d)
+			return
+		}
+		out := []dumpMetaJSON{}
+		if cfg.Dumps != nil {
+			for _, d := range cfg.Dumps.Dumps() {
+				out = append(out, dumpMetaJSON{
+					ID: d.ID, At: d.At, Detector: d.Detector, Reason: d.Reason,
+					Records: len(d.Records), Traces: len(d.Traces), File: d.File,
+				})
+			}
+		}
+		writeJSON(w, out)
+	})
+
+	mux.HandleFunc("/logz", func(w http.ResponseWriter, r *http.Request) {
+		logs := cfg.Logs
+		if logs == nil {
+			logs = logz.Default().Records
+		}
+		out := logs()
+		if out == nil {
+			out = []logz.Entry{}
 		}
 		writeJSON(w, out)
 	})

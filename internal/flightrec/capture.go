@@ -1,0 +1,268 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"unbundle/internal/clockwork"
+	"unbundle/internal/metrics"
+	"unbundle/internal/trace"
+)
+
+// The capture layer is what makes the flight recorder a black box rather
+// than another metric: when a detector fires, Trigger freezes everything an
+// operator would wish they had scraped one minute earlier — the recorder's
+// recent timeline, the completed causal traces, the full metrics snapshot
+// plus the counter deltas since the previous capture, the watcher-lag
+// table, and optionally a goroutine profile — into one self-contained Dump.
+// Assembly runs under one mutex, so the pieces of a dump are mutually
+// consistent to within the component-level atomicity of their sources, and
+// two detectors firing together produce two coherent dumps, not an
+// interleaving.
+
+// Dump is one captured black box, JSON-serializable end to end.
+type Dump struct {
+	// ID numbers dumps within this Capturer, ascending from 1.
+	ID int `json:"id"`
+	// At is the capture instant.
+	At time.Time `json:"at"`
+	// Detector and Reason say which anomaly check fired and why.
+	Detector string `json:"detector"`
+	Reason   string `json:"reason"`
+	// Records is the flight-recorder tail: the merged recent timeline.
+	Records []Record `json:"records"`
+	// Traces are the most recently completed causal traces.
+	Traces []trace.Trace `json:"traces,omitempty"`
+	// Metrics is the registry snapshot at capture time.
+	Metrics metrics.RegistrySnapshot `json:"metrics"`
+	// CounterDelta is each counter's increase since the previous capture
+	// (or since the Capturer was created) — the burst the scrape interval
+	// would have averaged away.
+	CounterDelta map[string]int64 `json:"counter_delta,omitempty"`
+	// Lags is the hub's WatcherLags table (or whatever the Lags source
+	// supplies), captured as-is.
+	Lags any `json:"lags,omitempty"`
+	// Goroutines is a textual goroutine profile, when enabled.
+	Goroutines string `json:"goroutines,omitempty"`
+	// File is the on-disk path the dump was written to, when Dir is set.
+	File string `json:"file,omitempty"`
+}
+
+// CaptureConfig wires a Capturer to its evidence sources. Every source is
+// optional; a missing one leaves its dump section empty.
+type CaptureConfig struct {
+	// Recorder supplies the event timeline.
+	Recorder *Recorder
+	// Tracer supplies recently completed causal traces.
+	Tracer *trace.Tracer
+	// Metrics supplies the snapshot and counter deltas; nil uses
+	// metrics.Default().
+	Metrics *metrics.Registry
+	// Lags supplies the watcher-lag table; typically a closure over
+	// Hub.WatcherLags. The result must be JSON-marshalable.
+	Lags func() any
+	// TailRecords bounds the records section (default 512).
+	TailRecords int
+	// MaxDumps bounds the in-memory dump ring (default 8, oldest evicted).
+	MaxDumps int
+	// MinInterval drops triggers arriving within this span of the previous
+	// capture (default 1s) — a storm of detectors firing together yields
+	// one dump, and the ring cannot churn through its history in a burst.
+	// The first trigger always captures.
+	MinInterval time.Duration
+	// Goroutines adds a goroutine profile to each dump.
+	Goroutines bool
+	// Dir, when set, writes each dump to Dir/flightrec-<id>-<detector>.json
+	// (best effort; failures are counted, never fatal).
+	Dir string
+	// Clock stamps dumps; nil uses the real clock.
+	Clock clockwork.Clock
+}
+
+// Capturer assembles and retains black-box dumps.
+type Capturer struct {
+	cfg   CaptureConfig
+	clock clockwork.Clock
+
+	captured, writeErrs *metrics.Counter
+
+	mu     sync.Mutex
+	nextID int
+	lastAt time.Time
+	dumps  []Dump // oldest first, bounded by MaxDumps
+	prev   map[string]int64
+}
+
+// NewCapturer creates a Capturer. The counter baseline for the first dump's
+// delta section is taken here.
+func NewCapturer(cfg CaptureConfig) *Capturer {
+	if cfg.TailRecords <= 0 {
+		cfg.TailRecords = 512
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = 8
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clockwork.Real()
+	}
+	reg := cfg.Metrics.Or()
+	cfg.Metrics = reg
+	c := &Capturer{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		captured:  reg.Counter("flightrec_dumps_total"),
+		writeErrs: reg.Counter("flightrec_dump_write_errors_total"),
+		nextID:    1,
+		prev:      reg.Snapshot().Counters,
+	}
+	return c
+}
+
+// Trigger captures a dump for the named detector. It is the natural
+// MonitorConfig.OnTrigger target. Returns nil when the trigger was dropped
+// by the MinInterval storm guard.
+func (c *Capturer) Trigger(detector, reason string) *Dump {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.lastAt.IsZero() && now.Sub(c.lastAt) < c.cfg.MinInterval {
+		return nil
+	}
+	c.lastAt = now
+
+	snap := c.cfg.Metrics.Snapshot()
+	delta := make(map[string]int64, len(snap.Counters))
+	for n, v := range snap.Counters {
+		if d := v - c.prev[n]; d != 0 {
+			delta[n] = d
+		}
+	}
+	c.prev = snap.Counters
+
+	d := Dump{
+		ID:           c.nextID,
+		At:           now,
+		Detector:     detector,
+		Reason:       reason,
+		Records:      c.cfg.Recorder.Tail(c.cfg.TailRecords),
+		Traces:       c.cfg.Tracer.Completed(),
+		Metrics:      snap,
+		CounterDelta: delta,
+	}
+	c.nextID++
+	if c.cfg.Lags != nil {
+		d.Lags = c.cfg.Lags()
+	}
+	if c.cfg.Goroutines {
+		var buf bytes.Buffer
+		if p := pprof.Lookup("goroutine"); p != nil {
+			p.WriteTo(&buf, 1)
+		}
+		d.Goroutines = buf.String()
+	}
+	if c.cfg.Dir != "" {
+		d.File = filepath.Join(c.cfg.Dir, fmt.Sprintf("flightrec-%d-%s.json", d.ID, detector))
+		if b, err := json.MarshalIndent(&d, "", "  "); err != nil {
+			c.writeErrs.Inc()
+			d.File = ""
+		} else if err := os.WriteFile(d.File, b, 0o644); err != nil {
+			c.writeErrs.Inc()
+			d.File = ""
+		}
+	}
+
+	c.dumps = append(c.dumps, d)
+	if len(c.dumps) > c.cfg.MaxDumps {
+		c.dumps = append(c.dumps[:0], c.dumps[len(c.dumps)-c.cfg.MaxDumps:]...)
+	}
+	c.captured.Inc()
+	out := d
+	return &out
+}
+
+// Dumps returns the retained dumps, oldest first. The slice is a copy; the
+// dumps share their (immutable once captured) section slices.
+func (c *Capturer) Dumps() []Dump {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Dump, len(c.dumps))
+	copy(out, c.dumps)
+	return out
+}
+
+// Dump returns the dump with the given ID, if still retained.
+func (c *Capturer) Dump(id int) (Dump, bool) {
+	if c == nil {
+		return Dump{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.dumps {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Dump{}, false
+}
+
+// Stack bundles the three layers for callers (CLIs, experiments) that want
+// the standard wiring in one call: an always-on recorder, the stock
+// detector set against the shared registry, and a capturer the monitor
+// triggers.
+type Stack struct {
+	Rec *Recorder
+	Mon *Monitor
+	Cap *Capturer
+}
+
+// StackConfig configures NewStack.
+type StackConfig struct {
+	// Metrics is the registry shared with the components being observed
+	// (the detectors sample it; the capturer snapshots it); nil uses
+	// metrics.Default().
+	Metrics *metrics.Registry
+	// Tracer, Lags, Goroutines, Dir: capture sources, as in CaptureConfig.
+	Tracer     *trace.Tracer
+	Lags       func() any
+	Goroutines bool
+	Dir        string
+	// Interval is the detector evaluation period (default 1s).
+	Interval time.Duration
+	// Clock drives detection and stamps records/dumps; nil = real clock.
+	Clock clockwork.Clock
+}
+
+// NewStack wires recorder → standard detectors → capturer. Call
+// Stack.Mon.Start to begin detection, Stack.Mon.Stop to end it.
+func NewStack(cfg StackConfig) *Stack {
+	rec := New(Config{Clock: cfg.Clock, Metrics: cfg.Metrics})
+	capt := NewCapturer(CaptureConfig{
+		Recorder:   rec,
+		Tracer:     cfg.Tracer,
+		Metrics:    cfg.Metrics,
+		Lags:       cfg.Lags,
+		Goroutines: cfg.Goroutines,
+		Dir:        cfg.Dir,
+		Clock:      cfg.Clock,
+	})
+	mon := NewMonitor(MonitorConfig{
+		Interval:  cfg.Interval,
+		Clock:     cfg.Clock,
+		Detectors: StandardDetectors(cfg.Metrics),
+		OnTrigger: func(name, reason string) { capt.Trigger(name, reason) },
+		Metrics:   cfg.Metrics,
+	})
+	return &Stack{Rec: rec, Mon: mon, Cap: capt}
+}

@@ -1,0 +1,179 @@
+// Package logz is the repository's structured logging substrate: a
+// log/slog handler that writes records into a bounded in-memory ring
+// instead of a process stream. Components log their rare lifecycle
+// transitions (watch lag-outs, connection loss, drains) through component-
+// tagged slog.Loggers; the debug server exposes the ring at /logz, so "what
+// did the system say recently" is answerable next to /metrics and
+// /flightrec without anyone tailing stderr — and without unstructured
+// prints polluting machine-read stdout (unbundle-bench -json).
+//
+// The ring is the log's retention: fixed capacity, oldest overwritten,
+// zero configuration. A CLI that also wants records on a terminal sets a
+// mirror writer.
+package logz
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Entry is one retained log record, JSON-ready for the /logz endpoint.
+type Entry struct {
+	At        time.Time      `json:"at"`
+	Level     string         `json:"level"`
+	Component string         `json:"component,omitempty"`
+	Msg       string         `json:"msg"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
+}
+
+// Ring is a bounded, concurrency-safe log record buffer.
+type Ring struct {
+	// level is the minimum retained slog.Level, stored atomically so the
+	// Enabled gate every suppressed log call passes through is lock-free.
+	level atomic.Int64
+
+	mu     sync.Mutex
+	buf    []Entry
+	n      uint64
+	mirror io.Writer
+}
+
+// NewRing creates a ring retaining the last capacity records (default 256)
+// at Info level and above.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	r := &Ring{buf: make([]Entry, capacity)}
+	r.level.Store(int64(slog.LevelInfo))
+	return r
+}
+
+// SetLevel changes the minimum retained level.
+func (r *Ring) SetLevel(l slog.Level) {
+	r.level.Store(int64(l))
+}
+
+// SetMirror additionally writes each retained record, one line of
+// logfmt-ish text, to w (nil disables). CLIs use this to surface the ring
+// on stderr.
+func (r *Ring) SetMirror(w io.Writer) {
+	r.mu.Lock()
+	r.mirror = w
+	r.mu.Unlock()
+}
+
+// Records returns the retained entries, oldest first. The slice is a copy.
+func (r *Ring) Records() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	window := r.n
+	if window > uint64(len(r.buf)) {
+		window = uint64(len(r.buf))
+	}
+	out := make([]Entry, 0, window)
+	for i := r.n - window; i < r.n; i++ {
+		out = append(out, r.buf[i%uint64(len(r.buf))])
+	}
+	return out
+}
+
+func (r *Ring) add(e Entry) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = e
+	r.n++
+	mirror := r.mirror
+	r.mu.Unlock()
+	if mirror != nil {
+		line := fmt.Sprintf("%s %s %s %s", e.At.Format(time.RFC3339Nano), e.Level, e.Component, e.Msg)
+		for k, v := range e.Attrs {
+			line += fmt.Sprintf(" %s=%v", k, v)
+		}
+		fmt.Fprintln(mirror, line)
+	}
+}
+
+// Logger returns a component-tagged slog.Logger writing into the ring.
+// Components pass trace IDs and entity ids as ordinary attrs.
+func (r *Ring) Logger(component string) *slog.Logger {
+	return slog.New(&handler{ring: r}).With(slog.String("component", component))
+}
+
+// handler adapts the ring to slog.Handler. Attr groups flatten into
+// dotted key prefixes; the "component" attr is hoisted into Entry.Component.
+type handler struct {
+	ring   *Ring
+	attrs  []slog.Attr
+	prefix string // accumulated group prefix, "" or "a.b."
+}
+
+func (h *handler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= slog.Level(h.ring.level.Load())
+}
+
+func (h *handler) Handle(_ context.Context, rec slog.Record) error {
+	e := Entry{At: rec.Time, Level: rec.Level.String(), Msg: rec.Message}
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	put := func(prefix string, a slog.Attr) {
+		key := prefix + a.Key
+		if key == "component" {
+			e.Component = a.Value.String()
+			return
+		}
+		if e.Attrs == nil {
+			e.Attrs = make(map[string]any)
+		}
+		e.Attrs[key] = a.Value.Resolve().Any()
+	}
+	for _, a := range h.attrs {
+		put("", a)
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		put(h.prefix, a)
+		return true
+	})
+	h.ring.add(e)
+	return nil
+}
+
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	n := &handler{ring: h.ring, prefix: h.prefix}
+	n.attrs = append(append([]slog.Attr{}, h.attrs...), prefixed(h.prefix, attrs)...)
+	return n
+}
+
+func (h *handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	return &handler{ring: h.ring, attrs: h.attrs, prefix: h.prefix + name + "."}
+}
+
+func prefixed(prefix string, attrs []slog.Attr) []slog.Attr {
+	if prefix == "" {
+		return attrs
+	}
+	out := make([]slog.Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = slog.Attr{Key: prefix + a.Key, Value: a.Value}
+	}
+	return out
+}
+
+// defaultRing is the process-wide ring used by components whose
+// configuration does not name a logger explicitly.
+var defaultRing = NewRing(256)
+
+// Default returns the process-wide ring.
+func Default() *Ring { return defaultRing }
+
+// Logger returns a component logger on the process-wide ring — the
+// counterpart of metrics.Default() for logs.
+func Logger(component string) *slog.Logger { return defaultRing.Logger(component) }

@@ -1,0 +1,84 @@
+package logz
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingRetainsComponentTaggedRecords(t *testing.T) {
+	r := NewRing(4)
+	log := r.Logger("core.hub")
+	log.Info("watcher lagged out", "id", int64(7), "reason", "buffer overflow")
+	recs := r.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	e := recs[0]
+	if e.Component != "core.hub" || e.Msg != "watcher lagged out" || e.Level != "INFO" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Attrs["id"] != int64(7) || e.Attrs["reason"] != "buffer overflow" {
+		t.Fatalf("attrs = %v", e.Attrs)
+	}
+	if e.At.IsZero() {
+		t.Fatal("entry not timestamped")
+	}
+}
+
+func TestRingDropsBelowLevelAndOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	log := r.Logger("c")
+	log.Debug("invisible") // below the default Info level
+	if len(r.Records()) != 0 {
+		t.Fatal("debug record retained at Info level")
+	}
+	r.SetLevel(slog.LevelDebug)
+	log.Debug("visible now")
+	if len(r.Records()) != 1 {
+		t.Fatal("debug record dropped at Debug level")
+	}
+	for i := 0; i < 10; i++ {
+		log.Info("spam", "i", i)
+	}
+	recs := r.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want capacity 4", len(recs))
+	}
+	if recs[3].Attrs["i"] != int64(9) {
+		t.Fatalf("newest record attrs = %v", recs[3].Attrs)
+	}
+}
+
+func TestGroupsFlattenToDottedKeys(t *testing.T) {
+	r := NewRing(4)
+	log := r.Logger("c").WithGroup("conn").With("id", 3)
+	log.Warn("draining", "watches", 2)
+	e := r.Records()[0]
+	if e.Attrs["conn.id"] != int64(3) || e.Attrs["conn.watches"] != int64(2) {
+		t.Fatalf("attrs = %v", e.Attrs)
+	}
+}
+
+func TestMirrorWritesLines(t *testing.T) {
+	r := NewRing(4)
+	var sb strings.Builder
+	var mu sync.Mutex
+	r.SetMirror(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	}))
+	r.Logger("cli").Info("hello", "k", "v")
+	mu.Lock()
+	line := sb.String()
+	mu.Unlock()
+	if !strings.Contains(line, "cli") || !strings.Contains(line, "hello") || !strings.Contains(line, "k=v") {
+		t.Fatalf("mirror line = %q", line)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -94,6 +94,25 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	r.gaugeFns[name] = fn
 }
 
+// GaugeValue reads the named gauge's current value, whether it is a stored
+// gauge or a registered gauge function (evaluated here, with the same
+// panic-to--1 guard Snapshot applies). ok is false when no gauge of either
+// form carries the name. Pollers (the flight recorder's detectors) use this
+// to sample one derived gauge without paying for a whole Snapshot.
+func (r *Registry) GaugeValue(name string) (v int64, ok bool) {
+	r.mu.RLock()
+	g := r.gauges[name]
+	fn := r.gaugeFns[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g.Value(), true
+	}
+	if fn != nil {
+		return evalGaugeFn(fn), true
+	}
+	return 0, false
+}
+
 // Histogram returns the named histogram, creating it if needed.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.RLock()

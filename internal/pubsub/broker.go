@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"unbundle/internal/clockwork"
+	"unbundle/internal/flightrec"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
 	"unbundle/internal/trace"
@@ -97,6 +98,10 @@ type BrokerConfig struct {
 	// latencies as the watch path — the apples-to-apples instrumentation the
 	// comparison experiments need.
 	Tracer *trace.Tracer
+	// Recorder, when non-nil, receives flight records for the broker's loss
+	// events: retention-GC drops, silent offset resets, DLQ routing and
+	// nack drops — the black box's view of the contract failures §3 analyzes.
+	Recorder *flightrec.Recorder
 }
 
 // brokerMetrics holds the broker's registry instruments, resolved once so
@@ -137,6 +142,7 @@ type Broker struct {
 	reg    *metrics.Registry
 	met    brokerMetrics
 	tracer *trace.Tracer
+	rec    *flightrec.Recorder
 
 	mu     sync.Mutex
 	topics map[string]*topic
@@ -178,6 +184,7 @@ func NewBroker(cfg BrokerConfig) *Broker {
 		reg:    cfg.Metrics.Or(),
 		met:    newBrokerMetrics(cfg.Metrics),
 		tracer: cfg.Tracer,
+		rec:    cfg.Recorder,
 		topics: make(map[string]*topic),
 		stopGC: make(chan struct{}),
 		gcDone: make(chan struct{}),
@@ -289,6 +296,7 @@ func (b *Broker) RunGC() {
 	var gcedDelta, compactedDelta int64
 	for _, t := range topics {
 		t.mu.Lock()
+		var topicGCed int64
 		for _, p := range t.parts {
 			before := p.Stats()
 			if t.cfg.Retention > 0 {
@@ -301,11 +309,18 @@ func (b *Broker) RunGC() {
 				p.Compact(now.Add(-t.cfg.CompactionLag))
 			}
 			after := p.Stats()
-			gcedDelta += after.GCedRecords - before.GCedRecords
+			topicGCed += after.GCedRecords - before.GCedRecords
 			compactedDelta += after.CompactedAway - before.CompactedAway
 		}
+		gcedDelta += topicGCed
 		t.cond.Broadcast() // wake consumers so they observe resets promptly
 		t.mu.Unlock()
+		if topicGCed > 0 {
+			// One record per topic per GC pass, not per destroyed message.
+			b.rec.Record(flightrec.KindGCDrop, flightrec.Event{
+				Comp: "pubsub.broker", N: topicGCed, Detail: t.name,
+			})
+		}
 	}
 	b.met.gcRecords.Add(gcedDelta)
 	b.met.compactedAway.Add(compactedDelta)

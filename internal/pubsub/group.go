@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"unbundle/internal/flightrec"
 	"unbundle/internal/trace"
 	"unbundle/internal/wal"
 )
@@ -92,7 +93,7 @@ func (b *Broker) Group(topicName, groupName string, cfg GroupConfig) (*Group, er
 	t.groups[groupName] = g
 	// Lag is derived state: computing it on every ack would tax the hot
 	// path, so it is registered as a gauge function evaluated at scrape.
-	b.reg.GaugeFunc("pubsub_group_lag:"+topicName+"/"+groupName, g.Lag)
+	b.reg.GaugeFunc("pubsub_group_lag_"+topicName+"_"+groupName, g.Lag)
 	return g, nil
 }
 
@@ -212,11 +213,18 @@ func (g *Group) readLocked(p int) (Message, bool) {
 			// informed; the group's cursor silently jumps to the new start
 			// of the log and the skipped messages are simply gone (§3.1).
 			if oor.Earliest > g.committed[p] {
-				g.skippedMsgs += oor.Earliest - g.committed[p]
-				g.broker.met.skippedMsgs.Add(oor.Earliest - g.committed[p])
+				skipped := oor.Earliest - g.committed[p]
+				g.skippedMsgs += skipped
+				g.broker.met.skippedMsgs.Add(skipped)
 				g.committed[p] = oor.Earliest
 				g.silentResets++
 				g.broker.met.silentResets.Inc()
+				// The consumer-side face of a GC drop: the cursor jumped and
+				// the group never hears about it — but the black box does.
+				g.broker.rec.Record(flightrec.KindGCDrop, flightrec.Event{
+					Comp: "pubsub.group", ID: int64(p), Version: uint64(oor.Earliest),
+					N: skipped, Detail: g.t.name + "/" + g.name + " silent reset",
+				})
 				continue
 			}
 			return Message{}, false
@@ -293,10 +301,18 @@ func (c *Consumer) Nack(msg Message) {
 			if g.cfg.DeadLetterTopic != "" {
 				g.deadLettered++
 				g.broker.met.deadLettered.Inc()
+				g.broker.rec.Record(flightrec.KindDLQRoute, flightrec.Event{
+					Comp: "pubsub.group", ID: msg.Offset, Trace: msg.Trace,
+					N: int64(g.attempts[p]), Detail: g.t.name + "/" + g.name + "→" + g.cfg.DeadLetterTopic,
+				})
 				dlqPublish = true
 			} else {
 				g.dropped++
 				g.broker.met.nackDrops.Inc()
+				g.broker.rec.Record(flightrec.KindNackDrop, flightrec.Event{
+					Comp: "pubsub.group", ID: msg.Offset, Trace: msg.Trace,
+					N: int64(g.attempts[p]), Detail: g.t.name + "/" + g.name,
+				})
 			}
 		}
 		g.t.cond.Broadcast()

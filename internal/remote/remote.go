@@ -62,6 +62,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"os"
@@ -71,7 +72,9 @@ import (
 	"time"
 
 	"unbundle/internal/core"
+	"unbundle/internal/flightrec"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/logz"
 	"unbundle/internal/metrics"
 	"unbundle/internal/trace"
 )
@@ -152,6 +155,7 @@ type serverMetrics struct {
 	events          *metrics.Counter // change events sent inside event frames
 	snapChunks      *metrics.Counter // snapshot response chunks streamed
 	heartbeats      *metrics.Counter // heartbeat frames sent on idle v3 conns
+	hbMisses        *metrics.Counter // read deadlines expired: peer fell silent
 	decodeErrs      *metrics.Counter // corrupt/unknown frames that killed a conn
 	connDrops       *metrics.Counter // events+frames queued but unsent when a conn died
 	drainedWatches  *metrics.Counter // watches terminally resynced by Shutdown
@@ -168,6 +172,7 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		events:          reg.Counter("remote_server_events_total"),
 		snapChunks:      reg.Counter("remote_server_snap_chunks_total"),
 		heartbeats:      reg.Counter("remote_server_heartbeats_total"),
+		hbMisses:        reg.Counter("remote_server_heartbeat_misses_total"),
 		decodeErrs:      reg.Counter("remote_server_decode_errors_total"),
 		connDrops:       reg.Counter("remote_server_conn_drops_total"),
 		drainedWatches:  reg.Counter("remote_server_drained_watches_total"),
@@ -186,6 +191,7 @@ type clientMetrics struct {
 	bytes          *metrics.Counter // bytes read from the server socket
 	events         *metrics.Counter // change events received inside event frames
 	heartbeats     *metrics.Counter // heartbeat frames sent on idle v3 conns
+	hbMisses       *metrics.Counter // read deadlines expired: server fell silent
 	decodeErrs     *metrics.Counter // corrupt/unknown frames that killed a conn
 	reconnects     *metrics.Counter // successful reconnects
 	reconnectFails *metrics.Counter // failed dial attempts during reconnect
@@ -203,6 +209,7 @@ func newClientMetrics(reg *metrics.Registry) clientMetrics {
 		bytes:          reg.Counter("remote_client_bytes_total"),
 		events:         reg.Counter("remote_client_events_total"),
 		heartbeats:     reg.Counter("remote_client_heartbeats_total"),
+		hbMisses:       reg.Counter("remote_client_heartbeat_misses_total"),
 		decodeErrs:     reg.Counter("remote_client_decode_errors_total"),
 		reconnects:     reg.Counter("remote_client_reconnects_total"),
 		reconnectFails: reg.Counter("remote_client_reconnect_failures_total"),
@@ -229,6 +236,13 @@ type ServerConfig struct {
 	// connection torn down (overflow→resync already lagged its watches out).
 	// 0 uses the 10s default; negative disables write deadlines.
 	WriteTimeout time.Duration
+	// Recorder, when non-nil, flight-records connection lifecycle events:
+	// accept, heartbeat miss, overflow, drain, disconnect. Nil disables
+	// recording; the per-frame paths never record either way.
+	Recorder *flightrec.Recorder
+	// Log receives structured records for the same transitions; nil uses
+	// the process-wide logz ring under component "remote.server".
+	Log *slog.Logger
 }
 
 // Server exposes a watch system and its recovery snapshots on a listener.
@@ -237,8 +251,11 @@ type Server struct {
 	snap       core.Snapshotter
 	ln         net.Listener
 	tracer     *trace.Tracer
+	rec        *flightrec.Recorder
+	log        *slog.Logger
 	hbInterval time.Duration
 	writeTO    time.Duration
+	connSeq    atomic.Int64 // connection ids, for flight-record correlation
 
 	mu     sync.Mutex
 	conns  map[*serverConn]struct{}
@@ -268,11 +285,17 @@ func ServeWith(addr string, watch core.Watchable, snap core.Snapshotter, cfg Ser
 	if wto == 0 {
 		wto = defaultWriteTimeout
 	}
+	log := cfg.Log
+	if log == nil {
+		log = logz.Logger("remote.server")
+	}
 	s := &Server{
 		watch:      watch,
 		snap:       snap,
 		ln:         ln,
 		tracer:     cfg.Tracer,
+		rec:        cfg.Recorder,
+		log:        log,
 		hbInterval: hb,
 		writeTO:    wto,
 		conns:      make(map[*serverConn]struct{}),
@@ -294,9 +317,12 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		sc := &serverConn{
+			id:      s.connSeq.Add(1),
 			conn:    conn,
 			met:     s.met,
 			tracer:  s.tracer,
+			rec:     s.rec,
+			log:     s.log,
 			writeTO: s.writeTO,
 			done:    make(chan struct{}),
 			watches: make(map[uint64]serverWatch),
@@ -347,9 +373,12 @@ func frameDropWeight(f *outFrame) int64 {
 // serverConn is the per-connection state: a bounded outbound queue drained
 // by one writer goroutine, and the active watches.
 type serverConn struct {
+	id      int64 // server-assigned, correlates this conn's flight records
 	conn    net.Conn
 	met     serverMetrics
 	tracer  *trace.Tracer
+	rec     *flightrec.Recorder
+	log     *slog.Logger
 	writeTO time.Duration
 
 	v3       atomic.Bool  // hello received: heartbeats + read deadlines armed
@@ -377,6 +406,9 @@ type serverWatch struct {
 func (s *Server) serveConn(sc *serverConn) {
 	defer s.wg.Done()
 	s.met.conns.Inc()
+	peer := sc.conn.RemoteAddr().String()
+	s.rec.Record(flightrec.KindRemoteConnect, flightrec.Event{Comp: "remote.server", ID: sc.id, Detail: peer})
+	s.log.Info("connection accepted", "conn", sc.id, "peer", peer)
 
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -397,6 +429,7 @@ func (s *Server) serveConn(sc *serverConn) {
 	// most 1.25×, well inside the 4× heartbeat multiplier's slack.
 	var armedAt time.Time
 	var armedTO time.Duration
+	var readErr error
 	for {
 		if sc.v3.Load() {
 			to := readTimeoutFor(sc.peerHB.Load())
@@ -407,7 +440,16 @@ func (s *Server) serveConn(sc *serverConn) {
 		}
 		var tag uint8
 		if err := dec.Decode(&tag); err != nil {
-			if !connLossErr(err) {
+			readErr = err
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// The peer fell silent past its heartbeat budget: the
+				// half-open-connection case, distinct from ordinary loss.
+				s.met.hbMisses.Inc()
+				s.rec.Record(flightrec.KindHeartbeatMiss, flightrec.Event{
+					Comp: "remote.server", ID: sc.id, Detail: "peer silent past heartbeat deadline",
+				})
+				s.log.Warn("heartbeat missed: peer silent", "conn", sc.id)
+			} else if !connLossErr(err) {
 				s.met.decodeErrs.Inc()
 			}
 			break // client gone (or sent garbage): tear the connection down
@@ -451,6 +493,14 @@ func (s *Server) serveConn(sc *serverConn) {
 	s.mu.Lock()
 	delete(s.conns, sc)
 	s.mu.Unlock()
+	cause := ""
+	if readErr != nil {
+		cause = readErr.Error()
+	}
+	s.rec.Record(flightrec.KindRemoteDisconnect, flightrec.Event{
+		Comp: "remote.server", ID: sc.id, N: drops, Detail: cause,
+	})
+	s.log.Info("connection closed", "conn", sc.id, "drops", drops, "cause", cause)
 }
 
 // readTimeoutFor sizes a read deadline from the peer's announced heartbeat
@@ -674,6 +724,12 @@ func (sc *serverConn) sendResync(id uint64, r core.ResyncEvent) {
 // sc.mu.
 func (sc *serverConn) overflowLocked() {
 	sc.met.overflowResyncs.Add(int64(len(sc.watches)))
+	sc.rec.Record(flightrec.KindRemoteOverflow, flightrec.Event{
+		Comp: "remote.server", ID: sc.id, N: int64(len(sc.watches)), Detail: "outbound buffer overflow",
+	})
+	if sc.log != nil { // tests build bare serverConns without a logger
+		sc.log.Warn("outbound buffer overflow, resyncing watches", "conn", sc.id, "watches", len(sc.watches))
+	}
 	kept := make([]outFrame, 0, len(sc.watches)+4)
 	for id, w := range sc.watches {
 		kept = append(kept, outFrame{tag: tagResync, id: id, resync: core.ResyncEvent{
@@ -790,6 +846,12 @@ func (sc *serverConn) beginDrain(reason string) {
 	}
 	if n > 0 {
 		sc.met.drainedWatches.Add(int64(n))
+	}
+	sc.rec.Record(flightrec.KindRemoteDrain, flightrec.Event{
+		Comp: "remote.server", ID: sc.id, N: int64(n), Detail: reason,
+	})
+	if sc.log != nil { // tests build bare serverConns without a logger
+		sc.log.Info("connection draining", "conn", sc.id, "watches", n, "reason", reason)
 	}
 }
 
@@ -1078,6 +1140,13 @@ type ClientConfig struct {
 	// proxies). nil uses net.DialTimeout("tcp", addr, 5s). The dialer is
 	// invoked again on every reconnect attempt.
 	Dialer func(addr string) (net.Conn, error)
+	// Recorder, when non-nil, flight-records the client's connection
+	// lifecycle: connect, heartbeat miss, disconnect, reconnect, and each
+	// watch resumed. Nil disables recording.
+	Recorder *flightrec.Recorder
+	// Log receives structured records for the same transitions; nil uses
+	// the process-wide logz ring under component "remote.client".
+	Log *slog.Logger
 }
 
 // snapResult resolves one in-flight snapshot request.
@@ -1146,6 +1215,8 @@ type Client struct {
 	addr   string
 	met    clientMetrics
 	tracer *trace.Tracer
+	rec    *flightrec.Recorder
+	log    *slog.Logger
 	hbIv   time.Duration // negative: speak v2 (no hello/heartbeats)
 	policy ReconnectPolicy
 	dialer func(addr string) (net.Conn, error)
@@ -1196,10 +1267,16 @@ func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 		seed = time.Now().UnixNano()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	log := cfg.Log
+	if log == nil {
+		log = logz.Logger("remote.client")
+	}
 	c := &Client{
 		addr:      addr,
 		met:       newClientMetrics(cfg.Metrics),
 		tracer:    cfg.Tracer,
+		rec:       cfg.Recorder,
+		log:       log,
 		hbIv:      hb,
 		policy:    cfg.Reconnect.withDefaults(),
 		dialer:    dialer,
@@ -1226,6 +1303,8 @@ func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("remote: dial: %w", err)
 	}
 	c.startConn(cc)
+	c.rec.Record(flightrec.KindRemoteConnect, flightrec.Event{Comp: "remote.client", ID: int64(cc.gen), Detail: addr})
+	c.log.Info("connected", "addr", addr, "gen", cc.gen)
 	return c, nil
 }
 
@@ -1506,6 +1585,21 @@ func (c *Client) connFailed(cc *clientConn, err error) {
 	c.mu.Unlock()
 
 	c.met.connLost.Inc()
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		c.met.hbMisses.Inc()
+		c.rec.Record(flightrec.KindHeartbeatMiss, flightrec.Event{
+			Comp: "remote.client", ID: int64(cc.gen), Detail: "server silent past heartbeat deadline",
+		})
+		c.log.Warn("heartbeat missed: server silent", "gen", cc.gen)
+	}
+	cause := ""
+	if err != nil {
+		cause = err.Error()
+	}
+	c.rec.Record(flightrec.KindRemoteDisconnect, flightrec.Event{
+		Comp: "remote.client", ID: int64(cc.gen), Detail: cause,
+	})
+	c.log.Warn("connection lost", "gen", cc.gen, "cause", cause, "reconnect", reconnect)
 	switch {
 	case closed:
 		c.terminate("remote: client closed", ErrClientClosed)
@@ -1553,6 +1647,7 @@ func (c *Client) terminate(reason string, err error) {
 	if len(watches) > 0 {
 		c.met.resyncs.Add(int64(len(watches)))
 	}
+	c.log.Warn("client terminated", "reason", reason, "watches", len(watches))
 	for _, w := range watches {
 		w.cb.OnResync(core.ResyncEvent{Range: w.rng, Reason: reason})
 	}
@@ -1659,6 +1754,9 @@ func (c *Client) resume(gen int, conn net.Conn) error {
 			return err
 		}
 		c.met.resumedWatches.Inc()
+		c.rec.Record(flightrec.KindRemoteResume, flightrec.Event{
+			Comp: "remote.client", ID: int64(w.id), Version: uint64(from),
+		})
 	}
 	for i, acc := range snaps {
 		if err := c.sendOn(cc, tagSnapshot, &snapshotReq{ID: snapIDs[i], Low: acc.rng.Low, High: acc.rng.High}); err != nil {
@@ -1667,6 +1765,10 @@ func (c *Client) resume(gen int, conn net.Conn) error {
 		}
 	}
 	c.met.reconnects.Inc()
+	c.rec.Record(flightrec.KindRemoteReconnect, flightrec.Event{
+		Comp: "remote.client", ID: int64(cc.gen), N: int64(len(watches)),
+	})
+	c.log.Info("reconnected", "gen", cc.gen, "watches_resumed", len(watches), "snapshots_restarted", len(snaps))
 	c.startConn(cc)
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"unbundle/internal/clockwork"
+	"unbundle/internal/flightrec"
 	"unbundle/internal/keyspace"
 )
 
@@ -95,6 +96,10 @@ type Config struct {
 	// as production sharders do, bounding table fragmentation under heavy
 	// move traffic.
 	CoalesceRanges bool
+	// Recorder, when non-nil, receives one flight record per assignment-table
+	// change that moved ranges, so black-box dumps can correlate routing churn
+	// with the watch-side symptoms it causes.
+	Recorder *flightrec.Recorder
 }
 
 // Sharder assigns key ranges to pods.
@@ -102,6 +107,7 @@ type Sharder struct {
 	clock    clockwork.Clock
 	lease    time.Duration
 	coalesce bool
+	rec      *flightrec.Recorder
 
 	mu         sync.Mutex
 	asgs       []Assignment // sorted by Range.Low, covering the keyspace
@@ -137,6 +143,7 @@ func New(cfg Config, pods ...Pod) *Sharder {
 		clock:     cfg.Clock,
 		lease:     cfg.LeaseDuration,
 		coalesce:  cfg.CoalesceRanges,
+		rec:       cfg.Recorder,
 		listeners: make(map[int]*listener),
 	}
 	s.pods = append(s.pods, pods...)
@@ -266,6 +273,7 @@ func (s *Sharder) MoveRange(r keyspace.Range, to Pod) error {
 	now := s.clock.Now()
 	activeAt := now
 	changed := false
+	movesBefore := s.moves
 	for i := range s.asgs {
 		a := &s.asgs[i]
 		if !r.ContainsRange(a.Range) {
@@ -284,9 +292,20 @@ func (s *Sharder) MoveRange(r keyspace.Range, to Pod) error {
 		s.moves++
 	}
 	if changed {
+		moved := s.moves - movesBefore
 		s.notifyLocked()
+		s.recordMovesLocked(moved, "move→"+string(to))
 	}
 	return nil
+}
+
+// recordMovesLocked emits one range-move flight record covering every range
+// moved by the table change just notified — churn is legible as one event
+// per generation, not one per range.
+func (s *Sharder) recordMovesLocked(moved int64, detail string) {
+	s.rec.Record(flightrec.KindRangeMove, flightrec.Event{
+		Comp: "sharder", Version: uint64(s.generation), N: moved, Detail: detail,
+	})
 }
 
 // Split introduces a shard boundary at key k (no-op if one exists).
@@ -370,6 +389,7 @@ func (s *Sharder) hasPodLocked(p Pod) bool {
 func (s *Sharder) rebalanceLocked() {
 	now := s.clock.Now()
 	changed := false
+	movesBefore := s.moves
 	assign := func(i int, want Pod) {
 		if s.asgs[i].Pod == want {
 			return
@@ -388,7 +408,9 @@ func (s *Sharder) rebalanceLocked() {
 			assign(i, NoPod)
 		}
 		if changed {
+			moved := s.moves - movesBefore
 			s.notifyLocked()
+			s.recordMovesLocked(moved, "rebalance")
 		}
 		return
 	}
@@ -434,7 +456,9 @@ func (s *Sharder) rebalanceLocked() {
 		}
 	}
 	if changed {
+		moved := s.moves - movesBefore
 		s.notifyLocked()
+		s.recordMovesLocked(moved, "rebalance")
 	}
 }
 
@@ -474,6 +498,7 @@ func (s *Sharder) Balance(load map[Pod]float64, hottest keyspace.Range, hotLoad,
 			}
 			s.moves++
 			s.notifyLocked()
+			s.recordMovesLocked(1, "balance→"+string(coolest))
 			return true
 		}
 	}

@@ -1,0 +1,93 @@
+// Flight-recorder-overhead guard: the always-on black box must be nearly
+// free on the hot path. The recorder only logs rare lifecycle events —
+// watcher add/remove/lag-out, segment seal/retire — never per-append or
+// per-delivery, so the steady-state append/fan-out cost of an attached
+// recorder is a handful of nil-receiver branches. This test pins that cost:
+// a hub with a recorder attached must run the BenchmarkHubAppendFanout8
+// workload within 5% of a hub with no recorder at all. Benchmark-grade
+// timing is too noisy for ordinary CI `go test`, so the guard only runs
+// when REC_GUARD is set (see `make recguard`).
+package unbundle_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"unbundle"
+)
+
+// recGuardRun measures the fan-out workload against a fresh hub with the
+// given recorder (nil = bare baseline) and returns ns/op.
+func recGuardRun(t *testing.T, rec *unbundle.FlightRecorder) float64 {
+	t.Helper()
+	// Settle the heap between rounds so the previous hub's retention garbage
+	// doesn't charge its collection to whichever config runs next.
+	runtime.GC()
+	hub := unbundle.NewHub(unbundle.HubConfig{
+		Retention:     1 << 16,
+		WatcherBuffer: 1 << 20,
+		Metrics:       unbundle.NewMetricsRegistry(),
+		Recorder:      rec,
+	})
+	defer hub.Close()
+	for w := 0; w < 8; w++ {
+		lo := unbundle.Key(fmt.Sprintf("%d", w))
+		hi := unbundle.Key(fmt.Sprintf("%d", w+1))
+		cancel, err := hub.Watch(unbundle.Range{Low: lo, High: hi}, 0, unbundle.Callbacks{
+			Event: func(unbundle.ChangeEvent) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cancel()
+	}
+	res := testing.Benchmark(guardWorkload(hub))
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// TestFlightRecorderOverheadGuard compares recorder-attached against
+// recorder-free hubs in the same process, interleaving round order and
+// taking the best of each config to shed scheduler noise (same protocol as
+// TestTracingOverheadGuard). The 5% budget is the acceptance bar.
+func TestFlightRecorderOverheadGuard(t *testing.T) {
+	if os.Getenv("REC_GUARD") == "" {
+		t.Skip("set REC_GUARD=1 to run the flight-recorder-overhead guard (see make recguard)")
+	}
+	const rounds, maxRounds = 5, 15
+	rec := unbundle.NewFlightRecorder(unbundle.FlightRecorderConfig{
+		Metrics: unbundle.NewMetricsRegistry(),
+	})
+	if !rec.Enabled() {
+		t.Fatal("NewFlightRecorder must yield an enabled recorder")
+	}
+	base, recorded := -1.0, -1.0
+	ratio := 0.0
+	for i := 0; i < maxRounds; i++ {
+		// Alternate which config runs first so slot-position costs
+		// (frequency ramps, cache state, background load) are paid evenly.
+		runs := [2]*unbundle.FlightRecorder{nil, rec}
+		if i%2 == 1 {
+			runs[0], runs[1] = runs[1], runs[0]
+		}
+		for _, r := range runs {
+			v := recGuardRun(t, r)
+			if r == nil {
+				if base < 0 || v < base {
+					base = v
+				}
+			} else if recorded < 0 || v < recorded {
+				recorded = v
+			}
+		}
+		ratio = recorded / base
+		if i >= rounds-1 && ratio <= 1.05 {
+			break
+		}
+	}
+	t.Logf("no recorder: %.1f ns/op, recorder attached: %.1f ns/op, ratio %.3f", base, recorded, ratio)
+	if ratio > 1.05 {
+		t.Errorf("attached recorder costs %.1f%% on the hot append path (budget 5%%)", (ratio-1)*100)
+	}
+}

@@ -30,10 +30,14 @@
 package unbundle
 
 import (
+	"log/slog"
+
 	"unbundle/internal/core"
 	"unbundle/internal/debugz"
+	"unbundle/internal/flightrec"
 	"unbundle/internal/ingeststore"
 	"unbundle/internal/keyspace"
+	"unbundle/internal/logz"
 	"unbundle/internal/metrics"
 	"unbundle/internal/mvcc"
 	"unbundle/internal/pubsub"
@@ -354,3 +358,61 @@ type (
 func ServeDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
 	return debugz.Serve(addr, cfg)
 }
+
+// Flight recorder + black-box dumps (see internal/flightrec): an always-on,
+// fixed-memory ring of the stack's rare lifecycle events (lag-outs, segment
+// seals, disconnects, GC drops, range moves), anomaly detectors polling the
+// metrics registry against EWMA baselines, and a capturer that freezes a
+// self-contained dump — timeline, traces, metrics delta, lag radar — the
+// instant a detector fires. Wire a FlightRecorder into HubConfig,
+// WatchServerConfig, WatchClientConfig, BrokerConfig and SharderConfig via
+// their Recorder fields, or use NewFlightStack for the standard wiring.
+type (
+	// FlightRecorder is the always-on event ring; nil is a valid disabled
+	// recorder (one branch per record).
+	FlightRecorder = flightrec.Recorder
+	// FlightRecorderConfig tunes ring sizing and the clock.
+	FlightRecorderConfig = flightrec.Config
+	// FlightRecord is one recorded event with its sequence and timestamp.
+	FlightRecord = flightrec.Record
+	// FlightEvent is the typed payload of a FlightRecord.
+	FlightEvent = flightrec.Event
+	// FlightKind classifies a FlightRecord.
+	FlightKind = flightrec.Kind
+	// FlightMonitor periodically evaluates anomaly detectors.
+	FlightMonitor = flightrec.Monitor
+	// FlightCapturer assembles and retains black-box dumps.
+	FlightCapturer = flightrec.Capturer
+	// FlightDump is one captured black box.
+	FlightDump = flightrec.Dump
+	// FlightStack bundles recorder, monitor and capturer.
+	FlightStack = flightrec.Stack
+	// FlightStackConfig configures NewFlightStack.
+	FlightStackConfig = flightrec.StackConfig
+)
+
+// NewFlightRecorder creates an always-on flight recorder.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder { return flightrec.New(cfg) }
+
+// NewFlightStack wires recorder → standard detectors → capturer; call
+// Mon.Start to begin anomaly detection.
+func NewFlightStack(cfg FlightStackConfig) *FlightStack { return flightrec.NewStack(cfg) }
+
+// Structured logging (see internal/logz): component-tagged slog.Loggers
+// writing into a bounded in-memory ring served at the debug server's /logz.
+type (
+	// LogRing is a bounded log-record buffer behind a slog.Handler.
+	LogRing = logz.Ring
+	// LogEntry is one retained log record.
+	LogEntry = logz.Entry
+)
+
+// NewLogRing creates a log ring retaining the last capacity records.
+func NewLogRing(capacity int) *LogRing { return logz.NewRing(capacity) }
+
+// DefaultLogRing returns the process-wide log ring components fall back to.
+func DefaultLogRing() *LogRing { return logz.Default() }
+
+// ComponentLogger returns a component-tagged slog.Logger on the process-wide
+// log ring.
+func ComponentLogger(component string) *slog.Logger { return logz.Logger(component) }
