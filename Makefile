@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-remote bench-replay bench-diff chaos traceguard recguard detectors verify clean
+.PHONY: build test race vet bench bench-remote bench-replay bench-diff chaos fuzz traceguard recguard detectors verify clean
 
 build:
 	$(GO) build ./...
@@ -32,8 +32,10 @@ bench:
 # bench-remote is the remote-transport counterpart of bench: loopback TCP
 # fan-out at 8 and 64 watchers plus large-snapshot streaming, medians-of-5
 # folded into BENCH_remote.json. events/sec and wire-B/event in each entry's
-# extra map are the headline transport numbers.
-BENCH_REMOTE = 'BenchmarkRemoteFanout8$$|BenchmarkRemoteFanout64$$|BenchmarkRemoteSnapshot4MB$$'
+# extra map are the headline transport numbers. The Gob variants pin the
+# client to protocol v3 and the Codec benchmarks compare the two encoders
+# in-process, so every run carries its own same-session gob-vs-binary A/B.
+BENCH_REMOTE = 'BenchmarkRemoteFanout8$$|BenchmarkRemoteFanout64$$|BenchmarkRemoteFanout64Gob$$|BenchmarkRemoteSnapshot4MB$$|BenchmarkCodecEncodeBatch$$|BenchmarkCodecDecodeBatch$$'
 
 bench-remote:
 	$(GO) test -run XXX -bench $(BENCH_REMOTE) -benchmem -count=5 ./internal/remote > bench_remote_raw.txt
@@ -62,14 +64,24 @@ bench-diff:
 
 # chaos runs the transport fault-injection suite under the race detector:
 # heartbeat-detected half-open connections, repeated severs with resume,
-# graceful drain, close-ordering, malformed frames, overflow recovery, and
-# the E13 resilience experiment end to end.
-CHAOS_RUN = 'TestChaos|TestServerShutdown|TestClientClose|TestReconnect|TestMalformed|TestOverflow|TestPostOverflow|TestV2Interop'
+# graceful drain, close-ordering, malformed frames (gob and binary), the
+# cross-version protocol matrix, overflow recovery, and the E13/E16
+# resilience experiments end to end.
+CHAOS_RUN = 'TestChaos|TestServerShutdown|TestClientClose|TestReconnect|TestMalformed|TestOverflow|TestPostOverflow|TestV2Interop|TestCrossVersion'
 
 chaos:
 	$(GO) test -race -count=1 -run $(CHAOS_RUN) ./internal/remote
 	$(GO) test -race -count=1 -run 'TestChaosPartitionProducesRetrievableDump' ./internal/debugz
-	$(GO) test -race -count=1 -run 'TestAllExperimentsQuick/(E13|E15)' ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestAllExperimentsQuick/(E13|E15|E16)' ./internal/experiments
+
+# fuzz smoke-runs the wire-codec fuzzer: FuzzDecodeFrame drives the binary
+# frame decoder with mutations of the golden fixtures for a bounded wall
+# time. Long exploratory runs use `go test -fuzz` directly; this target is
+# the regression gate.
+FUZZ_TIME ?= 10s
+
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzDecodeFrame -fuzztime $(FUZZ_TIME) ./internal/remote
 
 # traceguard pins the cost of the (disabled) causal tracer on the hot hub
 # append path: a hub built with a disabled tracer must stay within 5% of one
@@ -93,9 +105,10 @@ detectors:
 # verify is the gate a change must pass before it ships. The race target
 # includes the hub contract, stress, and latency-isolation tests; chaos is
 # the transport fault-injection suite (including the black-box dump e2e);
+# fuzz smoke-runs the wire-codec fuzzer against the golden corpus;
 # detectors is the deterministic anomaly-detector suite; traceguard and
 # recguard keep tracing and flight recording free on the hot path.
-verify: vet build race chaos detectors traceguard recguard
+verify: vet build race chaos fuzz detectors traceguard recguard
 
 clean:
 	$(GO) clean ./...

@@ -69,7 +69,8 @@ type File struct {
 	Runs []Run `json:"runs"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+// Subbenchmark names (Benchmark.../case) keep their slash-separated suffix.
+var benchLine = regexp.MustCompile(`^(Benchmark[\w/]+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	label := flag.String("label", "", "label for this run (required), e.g. pre-sharding")

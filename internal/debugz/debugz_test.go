@@ -311,11 +311,11 @@ func TestConnsEndpoint(t *testing.T) {
 		if err := json.Unmarshal(get(t, h, "/conns").Body.Bytes(), &conns); err != nil {
 			t.Fatalf("GET /conns: invalid JSON: %v", err)
 		}
-		if len(conns) == 1 && conns[0].Protocol == 3 && conns[0].Watches == 1 {
+		if len(conns) == 1 && conns[0].Protocol == 4 && conns[0].Codec == "binary" && conns[0].Watches == 1 {
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("GET /conns never showed the v3 watch conn: %+v", conns)
+			t.Fatalf("GET /conns never showed the v4 watch conn: %+v", conns)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

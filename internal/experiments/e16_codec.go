@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+	"unbundle/internal/mvcc"
+	"unbundle/internal/remote"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E16",
+		Title:  "Wire codec: binary v4 halves bytes/event with recovery parity vs gob",
+		Anchor: "§4.3 (cost of the generic transport)",
+		Run:    runE16,
+	})
+}
+
+// e16Stats is one codec's measured behaviour under the E13 partition chaos.
+type e16Stats struct {
+	proto      int
+	codec      string
+	events     int64
+	wireBytes  int64
+	reconnects int64
+	resumed    int64
+	resyncs    int64
+	v4Frames   int64
+	converged  bool
+}
+
+// runE16 reruns the E13 shape — partitions healed by resume-or-resync —
+// once with the client pinned to protocol v3 (gob codec) and once
+// negotiating v4 (hand-rolled binary codec), on the same seed and workload.
+// The recovery contract must hold identically on both: converged replicas,
+// reconnect per partition, no hung watcher. What changes is only the wire
+// cost: the binary codec's delta-encoded, dictionary-keyed frames must spend
+// at most half the server bytes per delivered event that gob does.
+func runE16(opts Options) (*Result, error) {
+	e, _ := Get("E16")
+	return run(e, opts, func(res *Result) error {
+		rounds := opts.pick(3, 5)
+		perRound := opts.pick(300, 1500)
+
+		gob, err := runE16Codec(opts, 3, rounds, perRound)
+		if err != nil {
+			return fmt.Errorf("gob pass: %w", err)
+		}
+		bin, err := runE16Codec(opts, 0, rounds, perRound)
+		if err != nil {
+			return fmt.Errorf("binary pass: %w", err)
+		}
+
+		perEvent := func(s e16Stats) float64 {
+			if s.events == 0 {
+				return 0
+			}
+			return float64(s.wireBytes) / float64(s.events)
+		}
+		tbl := metrics.NewTable(fmt.Sprintf(
+			"E16 — same partition chaos (%d rounds × %d events), gob vs binary codec",
+			rounds, perRound),
+			"metric", "gob (v3)", "binary (v4)")
+		tbl.AddRow("negotiated protocol", gob.proto, bin.proto)
+		tbl.AddRow("codec", gob.codec, bin.codec)
+		tbl.AddRow("events delivered", gob.events, bin.events)
+		tbl.AddRow("server wire bytes", gob.wireBytes, bin.wireBytes)
+		tbl.AddRow("wire bytes/event", fmt.Sprintf("%.1f", perEvent(gob)), fmt.Sprintf("%.1f", perEvent(bin)))
+		tbl.AddRow("client reconnects", gob.reconnects, bin.reconnects)
+		tbl.AddRow("watches resumed", gob.resumed, bin.resumed)
+		tbl.AddRow("explicit resyncs", gob.resyncs, bin.resyncs)
+		tbl.AddRow("v4 frames on the wire", gob.v4Frames, bin.v4Frames)
+		tbl.AddNote("identical seed, workload, and partition schedule on both passes")
+		tbl.AddNote("recovery parity: the codec changes the frame bytes, never the watch contract")
+		res.Table = tbl
+
+		res.check("both codecs converged through every partition",
+			gob.converged && bin.converged, "gob=%v binary=%v", gob.converged, bin.converged)
+		res.check("both codecs reconnected and resumed",
+			gob.reconnects > 0 && bin.reconnects > 0 && gob.resumed > 0 && bin.resumed > 0,
+			"reconnects gob=%d bin=%d, resumed gob=%d bin=%d",
+			gob.reconnects, bin.reconnects, gob.resumed, bin.resumed)
+		res.check("negotiation pinned the expected codecs",
+			gob.proto == 3 && gob.codec == "gob" && bin.proto == 4 && bin.codec == "binary" &&
+				gob.v4Frames == 0 && bin.v4Frames > 0,
+			"gob pass v%d/%s (%d v4 frames), binary pass v%d/%s (%d v4 frames)",
+			gob.proto, gob.codec, gob.v4Frames, bin.proto, bin.codec, bin.v4Frames)
+		res.check("binary codec spends ≤ half the wire bytes per event",
+			perEvent(bin) > 0 && perEvent(bin) <= perEvent(gob)/2,
+			"%.1f B/event binary vs %.1f gob", perEvent(bin), perEvent(gob))
+		return nil
+	})
+}
+
+// runE16Codec runs one codec pass: a single chaos-wrapped consumer mirroring
+// the store through `rounds` rounds of writes, severed between rounds.
+func runE16Codec(opts Options, maxProto, rounds, perRound int) (e16Stats, error) {
+	const keys = 128
+	reg := metrics.NewRegistry()
+	ws := mvcc.NewWatchableStore(core.HubConfig{Retention: 1 << 15, WatcherBuffer: 1 << 16, Metrics: reg})
+	defer ws.Close()
+	srv, err := remote.ServeWith("127.0.0.1:0", ws, ws, remote.ServerConfig{
+		Metrics:           reg,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return e16Stats{}, err
+	}
+	defer srv.Close()
+
+	ctrl := remote.NewChaosController(remote.ChaosConfig{Seed: opts.Seed})
+	client, err := remote.DialWith(srv.Addr(), remote.ClientConfig{
+		Metrics:           reg,
+		HeartbeatInterval: 20 * time.Millisecond,
+		MaxProtocol:       maxProto,
+		Reconnect: remote.ReconnectPolicy{
+			Enabled:     true,
+			MaxAttempts: -1,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+			Seed:        opts.Seed + 1,
+		},
+		Dialer: ctrl.Dialer(),
+	})
+	if err != nil {
+		return e16Stats{}, err
+	}
+	defer client.Close()
+
+	sink := &e13Sink{state: make(map[keyspace.Key]string)}
+	watcher := core.NewResyncWatcher(client, client, keyspace.Full(), sink)
+	if err := watcher.Start(); err != nil {
+		return e16Stats{}, err
+	}
+	defer watcher.Stop()
+
+	converged := func() bool {
+		entries, _, err := ws.SnapshotRange(keyspace.Full())
+		if err != nil {
+			return false
+		}
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		if len(sink.state) != len(entries) {
+			return false
+		}
+		for _, e := range entries {
+			if sink.state[e.Key] != string(e.Value) {
+				return false
+			}
+		}
+		return true
+	}
+
+	v := 0
+	for round := 1; round <= rounds; round++ {
+		for i := 0; i < perRound; i++ {
+			v++
+			ws.Put(keyspace.NumericKey(v%keys), []byte(fmt.Sprintf("r%d-%d", round, v)))
+		}
+		if !settle(converged) {
+			return e16Stats{}, fmt.Errorf("round %d: consumer failed to converge", round)
+		}
+		if round < rounds {
+			dials := ctrl.Dials()
+			ctrl.SeverAll()
+			if !settle(func() bool { return ctrl.Dials() > dials }) {
+				return e16Stats{}, fmt.Errorf("round %d: client never reconnected", round)
+			}
+		}
+	}
+
+	proto, codec := client.ProtocolInfo()
+	snap := reg.Snapshot()
+	return e16Stats{
+		proto:      proto,
+		codec:      codec,
+		events:     watcher.Events(),
+		wireBytes:  int64(snap.Counters["remote_server_bytes_total"]),
+		reconnects: int64(snap.Counters["remote_client_reconnects_total"]),
+		resumed:    int64(snap.Counters["remote_client_resumed_watches_total"]),
+		resyncs:    watcher.Resyncs(),
+		v4Frames:   int64(snap.Counters["remote_server_codec_frames_v4_total"]),
+		converged:  converged(),
+	}, nil
+}

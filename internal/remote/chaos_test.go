@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"net"
@@ -533,6 +534,13 @@ func gobGarbage() []byte {
 	return []byte{0xf8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
 }
 
+// binGarbage is a frame no binary (v4) decoder accepts: a valid event-batch
+// tag whose uvarint payload length exceeds maxFrameLen, tripping the frame
+// size guard before any payload bytes are read.
+func binGarbage() []byte {
+	return binary.AppendUvarint([]byte{tagEventBatch}, uint64(maxFrameLen)+1)
+}
+
 func contains(s, sub string) bool {
 	for i := 0; i+len(sub) <= len(s); i++ {
 		if s[i:i+len(sub)] == sub {
@@ -637,6 +645,119 @@ func TestMalformedFrameClient(t *testing.T) {
 	var perr *ProtocolError
 	if !errors.As(err, &perr) {
 		t.Fatalf("Watch after protocol error = %v, want wrapped *ProtocolError", err)
+	}
+}
+
+// TestMalformedBinaryFrameServer completes a real v4 negotiation (gob hello,
+// gob upgrade marker) and then feeds the server's binary decoder a frame
+// whose length field exceeds maxFrameLen. The server must reject it as a
+// typed decode error — never allocate the declared size — and reap only that
+// connection.
+func TestMalformedBinaryFrameServer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	hub := core.NewHub(core.HubConfig{Metrics: reg})
+	defer hub.Close()
+	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() { // drain the server's hello reply + upgrade + heartbeats
+		buf := make([]byte, 1024)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	enc := gob.NewEncoder(conn)
+	for _, v := range []any{uint8(tagHello), &helloMsg{Version: protoV4, HeartbeatMillis: 1000}, uint8(tagUpgrade)} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server's decoder is now binary for this connection.
+	if _, err := conn.Write(binGarbage()); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "binary garbage counted", func() bool {
+		return reg.Snapshot().Counters["remote_server_decode_errors_total"] >= 1
+	})
+	waitUntil(t, "poisoned conn reaped", func() bool { return len(srv.Conns()) == 0 })
+}
+
+// TestMalformedBinaryFrameClient is the mirror image: a fake server
+// negotiates v4 with a real client, sends the gob upgrade marker, then
+// injects an over-length binary frame. The client must surface a typed
+// *ProtocolError, bump remote_client_decode_errors_total, and deliver the
+// watch its terminal resync.
+func TestMalformedBinaryFrameClient(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		dec := gob.NewDecoder(conn)
+		var tag uint8
+		var h helloMsg
+		if dec.Decode(&tag) != nil || tag != tagHello || dec.Decode(&h) != nil {
+			return
+		}
+		go func() { // drain the client's upgrade marker + binary watch frames
+			buf := make([]byte, 1024)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		enc := gob.NewEncoder(conn)
+		for _, v := range []any{uint8(tagHello), &helloMsg{Version: protoV4, HeartbeatMillis: h.HeartbeatMillis}, uint8(tagUpgrade)} {
+			if enc.Encode(v) != nil {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond) // let the watch request land first
+		conn.Write(binGarbage())
+	}()
+
+	reg := metrics.NewRegistry()
+	client, err := DialWith(ln.Addr().String(), ClientConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resyncCh := make(chan core.ResyncEvent, 1)
+	if _, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+		Resync: func(r core.ResyncEvent) { resyncCh <- r },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-resyncCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no resync after binary protocol error")
+	}
+	if got := reg.Snapshot().Counters["remote_client_decode_errors_total"]; got != 1 {
+		t.Fatalf("remote_client_decode_errors_total = %d, want 1", got)
+	}
+	_, err = client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{})
+	var perr *ProtocolError
+	if !errors.As(err, &perr) {
+		t.Fatalf("Watch after binary protocol error = %v, want wrapped *ProtocolError", err)
 	}
 }
 

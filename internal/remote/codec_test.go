@@ -1,0 +1,738 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden wire-format fixtures under testdata/golden")
+
+// newTestEncoder returns a binary encoder writing into buf.
+func newTestEncoder(buf *bytes.Buffer) (*binEncoder, *bufio.Writer) {
+	bw := bufio.NewWriter(buf)
+	return newBinEncoder(bw), bw
+}
+
+// goldenFrames are the canonical frames of the golden wire-format test: every
+// frame type, covering literal and dictionary keys, put and delete ops,
+// nil / empty / non-empty values, traced and untraced events, and negative
+// version deltas. encode builds the frame (one encoder per fixture, except
+// where the fixture itself exercises cross-event dictionary state); check
+// decodes the fixture bytes back and compares against the expected struct.
+var goldenFrames = []struct {
+	name   string
+	encode func(e *binEncoder) error
+	check  func(t *testing.T, d *binDecoder, tag uint8)
+}{
+	{
+		name:   "hello",
+		encode: func(e *binEncoder) error { return e.hello(&helloMsg{Version: 4, HeartbeatMillis: 1000}) },
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagHello)
+			var h helloMsg
+			if err := d.decodeHello(&h); err != nil {
+				t.Fatal(err)
+			}
+			want := helloMsg{Version: 4, HeartbeatMillis: 1000}
+			if h != want {
+				t.Fatalf("decoded %+v, want %+v", h, want)
+			}
+		},
+	},
+	{
+		name:   "heartbeat",
+		encode: func(e *binEncoder) error { return e.heartbeat() },
+		check:  func(t *testing.T, d *binDecoder, tag uint8) { requireTag(t, tag, tagHeartbeat) },
+	},
+	{
+		name:   "upgrade",
+		encode: func(e *binEncoder) error { return e.upgrade() },
+		check:  func(t *testing.T, d *binDecoder, tag uint8) { requireTag(t, tag, tagUpgrade) },
+	},
+	{
+		name:   "shutdown",
+		encode: func(e *binEncoder) error { return e.shutdown(&shutdownMsg{Reason: "remote: server draining"}) },
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagShutdown)
+			var m shutdownMsg
+			if err := d.decodeShutdown(&m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Reason != "remote: server draining" {
+				t.Fatalf("reason %q", m.Reason)
+			}
+		},
+	},
+	{
+		name:   "watch",
+		encode: func(e *binEncoder) error { return e.watch(&watchReq{ID: 7, Low: "a", High: "q", From: 42}) },
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagWatch)
+			var w watchReq
+			if err := d.decodeWatch(&w); err != nil {
+				t.Fatal(err)
+			}
+			want := watchReq{ID: 7, Low: "a", High: "q", From: 42}
+			if w != want {
+				t.Fatalf("decoded %+v, want %+v", w, want)
+			}
+		},
+	},
+	{
+		name:   "cancel",
+		encode: func(e *binEncoder) error { return e.cancelWatch(&cancelReq{ID: 7}) },
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagCancel)
+			var cr cancelReq
+			if err := d.decodeCancel(&cr); err != nil {
+				t.Fatal(err)
+			}
+			if cr.ID != 7 {
+				t.Fatalf("id %d", cr.ID)
+			}
+		},
+	},
+	{
+		name: "snapshot",
+		encode: func(e *binEncoder) error {
+			return e.snapshot(&snapshotReq{ID: 9, Low: "", High: keyspace.Inf})
+		},
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagSnapshot)
+			var sr snapshotReq
+			if err := d.decodeSnapshot(&sr); err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotReq{ID: 9, Low: "", High: keyspace.Inf}
+			if sr != want {
+				t.Fatalf("decoded %+v, want %+v", sr, want)
+			}
+		},
+	},
+	{
+		name: "progress",
+		encode: func(e *binEncoder) error {
+			return e.progress(7, core.ProgressEvent{Range: keyspace.Range{Low: "a", High: "q"}, Version: 99})
+		},
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagProgress)
+			var m progressMsg
+			if err := d.decodeProgress(&m); err != nil {
+				t.Fatal(err)
+			}
+			want := progressMsg{ID: 7, P: core.ProgressEvent{Range: keyspace.Range{Low: "a", High: "q"}, Version: 99}}
+			if m != want {
+				t.Fatalf("decoded %+v, want %+v", m, want)
+			}
+		},
+	},
+	{
+		name: "resync",
+		encode: func(e *binEncoder) error {
+			return e.resync(7, core.ResyncEvent{Range: keyspace.Full(), MinVersion: 5, Reason: "overflow"})
+		},
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagResync)
+			var m resyncMsg
+			if err := d.decodeResync(&m); err != nil {
+				t.Fatal(err)
+			}
+			want := resyncMsg{ID: 7, R: core.ResyncEvent{Range: keyspace.Full(), MinVersion: 5, Reason: "overflow"}}
+			if m != want {
+				t.Fatalf("decoded %+v, want %+v", m, want)
+			}
+		},
+	},
+	{
+		name:   "event_batch",
+		encode: func(e *binEncoder) error { return e.eventBatch(7, goldenBatch()) },
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagEventBatch)
+			var m eventBatchMsg
+			if err := d.decodeEventBatch(&m); err != nil {
+				t.Fatal(err)
+			}
+			if m.ID != 7 || !reflect.DeepEqual(m.Evs, goldenBatch()) {
+				t.Fatalf("decoded %+v, want id 7 evs %+v", m, goldenBatch())
+			}
+		},
+	},
+	{
+		name:   "event_batch_empty",
+		encode: func(e *binEncoder) error { return e.eventBatch(1, nil) },
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagEventBatch)
+			var m eventBatchMsg
+			if err := d.decodeEventBatch(&m); err != nil {
+				t.Fatal(err)
+			}
+			if m.ID != 1 || len(m.Evs) != 0 {
+				t.Fatalf("decoded %+v, want empty batch id 1", m)
+			}
+		},
+	},
+	{
+		name:   "snap_chunk",
+		encode: func(e *binEncoder) error { return e.snapChunk(goldenChunk()) },
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagSnapChunk)
+			var m snapChunk
+			if err := d.decodeSnapChunk(&m); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&m, goldenChunk()) {
+				t.Fatalf("decoded %+v, want %+v", m, *goldenChunk())
+			}
+		},
+	},
+	{
+		name: "snap_chunk_err",
+		encode: func(e *binEncoder) error {
+			return e.snapChunk(&snapChunk{ID: 3, Err: "boom", Last: true})
+		},
+		check: func(t *testing.T, d *binDecoder, tag uint8) {
+			requireTag(t, tag, tagSnapChunk)
+			var m snapChunk
+			if err := d.decodeSnapChunk(&m); err != nil {
+				t.Fatal(err)
+			}
+			want := snapChunk{ID: 3, Err: "boom", Last: true}
+			if !reflect.DeepEqual(m, want) {
+				t.Fatalf("decoded %+v, want %+v", m, want)
+			}
+		},
+	},
+}
+
+// goldenBatch exercises every event-level encoding feature in one frame:
+// literal keys entering the dictionary (events 1-2), dictionary references
+// back to them (events 3-4), put and delete, nil / empty / binary values, a
+// traced event, and a negative version delta (event 4 steps backwards).
+func goldenBatch() []core.ChangeEvent {
+	return []core.ChangeEvent{
+		{Key: "users/000000000001", Mut: core.Mutation{Op: core.OpPut, Value: []byte("alpha")}, Version: 100},
+		{Key: "users/000000000002", Mut: core.Mutation{Op: core.OpDelete}, Version: 101, Trace: 0xdeadbeef},
+		{Key: "users/000000000001", Mut: core.Mutation{Op: core.OpPut, Value: []byte{}}, Version: 103},
+		{Key: "users/000000000002", Mut: core.Mutation{Op: core.OpPut, Value: []byte{0x00, 0xff}}, Version: 90},
+	}
+}
+
+func goldenChunk() *snapChunk {
+	return &snapChunk{
+		ID: 9,
+		Entries: []core.Entry{
+			{Key: "a", Value: nil, Version: 5},
+			{Key: "b", Value: []byte{}, Version: 6},
+			{Key: "c", Value: []byte("xyz"), Version: 4},
+		},
+		At:   6,
+		Last: true,
+	}
+}
+
+func requireTag(t *testing.T, got, want uint8) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("frame tag = %d, want %d", got, want)
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".hex")
+}
+
+// TestGoldenWireFormat pins the v4 byte layout: every canonical frame must
+// encode to exactly the committed hex fixture, and the fixture must decode
+// back to the expected value. Any codec change that shifts bytes fails here
+// loudly; deliberate format changes regenerate with -update-golden (which is
+// a protocol version bump, not a patch). The fixtures double as the
+// FuzzDecodeFrame seed corpus.
+func TestGoldenWireFormat(t *testing.T) {
+	for _, g := range goldenFrames {
+		t.Run(g.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			enc, bw := newTestEncoder(&buf)
+			if err := g.encode(enc); err != nil {
+				t.Fatal(err)
+			}
+			if err := bw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			got := hex.EncodeToString(buf.Bytes())
+
+			path := goldenPath(g.name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-golden): %v", err)
+			}
+			if got != strings.TrimSpace(string(want)) {
+				t.Fatalf("wire layout changed:\n got %s\nwant %s", got, strings.TrimSpace(string(want)))
+			}
+
+			// And the fixture decodes back to the value that produced it.
+			dec := newBinDecoder(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+			tag, err := dec.readTag()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.check(t, dec, tag)
+		})
+	}
+}
+
+// randBatch builds a pseudo-random but wire-realistic batch: keys from a hot
+// set (so the dictionary path is exercised), near-monotonic versions with
+// occasional jumps backwards, mixed ops, values of varying size including nil
+// and empty, sparse traces.
+func randBatch(rng *rand.Rand, n int, ver *core.Version) []core.ChangeEvent {
+	evs := make([]core.ChangeEvent, n)
+	for i := range evs {
+		*ver += core.Version(rng.Intn(3))
+		if rng.Intn(16) == 0 && *ver > 50 {
+			*ver -= 40
+		}
+		ev := core.ChangeEvent{
+			Key:     keyspace.NumericKey(rng.Intn(200)),
+			Version: *ver,
+		}
+		switch rng.Intn(4) {
+		case 0:
+			ev.Mut = core.Mutation{Op: core.OpDelete}
+		case 1:
+			ev.Mut = core.Mutation{Op: core.OpPut, Value: []byte{}}
+		default:
+			v := make([]byte, rng.Intn(48))
+			rng.Read(v)
+			ev.Mut = core.Mutation{Op: core.OpPut, Value: v}
+		}
+		if rng.Intn(8) == 0 {
+			ev.Trace = rng.Uint64()
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+// TestCodecRoundTripRandom streams many random frames through one
+// encoder/decoder pair — the per-connection shape, so the key dictionary
+// accumulates state across frames — and requires exact round-trips.
+func TestCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var buf bytes.Buffer
+	enc, bw := newTestEncoder(&buf)
+
+	const frames = 200
+	var ver core.Version
+	sent := make([][]core.ChangeEvent, frames)
+	for i := range sent {
+		sent[i] = randBatch(rng, 1+rng.Intn(64), &ver)
+		if err := enc.eventBatch(uint64(i), sent[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := newBinDecoder(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+	var m eventBatchMsg
+	for i := range sent {
+		tag, err := dec.readTag()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		requireTag(t, tag, tagEventBatch)
+		if err := dec.decodeEventBatch(&m); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.ID != uint64(i) || !reflect.DeepEqual(m.Evs, sent[i]) {
+			t.Fatalf("frame %d mismatched after round trip", i)
+		}
+	}
+}
+
+// TestCodecKeyDictCap crosses the dictionary capacity: beyond keyDictCap
+// distinct keys both sides must stop adding by the same rule and keep
+// round-tripping (later keys travel as literals).
+func TestCodecKeyDictCap(t *testing.T) {
+	var buf bytes.Buffer
+	enc, bw := newTestEncoder(&buf)
+	const total = keyDictCap + 500
+	const per = 1000
+	var frames [][]core.ChangeEvent
+	for base := 0; base < total; base += per {
+		evs := make([]core.ChangeEvent, 0, per)
+		for i := base; i < base+per && i < total; i++ {
+			evs = append(evs, core.ChangeEvent{
+				Key:     keyspace.Key(fmt.Sprintf("k%07d", i)),
+				Mut:     core.Mutation{Op: core.OpPut, Value: []byte("v")},
+				Version: core.Version(i + 1),
+			})
+		}
+		// Re-reference an early (dictionary-resident) key in every frame so
+		// refs and post-cap literals interleave.
+		evs = append(evs, core.ChangeEvent{
+			Key:     keyspace.Key(fmt.Sprintf("k%07d", 0)),
+			Mut:     core.Mutation{Op: core.OpPut, Value: []byte("w")},
+			Version: core.Version(base + per + 1),
+		})
+		if err := enc.eventBatch(uint64(len(frames)), evs); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, evs)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.keys) != keyDictCap {
+		t.Fatalf("encoder dictionary size %d, want %d", len(enc.keys), keyDictCap)
+	}
+
+	dec := newBinDecoder(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+	var m eventBatchMsg
+	for i, want := range frames {
+		if _, err := dec.readTag(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if err := dec.decodeEventBatch(&m); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(m.Evs, want) {
+			t.Fatalf("frame %d mismatched after dict cap", i)
+		}
+	}
+	if len(dec.keys) != keyDictCap {
+		t.Fatalf("decoder dictionary size %d, want %d", len(dec.keys), keyDictCap)
+	}
+}
+
+// TestCodecValueRetention decodes one frame, retains its values (the
+// EventBatchCallback contract allows it), then decodes more frames into the
+// same decoder: the retained bytes must not be overwritten by scratch reuse.
+func TestCodecValueRetention(t *testing.T) {
+	var buf bytes.Buffer
+	enc, bw := newTestEncoder(&buf)
+	first := []core.ChangeEvent{
+		{Key: "a", Mut: core.Mutation{Op: core.OpPut, Value: []byte("hold-me")}, Version: 1},
+		{Key: "b", Mut: core.Mutation{Op: core.OpPut, Value: []byte("me-too")}, Version: 2},
+	}
+	if err := enc.eventBatch(1, first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		evs := []core.ChangeEvent{{
+			Key:     "a",
+			Mut:     core.Mutation{Op: core.OpPut, Value: bytes.Repeat([]byte{byte(i)}, 64)},
+			Version: core.Version(3 + i),
+		}}
+		if err := enc.eventBatch(uint64(2+i), evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := newBinDecoder(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+	var m eventBatchMsg
+	if _, err := dec.readTag(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.decodeEventBatch(&m); err != nil {
+		t.Fatal(err)
+	}
+	retained := make([][]byte, len(m.Evs))
+	for i := range m.Evs {
+		retained[i] = m.Evs[i].Mut.Value
+	}
+	for {
+		if _, err := dec.readTag(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		if err := dec.decodeEventBatch(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(retained[0]) != "hold-me" || string(retained[1]) != "me-too" {
+		t.Fatalf("retained values corrupted by later decodes: %q %q", retained[0], retained[1])
+	}
+}
+
+// corruptCase is one malformed-payload scenario for the decode hardening
+// test: mutate a valid frame and require a clean error (no panic, no hang).
+type corruptCase struct {
+	name    string
+	mutate  func(frame []byte) []byte
+	wantErr error // nil: any error accepted
+}
+
+// TestDecodeFrameHardening mutates valid frames in targeted ways and
+// requires the decoder to reject each with a typed error instead of
+// panicking, over-allocating, or reading past the payload.
+func TestDecodeFrameHardening(t *testing.T) {
+	var buf bytes.Buffer
+	enc, bw := newTestEncoder(&buf)
+	if err := enc.eventBatch(7, goldenBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := []corruptCase{
+		{
+			name: "huge frame length",
+			mutate: func(f []byte) []byte {
+				// tag, then an absurd uvarint length.
+				return []byte{tagEventBatch, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+			},
+			wantErr: errFrameTooBig,
+		},
+		{
+			name: "count exceeds payload",
+			mutate: func(f []byte) []byte {
+				// id=0, count=2^20, no event bytes.
+				payload := []byte{0x00, 0x80, 0x80, 0x40}
+				out := []byte{tagEventBatch, byte(len(payload))}
+				return append(out, payload...)
+			},
+			wantErr: errBadCount,
+		},
+		{
+			name: "dangling key ref",
+			mutate: func(f []byte) []byte {
+				// One event referencing dictionary slot 9 of an empty dict.
+				payload := []byte{0x01 /*id*/, 0x01 /*count*/, byte(core.OpPut) /*flags: ref key*/, 0x09 /*ref*/, 0x02 /*vdelta*/}
+				out := []byte{tagEventBatch, byte(len(payload))}
+				return append(out, payload...)
+			},
+			wantErr: errBadKeyRef,
+		},
+		{
+			name: "trailing bytes",
+			mutate: func(f []byte) []byte {
+				out := append([]byte{}, f...)
+				out[1] += 2 // grow the declared payload
+				return append(out, 0xaa, 0xbb)
+			},
+			wantErr: errTrailing,
+		},
+		{
+			name: "truncated value length",
+			mutate: func(f []byte) []byte {
+				// id=1, count=1, put with value flag, literal key "k", vdelta,
+				// then a value length pointing past the payload end.
+				payload := []byte{0x01, 0x01, byte(core.OpPut) | evKeyLiteral | evHasValue, 0x01, 'k', 0x02, 0x7f}
+				out := []byte{tagEventBatch, byte(len(payload))}
+				return append(out, payload...)
+			},
+			wantErr: errShortPayload,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte{}, valid...))
+			dec := newBinDecoder(bufio.NewReader(bytes.NewReader(data)))
+			tag, err := dec.readTag()
+			if err == nil {
+				var m eventBatchMsg
+				requireTag(t, tag, tagEventBatch)
+				err = dec.decodeEventBatch(&m)
+			}
+			if err == nil {
+				t.Fatal("malformed frame decoded without error")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCodecSteadyStateAllocs pins the zero-alloc claim: once the scratch
+// buffers and dictionary are warm, encoding a batch of dictionary-resident
+// keys allocates nothing, and decoding allocates exactly one value block per
+// frame.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ver core.Version
+	batch := randBatch(rng, 64, &ver)
+
+	bw := bufio.NewWriterSize(io.Discard, 1<<20)
+	enc := newBinEncoder(bw)
+	if err := enc.eventBatch(1, batch); err != nil { // warm scratch + dictionary
+		t.Fatal(err)
+	}
+	encAllocs := testing.AllocsPerRun(100, func() {
+		if err := enc.eventBatch(1, batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encAllocs != 0 {
+		t.Fatalf("encode allocs/op = %v, want 0", encAllocs)
+	}
+
+	var buf bytes.Buffer
+	enc2, bw2 := newTestEncoder(&buf)
+	const frames = 300
+	for i := 0; i < frames; i++ {
+		if err := enc2.eventBatch(uint64(i), batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := newBinDecoder(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+	var m eventBatchMsg
+	// Warm: first frame pays the literal keys + scratch growth.
+	if _, err := dec.readTag(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.decodeEventBatch(&m); err != nil {
+		t.Fatal(err)
+	}
+	decAllocs := testing.AllocsPerRun(frames-2, func() {
+		if _, err := dec.readTag(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.decodeEventBatch(&m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One value block per frame: values are retainable by consumers, so they
+	// cannot live in the scratch buffer.
+	if decAllocs > 1 {
+		t.Fatalf("decode allocs/op = %v, want <= 1", decAllocs)
+	}
+}
+
+// benchBatch is the codec microbench workload: 64 events over a 64-key hot
+// set, 16-byte values, sequential versions — the RemoteFanout shape.
+func benchBatch() []core.ChangeEvent {
+	evs := make([]core.ChangeEvent, 64)
+	for i := range evs {
+		evs[i] = core.ChangeEvent{
+			Key:     keyspace.NumericKey(i % 64),
+			Mut:     core.Mutation{Op: core.OpPut, Value: bytes.Repeat([]byte{byte(i)}, 16)},
+			Version: core.Version(i + 1),
+		}
+	}
+	return evs
+}
+
+// BenchmarkCodecEncodeBatch compares the two codecs encoding the same
+// 64-event batch in the same process (same-session A/B — cross-session
+// labels are noise on this host).
+func BenchmarkCodecEncodeBatch(b *testing.B) {
+	batch := benchBatch()
+	b.Run("gob", func(b *testing.B) {
+		bw := bufio.NewWriterSize(io.Discard, 1<<20)
+		enc := newGobFrameEncoder(gob.NewEncoder(bw))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.eventBatch(1, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		bw := bufio.NewWriterSize(io.Discard, 1<<20)
+		enc := newBinEncoder(bw)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.eventBatch(1, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCodecDecodeBatch decodes a pre-encoded stream of 64-event frames,
+// gob vs binary, same process. Each inner pass re-reads the same stream; the
+// per-op unit is one frame (64 events).
+func BenchmarkCodecDecodeBatch(b *testing.B) {
+	batch := benchBatch()
+	const frames = 256
+
+	b.Run("gob", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := newGobFrameEncoder(gob.NewEncoder(&buf))
+		for i := 0; i < frames; i++ {
+			if err := enc.eventBatch(uint64(i), batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stream := buf.Bytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; {
+			dec := newGobFrameDecoder(gob.NewDecoder(bytes.NewReader(stream)))
+			var m eventBatchMsg
+			for j := 0; j < frames && i < b.N; j, i = j+1, i+1 {
+				if _, err := dec.readTag(); err != nil {
+					b.Fatal(err)
+				}
+				if err := dec.decodeEventBatch(&m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc, bw := newTestEncoder(&buf)
+		for i := 0; i < frames; i++ {
+			if err := enc.eventBatch(uint64(i), batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		stream := buf.Bytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; {
+			dec := newBinDecoder(bufio.NewReader(bytes.NewReader(stream)))
+			var m eventBatchMsg
+			for j := 0; j < frames && i < b.N; j, i = j+1, i+1 {
+				if _, err := dec.readTag(); err != nil {
+					b.Fatal(err)
+				}
+				if err := dec.decodeEventBatch(&m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

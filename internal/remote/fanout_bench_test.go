@@ -32,7 +32,10 @@ func (nopSnap) SnapshotRange(keyspace.Range) ([]core.Entry, core.Version, error)
 //	wire-B/event  server socket bytes per delivered event
 //	events/frame  delivered events per server wire message (the wire
 //	              batching ratio; 1.0 means one frame per event)
-func benchRemoteFanout(b *testing.B, watchers int) {
+// maxProto pins the client-side protocol ceiling: 0 negotiates the newest
+// (binary v4), protoV3 pins the gob codec — the Gob variants exist so codec
+// A/B runs interleave in one process instead of comparing across sessions.
+func benchRemoteFanout(b *testing.B, watchers, maxProto int) {
 	reg := metrics.NewRegistry()
 	hub := core.NewHub(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 20, Metrics: reg})
 	defer hub.Close()
@@ -44,7 +47,7 @@ func benchRemoteFanout(b *testing.B, watchers int) {
 
 	delivered := make([]atomic.Int64, watchers)
 	for w := 0; w < watchers; w++ {
-		c, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg})
+		c, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg, MaxProtocol: maxProto})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,8 +127,10 @@ func benchRemoteFanout(b *testing.B, watchers int) {
 	}
 }
 
-func BenchmarkRemoteFanout8(b *testing.B)  { benchRemoteFanout(b, 8) }
-func BenchmarkRemoteFanout64(b *testing.B) { benchRemoteFanout(b, 64) }
+func BenchmarkRemoteFanout8(b *testing.B)     { benchRemoteFanout(b, 8, 0) }
+func BenchmarkRemoteFanout64(b *testing.B)    { benchRemoteFanout(b, 64, 0) }
+func BenchmarkRemoteFanout8Gob(b *testing.B)  { benchRemoteFanout(b, 8, protoV3) }
+func BenchmarkRemoteFanout64Gob(b *testing.B) { benchRemoteFanout(b, 64, protoV3) }
 
 // BenchmarkRemoteSnapshot4MB measures recovery-snapshot streaming: a client
 // pulls a ~4MB range snapshot over the wire each iteration.

@@ -1,0 +1,95 @@
+package remote
+
+// The gob codec — wire protocols v2 and v3, and the first frames of every v4
+// connection (negotiation happens in gob; each direction switches to the
+// binary codec in codec.go only after its tagUpgrade marker). Frames are the
+// same tag-first shape as v4's, but the tag and each payload are separate gob
+// values, so all the stream bookkeeping (type descriptors, message lengths)
+// is gob's own.
+
+import (
+	"encoding/gob"
+
+	"unbundle/internal/core"
+)
+
+type gobFrameEncoder struct {
+	enc *gob.Encoder
+}
+
+func newGobFrameEncoder(enc *gob.Encoder) *gobFrameEncoder {
+	return &gobFrameEncoder{enc: enc}
+}
+
+// tagged encodes the frame tag, then the payload if any.
+func (e *gobFrameEncoder) tagged(tag uint8, payload any) error {
+	if err := e.enc.Encode(tag); err != nil {
+		return err
+	}
+	if payload == nil {
+		return nil
+	}
+	return e.enc.Encode(payload)
+}
+
+func (e *gobFrameEncoder) hello(h *helloMsg) error         { return e.tagged(tagHello, h) }
+func (e *gobFrameEncoder) heartbeat() error                { return e.tagged(tagHeartbeat, nil) }
+func (e *gobFrameEncoder) upgrade() error                  { return e.tagged(tagUpgrade, nil) }
+func (e *gobFrameEncoder) shutdown(m *shutdownMsg) error   { return e.tagged(tagShutdown, m) }
+func (e *gobFrameEncoder) snapChunk(ch *snapChunk) error   { return e.tagged(tagSnapChunk, ch) }
+func (e *gobFrameEncoder) watch(w *watchReq) error         { return e.tagged(tagWatch, w) }
+func (e *gobFrameEncoder) cancelWatch(cr *cancelReq) error { return e.tagged(tagCancel, cr) }
+func (e *gobFrameEncoder) snapshot(sr *snapshotReq) error  { return e.tagged(tagSnapshot, sr) }
+
+func (e *gobFrameEncoder) eventBatch(id uint64, evs []core.ChangeEvent) error {
+	m := eventBatchMsg{ID: id, Evs: evs}
+	return e.tagged(tagEventBatch, &m)
+}
+
+func (e *gobFrameEncoder) progress(id uint64, p core.ProgressEvent) error {
+	m := progressMsg{ID: id, P: p}
+	return e.tagged(tagProgress, &m)
+}
+
+func (e *gobFrameEncoder) resync(id uint64, r core.ResyncEvent) error {
+	m := resyncMsg{ID: id, R: r}
+	return e.tagged(tagResync, &m)
+}
+
+type gobFrameDecoder struct {
+	dec *gob.Decoder
+}
+
+func newGobFrameDecoder(dec *gob.Decoder) *gobFrameDecoder {
+	return &gobFrameDecoder{dec: dec}
+}
+
+func (d *gobFrameDecoder) readTag() (uint8, error) {
+	var tag uint8
+	err := d.dec.Decode(&tag)
+	return tag, err
+}
+
+func (d *gobFrameDecoder) decodeHello(h *helloMsg) error        { return d.dec.Decode(h) }
+func (d *gobFrameDecoder) decodeShutdown(m *shutdownMsg) error  { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeProgress(m *progressMsg) error  { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeResync(m *resyncMsg) error      { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeSnapChunk(m *snapChunk) error   { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeWatch(w *watchReq) error        { return d.dec.Decode(w) }
+func (d *gobFrameDecoder) decodeCancel(cr *cancelReq) error     { return d.dec.Decode(cr) }
+func (d *gobFrameDecoder) decodeSnapshot(sr *snapshotReq) error { return d.dec.Decode(sr) }
+
+// decodeEventBatch reuses m's Evs backing array across frames (gob grows it
+// only when a batch exceeds the previous capacity). Recycled elements are
+// zeroed first — gob leaves absent fields untouched, so reuse without
+// clearing would leak one event's Value or Trace into the next — and zeroing
+// Value forces gob to allocate fresh byte slices, which consumers are allowed
+// to retain.
+func (d *gobFrameDecoder) decodeEventBatch(m *eventBatchMsg) error {
+	for i := range m.Evs {
+		m.Evs[i] = core.ChangeEvent{}
+	}
+	m.ID = 0
+	m.Evs = m.Evs[:0]
+	return d.dec.Decode(m)
+}

@@ -1,0 +1,182 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"unbundle/internal/core"
+	"unbundle/internal/keyspace"
+	"unbundle/internal/metrics"
+)
+
+// TestCrossVersionInterop is the protocol compatibility matrix: every
+// supported client/server version pairing runs a real watch through a forced
+// sever + reconnect + resume, and must converge byte-equal with no
+// duplicates and the expected negotiated protocol and codec on both ends.
+// v4↔v4 speaks binary; any pairing with a ≤v3 peer falls back to gob; a v2
+// client (no hello) still gets the v2 contract. Runs under -race via make
+// chaos.
+func TestCrossVersionInterop(t *testing.T) {
+	cases := []struct {
+		name        string
+		clientMax   int // ClientConfig.MaxProtocol (0 = newest)
+		serverMax   int // ServerConfig.MaxProtocol (0 = newest)
+		wantProto   int // negotiated version, both ends
+		wantCodec   string
+		clientHello bool // whether the client announces at all
+	}{
+		{name: "v4-client_v4-server", clientMax: 0, serverMax: 0, wantProto: 4, wantCodec: "binary", clientHello: true},
+		{name: "v4-client_v3-server", clientMax: 0, serverMax: 3, wantProto: 3, wantCodec: "gob", clientHello: true},
+		{name: "v3-client_v4-server", clientMax: 3, serverMax: 0, wantProto: 3, wantCodec: "gob", clientHello: true},
+		{name: "v2-client_v4-server", clientMax: 2, serverMax: 0, wantProto: 2, wantCodec: "gob", clientHello: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			hub := core.NewHub(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 16, Metrics: reg})
+			defer hub.Close()
+			srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{
+				Metrics:           reg,
+				HeartbeatInterval: 20 * time.Millisecond,
+				MaxProtocol:       tc.serverMax,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			ctrl := NewChaosController(ChaosConfig{})
+			client, err := DialWith(srv.Addr(), ClientConfig{
+				Metrics:           reg,
+				HeartbeatInterval: 20 * time.Millisecond,
+				MaxProtocol:       tc.clientMax,
+				Reconnect:         fastReconnect(),
+				Dialer:            ctrl.Dialer(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+
+			// Replica: last value per key, byte-compared against the source
+			// of truth at the end.
+			var mu sync.Mutex
+			replica := make(map[keyspace.Key][]byte)
+			lastByKey := make(map[keyspace.Key]core.Version)
+			var dups, resyncs int
+			var delivered int
+			cancel, err := client.Watch(keyspace.Full(), core.NoVersion, core.Funcs{
+				Event: func(ev core.ChangeEvent) {
+					mu.Lock()
+					if ev.Version <= lastByKey[ev.Key] {
+						dups++
+					} else {
+						lastByKey[ev.Key] = ev.Version
+						replica[ev.Key] = append([]byte(nil), ev.Mut.Value...)
+						delivered++
+					}
+					mu.Unlock()
+				},
+				Resync: func(core.ResyncEvent) {
+					mu.Lock()
+					resyncs++
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cancel()
+
+			truth := make(map[keyspace.Key][]byte)
+			v := 0
+			produce := func(n int) {
+				for i := 0; i < n; i++ {
+					v++
+					key := keyspace.NumericKey(v % 32)
+					val := []byte(fmt.Sprintf("%s:%d", tc.name, v))
+					truth[key] = val
+					if err := hub.Append(core.ChangeEvent{
+						Key:     key,
+						Mut:     core.Mutation{Op: core.OpPut, Value: val},
+						Version: core.Version(v),
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			count := func() int {
+				mu.Lock()
+				defer mu.Unlock()
+				return delivered
+			}
+
+			produce(100)
+			waitUntil(t, "first round delivered", func() bool { return count() == 100 })
+
+			// Kill the connection mid-stream; resume must cover the gap on a
+			// fresh connection that re-negotiates the same protocol.
+			dials := ctrl.Dials()
+			ctrl.SeverAll()
+			produce(100) // lands while disconnected
+			waitUntil(t, "reconnect", func() bool { return ctrl.Dials() > dials })
+			produce(100)
+			waitUntil(t, "all rounds delivered", func() bool { return count() == 300 })
+
+			mu.Lock()
+			if dups != 0 {
+				mu.Unlock()
+				t.Fatalf("%d duplicates across reconnect", dups)
+			}
+			if resyncs != 0 {
+				mu.Unlock()
+				t.Fatalf("%d resyncs; retention covered the gap", resyncs)
+			}
+			if len(replica) != len(truth) {
+				mu.Unlock()
+				t.Fatalf("replica has %d keys, truth %d", len(replica), len(truth))
+			}
+			for k, want := range truth {
+				if !bytes.Equal(replica[k], want) {
+					mu.Unlock()
+					t.Fatalf("key %q: replica %q, truth %q", k, replica[k], want)
+				}
+			}
+			mu.Unlock()
+
+			// Both ends agree on what was negotiated.
+			waitUntil(t, "server reaps severed conn", func() bool { return len(srv.Conns()) == 1 })
+			conns := srv.Conns()
+			if conns[0].Protocol != tc.wantProto || conns[0].Codec != tc.wantCodec {
+				t.Fatalf("server sees protocol %d codec %q, want %d %q",
+					conns[0].Protocol, conns[0].Codec, tc.wantProto, tc.wantCodec)
+			}
+			cver, ccodec := client.ProtocolInfo()
+			if cver != tc.wantProto || ccodec != tc.wantCodec {
+				t.Fatalf("client reports protocol %d codec %q, want %d %q", cver, ccodec, tc.wantProto, tc.wantCodec)
+			}
+
+			// Codec frame counters make the mixed fleet observable: binary
+			// pairings push v4 frames both directions, gob pairings none.
+			snap := reg.Snapshot()
+			sv4 := snap.Counters["remote_server_codec_frames_v4_total"]
+			cv4 := snap.Counters["remote_client_codec_frames_v4_total"]
+			if tc.wantCodec == "binary" {
+				if sv4 == 0 || cv4 == 0 {
+					t.Fatalf("binary pairing recorded no v4 frames (server %d, client %d)", sv4, cv4)
+				}
+			} else if sv4 != 0 || cv4 != 0 {
+				t.Fatalf("gob pairing recorded v4 frames (server %d, client %d)", sv4, cv4)
+			}
+			if snap.Counters["remote_server_codec_frames_v3_total"] == 0 {
+				t.Fatal("no gob frames counted; negotiation itself is gob")
+			}
+			if tc.clientHello != (cver >= 3) {
+				t.Fatalf("hello expectation mismatch: clientHello=%v proto=%d", tc.clientHello, cver)
+			}
+		})
+	}
+}

@@ -10,30 +10,46 @@ import (
 	"unbundle/internal/metrics"
 )
 
-// Wire protocol (v3, batched + liveness): every message is a one-byte tag
-// followed by its payload, both encoded on a single gob stream per direction.
-// Tag-first framing lets each side decode into a type-specific target — which
-// is what makes decode-buffer reuse possible — instead of a union struct whose
-// unused pointer fields gob must consider on every message.
+// Wire protocol (v4, batched + liveness + binary codec): every message is a
+// tag-first frame. The tag set is shared by both codecs; what changes between
+// protocol versions is how the payload bytes are produced.
 //
-// Client → server: tagHello, tagWatch, tagCancel, tagSnapshot, tagHeartbeat.
-// Server → client: tagHello, tagEventBatch, tagProgress, tagResync,
-// tagSnapChunk, tagHeartbeat, tagShutdown.
+// Client → server: tagHello, tagWatch, tagCancel, tagSnapshot, tagHeartbeat,
+// tagUpgrade. Server → client: tagHello, tagEventBatch, tagProgress,
+// tagResync, tagSnapChunk, tagHeartbeat, tagShutdown, tagUpgrade.
 //
 // v2 carried a whole ring-drain's worth of events per watch in one
 // tagEventBatch frame and streamed snapshot responses as bounded tagSnapChunk
-// frames. v3 adds the liveness layer: a v3 client opens the stream with
-// tagHello announcing its version and heartbeat interval, the server replies
-// in kind, and both ends then (a) send tagHeartbeat on an idle stream and (b)
-// arm read deadlines sized to the peer's announced interval, so a half-open
-// connection is detected in O(heartbeat interval) instead of hanging forever.
-// tagShutdown is the graceful-drain marker: the server sends it after the
-// terminal per-watch resyncs so clients can tell "server going away" (do not
-// reconnect) from "network died" (reconnect and resume).
+// frames, gob-encoded. v3 added the liveness layer: a v3 client opens the
+// stream with tagHello announcing its version and heartbeat interval, the
+// server replies in kind, and both ends then (a) send tagHeartbeat on an idle
+// stream and (b) arm read deadlines sized to the peer's announced interval,
+// so a half-open connection is detected in O(heartbeat interval) instead of
+// hanging forever. tagShutdown is the graceful-drain marker: the server sends
+// it after the terminal per-watch resyncs so clients can tell "server going
+// away" (do not reconnect) from "network died" (reconnect and resume).
 //
-// Negotiation is first-frame based, so v2 peers keep working: a client that
-// never sends tagHello is treated as v2 — no heartbeats, no read deadline, no
-// shutdown marker on that connection.
+// v4 keeps the v3 frame vocabulary and replaces reflection-based gob with the
+// hand-rolled binary codec in codec.go on the hot wire path. Negotiation
+// stays first-frame based and per-direction explicit:
+//
+//   - A v4 client sends its gob hello announcing Version 4. A v4 server
+//     replies with a gob hello carrying the negotiated version (min of the
+//     two), and — when that is 4 — follows it immediately with a gob
+//     tagUpgrade marker; every server→client frame after the marker is
+//     binary.
+//   - The client, upon decoding a hello reply with Version ≥ 4, emits its own
+//     gob tagUpgrade marker and switches its send side to binary; every
+//     client→server frame after that marker is binary. Frames the client sent
+//     before learning the server's version (watches racing the handshake) are
+//     gob, and the server keeps decoding gob until the marker arrives.
+//
+// Because each direction's sender embeds the switch point in its own stream,
+// neither end ever guesses where the codec changes, and mixed pairs degrade
+// cleanly: a v3 peer never announces 4, so no tagUpgrade is ever sent to a
+// peer that would not understand it, and the connection simply stays on gob.
+// A client that never sends tagHello remains v2 — no heartbeats, no read
+// deadlines, no shutdown marker, gob everywhere.
 const (
 	tagWatch uint8 = iota + 1
 	tagCancel
@@ -45,13 +61,19 @@ const (
 	tagHello
 	tagHeartbeat
 	tagShutdown
+	// tagUpgrade is the codec switch marker (v4): the sender's next frame on
+	// this direction — and every frame after it — uses the binary codec. Only
+	// ever sent to a peer that announced protocol ≥ 4 in the hello exchange.
+	tagUpgrade
 )
 
 // Protocol versions. protoV2 is the batched pre-liveness protocol (no hello
-// exchanged); protoV3 adds hello/heartbeat/shutdown frames.
+// exchanged); protoV3 adds hello/heartbeat/shutdown frames; protoV4 switches
+// the frame payloads from gob to the hand-rolled binary codec.
 const (
 	protoV2 = 2
 	protoV3 = 3
+	protoV4 = 4
 )
 
 // helloMsg opens a v3 stream in each direction: the sender's protocol

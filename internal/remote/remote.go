@@ -159,6 +159,8 @@ type serverMetrics struct {
 	decodeErrs      *metrics.Counter // corrupt/unknown frames that killed a conn
 	connDrops       *metrics.Counter // events+frames queued but unsent when a conn died
 	drainedWatches  *metrics.Counter // watches terminally resynced by Shutdown
+	codecV3Frames   *metrics.Counter // frames encoded with the gob codec (v2/v3)
+	codecV4Frames   *metrics.Counter // frames encoded with the binary codec (v4)
 }
 
 func newServerMetrics(reg *metrics.Registry) serverMetrics {
@@ -176,6 +178,8 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		decodeErrs:      reg.Counter("remote_server_decode_errors_total"),
 		connDrops:       reg.Counter("remote_server_conn_drops_total"),
 		drainedWatches:  reg.Counter("remote_server_drained_watches_total"),
+		codecV3Frames:   reg.Counter("remote_server_codec_frames_v3_total"),
+		codecV4Frames:   reg.Counter("remote_server_codec_frames_v4_total"),
 	}
 }
 
@@ -196,6 +200,8 @@ type clientMetrics struct {
 	reconnects     *metrics.Counter // successful reconnects
 	reconnectFails *metrics.Counter // failed dial attempts during reconnect
 	resumedWatches *metrics.Counter // watches re-established from a resume point
+	codecV3Frames  *metrics.Counter // frames decoded with the gob codec (v2/v3)
+	codecV4Frames  *metrics.Counter // frames decoded with the binary codec (v4)
 }
 
 func newClientMetrics(reg *metrics.Registry) clientMetrics {
@@ -214,6 +220,8 @@ func newClientMetrics(reg *metrics.Registry) clientMetrics {
 		reconnects:     reg.Counter("remote_client_reconnects_total"),
 		reconnectFails: reg.Counter("remote_client_reconnect_failures_total"),
 		resumedWatches: reg.Counter("remote_client_resumed_watches_total"),
+		codecV3Frames:  reg.Counter("remote_client_codec_frames_v3_total"),
+		codecV4Frames:  reg.Counter("remote_client_codec_frames_v4_total"),
 	}
 }
 
@@ -243,6 +251,14 @@ type ServerConfig struct {
 	// Log receives structured records for the same transitions; nil uses
 	// the process-wide logz ring under component "remote.server".
 	Log *slog.Logger
+	// MaxProtocol caps the wire protocol version the server negotiates in its
+	// hello reply. 0 (or anything ≥ 4) negotiates up to v4 — the binary
+	// codec with v4 peers, gob with older ones. 3 pins every connection to
+	// gob framing regardless of what clients announce (interop testing,
+	// staged rollout of mixed fleets). Values below 3 behave as 3: a client
+	// that sent a hello speaks at least v3, and true v2 is a property of
+	// hello-less clients, not of the server.
+	MaxProtocol int
 }
 
 // Server exposes a watch system and its recovery snapshots on a listener.
@@ -255,6 +271,7 @@ type Server struct {
 	log        *slog.Logger
 	hbInterval time.Duration
 	writeTO    time.Duration
+	maxProto   int          // highest protocol version negotiated (3 or 4)
 	connSeq    atomic.Int64 // connection ids, for flight-record correlation
 
 	mu     sync.Mutex
@@ -289,6 +306,13 @@ func ServeWith(addr string, watch core.Watchable, snap core.Snapshotter, cfg Ser
 	if log == nil {
 		log = logz.Logger("remote.server")
 	}
+	maxP := cfg.MaxProtocol
+	if maxP == 0 || maxP > protoV4 {
+		maxP = protoV4
+	}
+	if maxP < protoV3 {
+		maxP = protoV3
+	}
 	s := &Server{
 		watch:      watch,
 		snap:       snap,
@@ -298,6 +322,7 @@ func ServeWith(addr string, watch core.Watchable, snap core.Snapshotter, cfg Ser
 		log:        log,
 		hbInterval: hb,
 		writeTO:    wto,
+		maxProto:   maxP,
 		conns:      make(map[*serverConn]struct{}),
 		met:        newServerMetrics(cfg.Metrics),
 	}
@@ -381,7 +406,7 @@ type serverConn struct {
 	log     *slog.Logger
 	writeTO time.Duration
 
-	v3       atomic.Bool  // hello received: heartbeats + read deadlines armed
+	proto    atomic.Int32 // negotiated protocol (0 until hello; then ≥ protoV3)
 	peerHB   atomic.Int64 // client's announced heartbeat interval (nanoseconds)
 	lastSend atomic.Int64 // UnixNano of the last flush, for idle detection
 	done     chan struct{}
@@ -422,7 +447,8 @@ func (s *Server) serveConn(sc *serverConn) {
 		sc.heartbeatLoop(s.hbInterval)
 	}()
 
-	dec := gob.NewDecoder(bufio.NewReaderSize(sc.conn, connReadBuffer))
+	br := bufio.NewReaderSize(sc.conn, connReadBuffer)
+	var dec frameDecoder = newGobFrameDecoder(gob.NewDecoder(br))
 	// Read deadlines are re-armed coarsely — only once a quarter of the
 	// timeout has elapsed — so a busy connection pays one deadline syscall
 	// per TO/4 rather than per frame. The effective timeout stretches to at
@@ -431,15 +457,15 @@ func (s *Server) serveConn(sc *serverConn) {
 	var armedTO time.Duration
 	var readErr error
 	for {
-		if sc.v3.Load() {
+		if sc.proto.Load() >= protoV3 {
 			to := readTimeoutFor(sc.peerHB.Load())
 			if now := time.Now(); to != armedTO || now.Sub(armedAt) > to/4 {
 				sc.conn.SetReadDeadline(now.Add(to))
 				armedAt, armedTO = now, to
 			}
 		}
-		var tag uint8
-		if err := dec.Decode(&tag); err != nil {
+		tag, err := dec.readTag()
+		if err != nil {
 			readErr = err
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				// The peer fell silent past its heartbeat budget: the
@@ -451,8 +477,17 @@ func (s *Server) serveConn(sc *serverConn) {
 				s.log.Warn("heartbeat missed: peer silent", "conn", sc.id)
 			} else if !connLossErr(err) {
 				s.met.decodeErrs.Inc()
+				readErr = &ProtocolError{Op: "tag", Err: err}
 			}
 			break // client gone (or sent garbage): tear the connection down
+		}
+		if tag == tagUpgrade {
+			// The client's codec switch marker: every client→server frame
+			// from here on is binary. The bufio.Reader carries over — gob
+			// consumes exactly its own bytes, so the stream position is
+			// deterministic at the marker.
+			dec = newBinDecoder(br)
+			continue
 		}
 		if !s.handleRequest(sc, dec, tag) {
 			break
@@ -528,7 +563,7 @@ func (sc *serverConn) heartbeatLoop(interval time.Duration) {
 			return
 		case <-t.C:
 		}
-		if !sc.v3.Load() {
+		if sc.proto.Load() < protoV3 {
 			continue
 		}
 		if time.Since(time.Unix(0, sc.lastSend.Load())) < interval {
@@ -546,28 +581,43 @@ func (sc *serverConn) heartbeatLoop(interval time.Duration) {
 
 // handleRequest decodes and dispatches one client request; false tears the
 // connection down.
-func (s *Server) handleRequest(sc *serverConn, dec *gob.Decoder, tag uint8) bool {
-	decode := func(op string, v any) bool {
-		if err := dec.Decode(v); err != nil {
-			if !connLossErr(err) {
-				s.met.decodeErrs.Inc()
-			}
-			return false
+func (s *Server) handleRequest(sc *serverConn, dec frameDecoder, tag uint8) bool {
+	bad := func(err error) bool {
+		if !connLossErr(err) {
+			s.met.decodeErrs.Inc()
 		}
-		return true
+		return false
 	}
 	switch tag {
 	case tagHello:
 		var h helloMsg
-		if !decode("hello", &h) {
-			return false
+		if err := dec.decodeHello(&h); err != nil {
+			return bad(err)
 		}
 		sc.peerHB.Store(int64(time.Duration(h.HeartbeatMillis) * time.Millisecond))
-		sc.v3.Store(true)
-		reply := &helloMsg{Version: protoV3, HeartbeatMillis: s.hbInterval.Milliseconds()}
+		// Negotiate: the connection speaks the lower of what the client
+		// announced and what this server allows, never below v3 (the client
+		// sent a hello, so it understands at least the liveness layer).
+		neg := int(h.Version)
+		if neg > s.maxProto {
+			neg = s.maxProto
+		}
+		if neg < protoV3 {
+			neg = protoV3
+		}
+		sc.proto.Store(int32(neg))
+		reply := &helloMsg{Version: uint32(neg), HeartbeatMillis: s.hbInterval.Milliseconds()}
 		sc.mu.Lock()
 		if !sc.dead {
 			sc.queue = append(sc.queue, outFrame{tag: tagHello, aux: reply})
+			if neg >= protoV4 {
+				// Queued in the same critical section as the hello reply so
+				// no other frame (a heartbeat, an early event batch) can slip
+				// between them: the upgrade marker must be the first thing
+				// the client sees after the reply, and everything after it is
+				// binary.
+				sc.queue = append(sc.queue, outFrame{tag: tagUpgrade})
+			}
 			sc.cond.Signal()
 		}
 		sc.mu.Unlock()
@@ -576,14 +626,14 @@ func (s *Server) handleRequest(sc *serverConn, dec *gob.Decoder, tag uint8) bool
 		// is the entire effect.
 	case tagWatch:
 		var req watchReq
-		if !decode("watch request", &req) {
-			return false
+		if err := dec.decodeWatch(&req); err != nil {
+			return bad(err)
 		}
 		s.handleWatch(sc, req)
 	case tagCancel:
 		var req cancelReq
-		if !decode("cancel request", &req) {
-			return false
+		if err := dec.decodeCancel(&req); err != nil {
+			return bad(err)
 		}
 		sc.mu.Lock()
 		w, ok := sc.watches[req.ID]
@@ -594,8 +644,8 @@ func (s *Server) handleRequest(sc *serverConn, dec *gob.Decoder, tag uint8) bool
 		}
 	case tagSnapshot:
 		var req snapshotReq
-		if !decode("snapshot request", &req) {
-			return false
+		if err := dec.decodeSnapshot(&req); err != nil {
+			return bad(err)
 		}
 		// Stream on a dedicated goroutine so the reader keeps serving
 		// cancels (and further requests) while a large snapshot drains.
@@ -740,7 +790,11 @@ func (sc *serverConn) overflowLocked() {
 	for i := range sc.queue {
 		f := &sc.queue[i]
 		switch f.tag {
-		case tagResync, tagSnapChunk:
+		// Recovery frames survive — and so do protocol-state frames: dropping
+		// a queued hello reply or upgrade marker would desync the codec
+		// negotiation, and dropping a shutdown marker would turn a graceful
+		// drain into an apparent network death.
+		case tagResync, tagSnapChunk, tagHello, tagUpgrade, tagShutdown:
 			kept = append(kept, *f)
 		case tagEventBatch:
 			putEvs(f.evs)
@@ -834,7 +888,7 @@ func (sc *serverConn) beginDrain(reason string) {
 		n++
 	}
 	sc.watches = map[uint64]serverWatch{}
-	if sc.v3.Load() {
+	if sc.proto.Load() >= protoV3 {
 		sc.queue = append(sc.queue, outFrame{tag: tagShutdown, aux: &shutdownMsg{Reason: reason}})
 	}
 	sc.draining = true
@@ -866,7 +920,8 @@ func (sc *serverConn) beginDrain(reason string) {
 // final frames and closes.
 func (sc *serverConn) writeLoop() {
 	bw := bufio.NewWriterSize(&countingWriter{w: sc.conn, c: sc.met.bytes}, connWriteBuffer)
-	enc := gob.NewEncoder(bw)
+	var enc frameEncoder = newGobFrameEncoder(gob.NewEncoder(bw))
+	binary := false // flips at the tagUpgrade marker
 	var local []outFrame
 	var lastFlush time.Time
 	flush := func() bool {
@@ -930,26 +985,30 @@ func (sc *serverConn) writeLoop() {
 		}
 		for i := range local {
 			f := &local[i]
-			err := enc.Encode(f.tag)
-			if err == nil {
-				switch f.tag {
-				case tagEventBatch:
-					m := eventBatchMsg{ID: f.id, Evs: *f.evs}
-					err = enc.Encode(&m)
-				case tagProgress:
-					m := progressMsg{ID: f.id, P: f.prog}
-					err = enc.Encode(&m)
-				case tagResync:
-					m := resyncMsg{ID: f.id, R: f.resync}
-					err = enc.Encode(&m)
-				case tagSnapChunk:
-					err = enc.Encode(f.chunk)
-				case tagHello:
-					err = enc.Encode(f.aux.(*helloMsg))
-				case tagShutdown:
-					err = enc.Encode(f.aux.(*shutdownMsg))
-				case tagHeartbeat:
-					// Tag-only frame.
+			var err error
+			switch f.tag {
+			case tagEventBatch:
+				err = enc.eventBatch(f.id, *f.evs)
+			case tagProgress:
+				err = enc.progress(f.id, f.prog)
+			case tagResync:
+				err = enc.resync(f.id, f.resync)
+			case tagSnapChunk:
+				err = enc.snapChunk(f.chunk)
+			case tagHello:
+				err = enc.hello(f.aux.(*helloMsg))
+			case tagShutdown:
+				err = enc.shutdown(f.aux.(*shutdownMsg))
+			case tagHeartbeat:
+				err = enc.heartbeat()
+			case tagUpgrade:
+				// The codec switch point: the marker itself goes out in gob,
+				// every frame after it in binary. Swapping here — in stream
+				// order, on the writer goroutine — is what makes the switch
+				// unambiguous for the client's decoder.
+				if err = enc.upgrade(); err == nil {
+					enc = newBinEncoder(bw)
+					binary = true
 				}
 			}
 			if err != nil {
@@ -957,6 +1016,11 @@ func (sc *serverConn) writeLoop() {
 				return
 			}
 			sc.met.frames.Inc()
+			if binary && f.tag != tagUpgrade {
+				sc.met.codecV4Frames.Inc()
+			} else {
+				sc.met.codecV3Frames.Inc()
+			}
 			switch f.tag {
 			case tagEventBatch:
 				sc.met.events.Add(int64(len(*f.evs)))
@@ -983,10 +1047,19 @@ func (sc *serverConn) writeLoop() {
 // ConnInfo is one connection's state, for the debug plane (debugz /conns).
 type ConnInfo struct {
 	RemoteAddr   string `json:"remote_addr"`
-	Protocol     int    `json:"protocol"` // 2 (legacy) or 3 (liveness)
+	Protocol     int    `json:"protocol"` // 2 (legacy), 3 (liveness) or 4 (binary codec)
+	Codec        string `json:"codec"`    // "gob" or "binary"
 	Watches      int    `json:"watches"`
 	QueuedEvents int    `json:"queued_events"`
 	Draining     bool   `json:"draining"`
+}
+
+// codecName names the frame codec a negotiated protocol version implies.
+func codecName(proto int) string {
+	if proto >= protoV4 {
+		return "binary"
+	}
+	return "gob"
 }
 
 // Conns snapshots the server's live connections.
@@ -1000,9 +1073,10 @@ func (s *Server) Conns() []ConnInfo {
 	out := make([]ConnInfo, 0, len(scs))
 	for _, sc := range scs {
 		info := ConnInfo{RemoteAddr: sc.conn.RemoteAddr().String(), Protocol: protoV2}
-		if sc.v3.Load() {
-			info.Protocol = protoV3
+		if p := int(sc.proto.Load()); p >= protoV3 {
+			info.Protocol = p
 		}
+		info.Codec = codecName(info.Protocol)
 		sc.mu.Lock()
 		info.Watches = len(sc.watches)
 		info.QueuedEvents = sc.queuedEvs
@@ -1147,6 +1221,12 @@ type ClientConfig struct {
 	// Log receives structured records for the same transitions; nil uses
 	// the process-wide logz ring under component "remote.client".
 	Log *slog.Logger
+	// MaxProtocol caps the wire protocol version announced in the hello.
+	// 0 (or anything ≥ 4) announces v4 — the binary codec when the server
+	// agrees. 3 pins the connection to gob framing. 2 or less speaks legacy
+	// v2: no hello, no heartbeats, no read deadlines — equivalent to a
+	// negative HeartbeatInterval.
+	MaxProtocol int
 }
 
 // snapResult resolves one in-flight snapshot request.
@@ -1190,10 +1270,10 @@ type clientWatch struct {
 type clientConn struct {
 	conn net.Conn
 	bw   *bufio.Writer
-	enc  *gob.Encoder
+	enc  frameEncoder // guarded by Client.encMu (swapped at the codec upgrade)
 	gen  int
 
-	v3       atomic.Bool  // server hello received
+	proto    atomic.Int32 // negotiated protocol (0 until the server's hello)
 	peerHB   atomic.Int64 // server's announced heartbeat interval (ns)
 	lastSend atomic.Int64
 	done     chan struct{} // closed on teardown; stops the heartbeat loop
@@ -1212,15 +1292,16 @@ func (cc *clientConn) die() {
 // consumer sees a ResyncEvent only when the server can no longer supply the
 // gap. Watch IDs and metrics counters stay continuous across reconnects.
 type Client struct {
-	addr   string
-	met    clientMetrics
-	tracer *trace.Tracer
-	rec    *flightrec.Recorder
-	log    *slog.Logger
-	hbIv   time.Duration // negative: speak v2 (no hello/heartbeats)
-	policy ReconnectPolicy
-	dialer func(addr string) (net.Conn, error)
-	jitter *rand.Rand // used only by the single active reconnect loop
+	addr     string
+	met      clientMetrics
+	tracer   *trace.Tracer
+	rec      *flightrec.Recorder
+	log      *slog.Logger
+	hbIv     time.Duration // negative: speak v2 (no hello/heartbeats)
+	announce int           // protocol version sent in the hello (3 or 4)
+	policy   ReconnectPolicy
+	dialer   func(addr string) (net.Conn, error)
+	jitter   *rand.Rand // used only by the single active reconnect loop
 
 	ctx       context.Context
 	cancelCtx context.CancelFunc
@@ -1256,6 +1337,16 @@ func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 	if hb == 0 {
 		hb = defaultHeartbeatInterval
 	}
+	announce := protoV4
+	if cfg.MaxProtocol != 0 && cfg.MaxProtocol < announce {
+		announce = cfg.MaxProtocol
+	}
+	if announce < protoV3 {
+		// v2 is the hello-less protocol; announcing less than v3 means not
+		// announcing at all, which also switches off the liveness layer.
+		announce = protoV2
+		hb = -1
+	}
 	dialer := cfg.Dialer
 	if dialer == nil {
 		dialer = func(addr string) (net.Conn, error) {
@@ -1278,6 +1369,7 @@ func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 		rec:       cfg.Recorder,
 		log:       log,
 		hbIv:      hb,
+		announce:  announce,
 		policy:    cfg.Reconnect.withDefaults(),
 		dialer:    dialer,
 		jitter:    rand.New(rand.NewSource(seed)),
@@ -1324,19 +1416,21 @@ func (c *Client) installConn(conn net.Conn) *clientConn {
 		done:     make(chan struct{}),
 		readDone: make(chan struct{}),
 	}
-	cc.enc = gob.NewEncoder(cc.bw)
+	cc.enc = newGobFrameEncoder(gob.NewEncoder(cc.bw))
 	c.cur = cc
 	c.lastRead = cc.readDone
 	return cc
 }
 
-// handshake opens the v3 stream (hello announcing our heartbeat interval).
-// With a negative heartbeat interval the client speaks v2: no hello at all.
+// handshake opens the stream with a hello announcing our protocol version
+// and heartbeat interval. With a negative heartbeat interval the client
+// speaks v2: no hello at all.
 func (c *Client) handshake(cc *clientConn) error {
 	if c.hbIv < 0 {
 		return nil
 	}
-	return c.sendOn(cc, tagHello, &helloMsg{Version: protoV3, HeartbeatMillis: c.hbIv.Milliseconds()})
+	h := &helloMsg{Version: uint32(c.announce), HeartbeatMillis: c.hbIv.Milliseconds()}
+	return c.sendOn(cc, func(e frameEncoder) error { return e.hello(h) })
 }
 
 // startConn launches the per-connection goroutines.
@@ -1346,22 +1440,36 @@ func (c *Client) startConn(cc *clientConn) {
 }
 
 // sendOn encodes one frame on the given connection and flushes: client→server
-// traffic is sparse control flow, not the hot path. payload may be nil for
-// tag-only frames.
-func (c *Client) sendOn(cc *clientConn, tag uint8, payload any) error {
+// traffic is sparse control flow, not the hot path. The frame is built by
+// send against whichever codec the connection currently speaks — encMu makes
+// the read against the codec upgrade swap safe.
+func (c *Client) sendOn(cc *clientConn, send func(frameEncoder) error) error {
 	c.encMu.Lock()
 	defer c.encMu.Unlock()
-	if err := cc.enc.Encode(tag); err != nil {
+	if err := send(cc.enc); err != nil {
 		return err
-	}
-	if payload != nil {
-		if err := cc.enc.Encode(payload); err != nil {
-			return err
-		}
 	}
 	if err := cc.bw.Flush(); err != nil {
 		return err
 	}
+	cc.lastSend.Store(time.Now().UnixNano())
+	return nil
+}
+
+// upgradeSend switches the connection's send side to the binary codec:
+// the gob tagUpgrade marker goes out first (so the server knows exactly
+// where in the stream the switch happens), then the encoder is swapped.
+// Serialized against every in-flight sendOn by encMu.
+func (c *Client) upgradeSend(cc *clientConn) error {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	if err := cc.enc.upgrade(); err != nil {
+		return err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		return err
+	}
+	cc.enc = newBinEncoder(cc.bw)
 	cc.lastSend.Store(time.Now().UnixNano())
 	return nil
 }
@@ -1371,6 +1479,25 @@ func (c *Client) connNow() *clientConn {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cur
+}
+
+// ProtocolInfo reports the current connection's negotiated protocol version
+// and frame codec ("gob" or "binary"), for operator surfaces (watchtail,
+// debug planes). Version 0 means no connection, or the server's hello has
+// not arrived yet; version 2 means the client speaks legacy v2.
+func (c *Client) ProtocolInfo() (version int, codec string) {
+	cc := c.connNow()
+	if cc == nil {
+		return 0, ""
+	}
+	p := int(cc.proto.Load())
+	if p == 0 && c.hbIv < 0 {
+		p = protoV2
+	}
+	if p == 0 {
+		return 0, ""
+	}
+	return p, codecName(p)
 }
 
 // heartbeatLoop keeps an idle v3 stream visibly alive toward the server,
@@ -1390,7 +1517,7 @@ func (c *Client) heartbeatLoop(cc *clientConn) {
 		if time.Since(time.Unix(0, cc.lastSend.Load())) < c.hbIv {
 			continue
 		}
-		if err := c.sendOn(cc, tagHeartbeat, nil); err != nil {
+		if err := c.sendOn(cc, func(e frameEncoder) error { return e.heartbeat() }); err != nil {
 			c.connFailed(cc, err)
 			return
 		}
@@ -1410,13 +1537,14 @@ func (c *Client) readLoop(cc *clientConn) {
 
 // readFrames decodes frames until the connection fails, returning the
 // failure. The event-batch decode target is persistent: its Evs backing
-// array is reused across batches (gob grows it only when a batch exceeds the
-// previous capacity). Every recycled element is zeroed before decoding — gob
-// leaves absent fields untouched, so reuse without clearing would leak one
-// event's Value or Trace into the next — and zeroing Value forces gob to
-// allocate fresh byte slices, which consumers are allowed to retain.
+// array is reused across batches (both codecs grow it only when a batch
+// exceeds the previous capacity; the per-frame recycled-element zeroing
+// lives in the decoders). The stream starts gob and switches to the binary
+// codec at the server's tagUpgrade marker.
 func (c *Client) readFrames(cc *clientConn) error {
-	dec := gob.NewDecoder(bufio.NewReaderSize(&countingReader{r: cc.conn, c: c.met.bytes}, connReadBuffer))
+	br := bufio.NewReaderSize(&countingReader{r: cc.conn, c: c.met.bytes}, connReadBuffer)
+	var dec frameDecoder = newGobFrameDecoder(gob.NewDecoder(br))
+	usingBin := false
 	var batch eventBatchMsg
 	fail := func(op string, err error) error {
 		if connLossErr(err) {
@@ -1431,7 +1559,7 @@ func (c *Client) readFrames(cc *clientConn) error {
 	var armedTO time.Duration
 	for {
 		var to time.Duration
-		if cc.v3.Load() {
+		if cc.proto.Load() >= protoV3 {
 			to = readTimeoutFor(cc.peerHB.Load())
 		} else if c.hbIv > 0 {
 			// Provisional deadline until the server's hello arrives, sized
@@ -1445,35 +1573,56 @@ func (c *Client) readFrames(cc *clientConn) error {
 				armedAt, armedTO = now, to
 			}
 		}
-		var tag uint8
-		if err := dec.Decode(&tag); err != nil {
+		tag, err := dec.readTag()
+		if err != nil {
 			return fail("tag", err)
+		}
+		if usingBin {
+			c.met.codecV4Frames.Inc()
+		} else {
+			c.met.codecV3Frames.Inc()
 		}
 		switch tag {
 		case tagHello:
 			var h helloMsg
-			if err := dec.Decode(&h); err != nil {
+			if err := dec.decodeHello(&h); err != nil {
 				return fail("hello", err)
 			}
 			cc.peerHB.Store(int64(time.Duration(h.HeartbeatMillis) * time.Millisecond))
-			cc.v3.Store(true)
+			neg := int(h.Version)
+			if neg < protoV3 {
+				neg = protoV3
+			}
+			if neg > c.announce {
+				neg = c.announce
+			}
+			cc.proto.Store(int32(neg))
+			if neg >= protoV4 {
+				// The server agreed on v4: announce our own codec switch with
+				// a gob tagUpgrade marker and swap the send side to binary.
+				// (The server's receive side stays gob until the marker
+				// arrives, so frames already sent are unaffected.)
+				if err := c.upgradeSend(cc); err != nil {
+					return err
+				}
+			}
+		case tagUpgrade:
+			// The server's codec switch marker: every server→client frame
+			// from here on is binary.
+			dec = newBinDecoder(br)
+			usingBin = true
 		case tagHeartbeat:
 			// Liveness only: the next loop iteration re-arms the deadline.
 		case tagShutdown:
 			var m shutdownMsg
-			if err := dec.Decode(&m); err != nil {
+			if err := dec.decodeShutdown(&m); err != nil {
 				return fail("shutdown", err)
 			}
 			c.mu.Lock()
 			c.draining = true
 			c.mu.Unlock()
 		case tagEventBatch:
-			for i := range batch.Evs {
-				batch.Evs[i] = core.ChangeEvent{}
-			}
-			batch.ID = 0
-			batch.Evs = batch.Evs[:0]
-			if err := dec.Decode(&batch); err != nil {
+			if err := dec.decodeEventBatch(&batch); err != nil {
 				return fail("event batch", err)
 			}
 			c.met.frames.Inc()
@@ -1481,7 +1630,7 @@ func (c *Client) readFrames(cc *clientConn) error {
 			c.deliverBatch(&batch)
 		case tagProgress:
 			var m progressMsg
-			if err := dec.Decode(&m); err != nil {
+			if err := dec.decodeProgress(&m); err != nil {
 				return fail("progress", err)
 			}
 			c.met.frames.Inc()
@@ -1491,7 +1640,7 @@ func (c *Client) readFrames(cc *clientConn) error {
 			}
 		case tagResync:
 			var m resyncMsg
-			if err := dec.Decode(&m); err != nil {
+			if err := dec.decodeResync(&m); err != nil {
 				return fail("resync", err)
 			}
 			c.met.frames.Inc()
@@ -1502,7 +1651,7 @@ func (c *Client) readFrames(cc *clientConn) error {
 			}
 		case tagSnapChunk:
 			var m snapChunk
-			if err := dec.Decode(&m); err != nil {
+			if err := dec.decodeSnapChunk(&m); err != nil {
 				return fail("snapshot chunk", err)
 			}
 			c.met.frames.Inc()
@@ -1723,7 +1872,7 @@ func (c *Client) resume(gen int, conn net.Conn) error {
 		done:     make(chan struct{}),
 		readDone: make(chan struct{}),
 	}
-	cc.enc = gob.NewEncoder(cc.bw)
+	cc.enc = newGobFrameEncoder(gob.NewEncoder(cc.bw))
 	c.cur = cc
 	c.lastRead = cc.readDone
 	gen = c.gen
@@ -1749,7 +1898,8 @@ func (c *Client) resume(gen int, conn net.Conn) error {
 	}
 	for _, w := range watches {
 		from := w.resume.Version()
-		if err := c.sendOn(cc, tagWatch, &watchReq{ID: w.id, Low: w.rng.Low, High: w.rng.High, From: from}); err != nil {
+		req := &watchReq{ID: w.id, Low: w.rng.Low, High: w.rng.High, From: from}
+		if err := c.sendOn(cc, func(e frameEncoder) error { return e.watch(req) }); err != nil {
 			c.dropConn(cc)
 			return err
 		}
@@ -1759,7 +1909,8 @@ func (c *Client) resume(gen int, conn net.Conn) error {
 		})
 	}
 	for i, acc := range snaps {
-		if err := c.sendOn(cc, tagSnapshot, &snapshotReq{ID: snapIDs[i], Low: acc.rng.Low, High: acc.rng.High}); err != nil {
+		req := &snapshotReq{ID: snapIDs[i], Low: acc.rng.Low, High: acc.rng.High}
+		if err := c.sendOn(cc, func(e frameEncoder) error { return e.snapshot(req) }); err != nil {
 			c.dropConn(cc)
 			return err
 		}
@@ -1817,7 +1968,8 @@ func (c *Client) Watch(r keyspace.Range, from core.Version, cb core.WatchCallbac
 	c.mu.Unlock()
 
 	if cc != nil {
-		if err := c.sendOn(cc, tagWatch, &watchReq{ID: id, Low: r.Low, High: r.High, From: from}); err != nil {
+		req := &watchReq{ID: id, Low: r.Low, High: r.High, From: from}
+		if err := c.sendOn(cc, func(e frameEncoder) error { return e.watch(req) }); err != nil {
 			if !c.policy.Enabled {
 				c.mu.Lock()
 				delete(c.watches, id)
@@ -1839,7 +1991,7 @@ func (c *Client) Watch(r keyspace.Range, from core.Version, cb core.WatchCallbac
 			cc := c.cur
 			c.mu.Unlock()
 			if cc != nil {
-				_ = c.sendOn(cc, tagCancel, &cancelReq{ID: id})
+				_ = c.sendOn(cc, func(e frameEncoder) error { return e.cancelWatch(&cancelReq{ID: id}) })
 			}
 		})
 	}, nil
@@ -1869,7 +2021,8 @@ func (c *Client) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, er
 	c.mu.Unlock()
 
 	if cc != nil {
-		if err := c.sendOn(cc, tagSnapshot, &snapshotReq{ID: id, Low: r.Low, High: r.High}); err != nil {
+		req := &snapshotReq{ID: id, Low: r.Low, High: r.High}
+		if err := c.sendOn(cc, func(e frameEncoder) error { return e.snapshot(req) }); err != nil {
 			if !c.policy.Enabled {
 				c.mu.Lock()
 				delete(c.snaps, id)

@@ -21,7 +21,9 @@ import (
 // produces. Watches are spread four per connection, keeping each
 // connection's worst-case queued backlog well inside the server's outbound
 // bound so no storm ends in an overflow resync.
-func benchRemoteResumeStorm(b *testing.B, watchers int) {
+// maxProto pins the client-side protocol ceiling (0 = binary v4, protoV3 =
+// gob) so codec A/B runs interleave in one process.
+func benchRemoteResumeStorm(b *testing.B, watchers, maxProto int) {
 	const window = 1 << 13
 	const backlog = 1024
 	reg := metrics.NewRegistry()
@@ -46,7 +48,7 @@ func benchRemoteResumeStorm(b *testing.B, watchers int) {
 	const perConn = 4
 	conns := make([]*Client, watchers/perConn)
 	for i := range conns {
-		c, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg})
+		c, err := DialWith(srv.Addr(), ClientConfig{Metrics: reg, MaxProtocol: maxProto})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,5 +93,7 @@ func benchRemoteResumeStorm(b *testing.B, watchers int) {
 	b.ReportMetric(backlog, "events/watcher")
 }
 
-func BenchmarkRemoteResumeStorm64(b *testing.B)  { benchRemoteResumeStorm(b, 64) }
-func BenchmarkRemoteResumeStorm256(b *testing.B) { benchRemoteResumeStorm(b, 256) }
+func BenchmarkRemoteResumeStorm64(b *testing.B)     { benchRemoteResumeStorm(b, 64, 0) }
+func BenchmarkRemoteResumeStorm256(b *testing.B)    { benchRemoteResumeStorm(b, 256, 0) }
+func BenchmarkRemoteResumeStorm64Gob(b *testing.B)  { benchRemoteResumeStorm(b, 64, protoV3) }
+func BenchmarkRemoteResumeStorm256Gob(b *testing.B) { benchRemoteResumeStorm(b, 256, protoV3) }
