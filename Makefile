@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-remote bench-replay bench-diff chaos fuzz traceguard recguard detectors verify clean
+.PHONY: build test race vet bench bench-remote bench-replay bench-diff chaos fuzz traceguard recguard govguard detectors soak soak-short verify clean
 
 build:
 	$(GO) build ./...
@@ -72,7 +72,7 @@ CHAOS_RUN = 'TestChaos|TestServerShutdown|TestClientClose|TestReconnect|TestMalf
 chaos:
 	$(GO) test -race -count=1 -run $(CHAOS_RUN) ./internal/remote
 	$(GO) test -race -count=1 -run 'TestChaosPartitionProducesRetrievableDump' ./internal/debugz
-	$(GO) test -race -count=1 -run 'TestAllExperimentsQuick/(E13|E15|E16)' ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestAllExperimentsQuick/(E13|E15|E16|E17)' ./internal/experiments
 
 # fuzz smoke-runs the wire-codec fuzzer: FuzzDecodeFrame drives the binary
 # frame decoder with mutations of the golden fixtures for a bounded wall
@@ -95,6 +95,25 @@ traceguard:
 recguard:
 	REC_GUARD=1 $(GO) test -run TestFlightRecorderOverheadGuard -v -count=1 .
 
+# govguard pins the cost of memory governance while under budget: a hub
+# charging into a governor it never pressures must run the hot append/fan-out
+# workload within 5% of an ungoverned hub. Benchmark-grade, opt-in via
+# GOV_GUARD.
+govguard:
+	GOV_GUARD=1 $(GO) test -run TestGovernorOverheadGuard -v -count=1 .
+
+# soak drives the full governed stack — MVCC store, hub, remote server, TCP,
+# reconnecting clients, ResyncWatchers — through an overload storm under the
+# race detector: stalled consumers, large values, every connection severed
+# mid-storm. It must end with the heap bounded, the degradation ladder
+# engaged, every consumer converged byte-equal, and zero goroutines leaked.
+# soak-short is the same storm at CI scale and is part of `make verify`.
+soak:
+	$(GO) test -race -count=1 -run TestSoakOverloadStorm -v ./internal/experiments
+
+soak-short:
+	$(GO) test -race -count=1 -short -run TestSoakOverloadStorm ./internal/experiments
+
 # detectors runs the deterministic anomaly-detector suite alone: every
 # detector fires on its synthetic anomaly, none fires across ten simulated
 # steady-state minutes, and the monitor/capture plumbing works on the fake
@@ -106,9 +125,11 @@ detectors:
 # includes the hub contract, stress, and latency-isolation tests; chaos is
 # the transport fault-injection suite (including the black-box dump e2e);
 # fuzz smoke-runs the wire-codec fuzzer against the golden corpus;
-# detectors is the deterministic anomaly-detector suite; traceguard and
-# recguard keep tracing and flight recording free on the hot path.
-verify: vet build race chaos fuzz detectors traceguard recguard
+# detectors is the deterministic anomaly-detector suite; soak-short is the
+# CI-scale overload storm against the governed stack; traceguard, recguard
+# and govguard keep tracing, flight recording and idle governance free on
+# the hot path.
+verify: vet build race chaos fuzz detectors soak-short traceguard recguard govguard
 
 clean:
 	$(GO) clean ./...

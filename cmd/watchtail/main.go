@@ -23,9 +23,15 @@
 //	                                   # the black box at exit, dump on any
 //	                                   # anomaly (serve it at -debug-addr's
 //	                                   # /flightrec and /dump)
+//	watchtail -budget 1048576          # run under a 1 MiB memory governor:
+//	                                   # retention evicts, laggards shed, and
+//	                                   # admission refusals print a visible
+//	                                   # backoff instead of growing the heap
+//	watchtail -budget 1048576 -govern  # also dump governor stats at exit
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +54,8 @@ func main() {
 		reconnect  = flag.Bool("reconnect", false, "with -remote: auto-reconnect with backoff and resume the watch")
 		heartbeat  = flag.Duration("heartbeat", 0, "with -remote: heartbeat interval (0 = transport default, negative = disabled)")
 		flightRec  = flag.Bool("flightrec", false, "run the flight recorder + anomaly detectors; print the black-box tail at exit")
+		budget     = flag.Int64("budget", 0, "memory governor budget in bytes (0 = ungoverned)")
+		governDump = flag.Bool("govern", false, "with -budget: dump governor stats at exit")
 	)
 	flag.Parse()
 
@@ -74,7 +82,18 @@ func main() {
 		defer flight.Mon.Stop()
 	}
 
-	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: *retention, Tracer: tracer, Recorder: recorder})
+	// The memory governor: one process-wide budget the hub's retention,
+	// watcher rings and (with -remote) the transport outbox all charge into.
+	var gov *unbundle.Governor
+	if *budget > 0 {
+		gov = unbundle.NewGovernor(unbundle.GovernorConfig{Budget: *budget, Recorder: recorder})
+		defer gov.Close()
+		st := gov.Snapshot()
+		fmt.Printf("memory governor: budget %d bytes, pressure %s (evict -> shed -> reject)\n",
+			st.BudgetBytes, st.Pressure)
+	}
+
+	store := unbundle.NewWatchableStore(unbundle.HubConfig{Retention: *retention, Tracer: tracer, Recorder: recorder, Governor: gov})
 	defer store.Close()
 
 	// The view the tail consumes from: the store itself, or — with -remote —
@@ -87,7 +106,7 @@ func main() {
 	var watchSrv *unbundle.WatchServer
 	if *remoteTail {
 		srv, err := unbundle.ServeWatchWith("127.0.0.1:0", store, store,
-			unbundle.WatchServerConfig{Tracer: tracer, HeartbeatInterval: *heartbeat, Recorder: recorder})
+			unbundle.WatchServerConfig{Tracer: tracer, HeartbeatInterval: *heartbeat, Recorder: recorder, Governor: gov})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "watchtail: watch server: %v\n", err)
 			os.Exit(1)
@@ -145,13 +164,16 @@ func main() {
 			dbgCfg.Flight = flight.Rec
 			dbgCfg.Dumps = flight.Cap
 		}
+		if gov != nil {
+			dbgCfg.Govern = gov.Snapshot
+		}
 		dbg, err := unbundle.ServeDebug(*debugAddr, dbgCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "watchtail: debug server: %v\n", err)
 			os.Exit(1)
 		}
 		defer dbg.Close()
-		fmt.Printf("debug server on http://%s (metrics, watchers, traces, regions, pprof)\n", dbg.Addr())
+		fmt.Printf("debug server on http://%s (metrics, watchers, traces, regions, govern, healthz, pprof)\n", dbg.Addr())
 	}
 
 	// A synthetic writer: three tenants, rotating updates and deletes.
@@ -174,8 +196,19 @@ func main() {
 	if *prefix != "" {
 		r = unbundle.PrefixRange(unbundle.Key(*prefix))
 	}
-	// Snapshot-then-watch, by hand, so each step is visible.
+	// Snapshot-then-watch, by hand, so each step is visible. Under a governor
+	// either step may be refused with a retry hint instead of an error — the
+	// degradation ladder's last rung, made visible here as a backoff message.
 	entries, at, err := view.SnapshotRange(r)
+	for {
+		var ov *unbundle.Overloaded
+		if !errors.As(err, &ov) {
+			break
+		}
+		fmt.Printf("OVERLOADED snapshot refused (%s); backing off %v\n", ov.Reason, ov.RetryAfter)
+		time.Sleep(ov.RetryAfter)
+		entries, at, err = view.SnapshotRange(r)
+	}
 	if err != nil {
 		panic(err)
 	}
@@ -187,7 +220,7 @@ func main() {
 	ks.AddSnapshot(r, at)
 	ksMu.Unlock()
 
-	cancel, err := view.Watch(r, at, unbundle.Callbacks{
+	cbs := unbundle.Callbacks{
 		Event: func(ev unbundle.ChangeEvent) {
 			if ev.Mut.Op == unbundle.OpDelete {
 				fmt.Printf("event    %v  %s deleted\n", ev.Version, ev.Key)
@@ -204,7 +237,17 @@ func main() {
 		Resync: func(rs unbundle.ResyncEvent) {
 			fmt.Printf("RESYNC   need snapshot >= %v over %v (%s)\n", rs.MinVersion, rs.Range, rs.Reason)
 		},
-	})
+	}
+	cancel, err := view.Watch(r, at, cbs)
+	for {
+		var ov *unbundle.Overloaded
+		if !errors.As(err, &ov) {
+			break
+		}
+		fmt.Printf("OVERLOADED watch refused (%s); backing off %v\n", ov.Reason, ov.RetryAfter)
+		time.Sleep(ov.RetryAfter)
+		cancel, err = view.Watch(r, at, cbs)
+	}
 	if err != nil {
 		panic(err)
 	}
@@ -212,6 +255,15 @@ func main() {
 
 	time.Sleep(*dur)
 	fmt.Println("done")
+	if gov != nil && *governDump {
+		st := gov.Snapshot()
+		fmt.Println("--- govern ---")
+		fmt.Printf("pressure %s  used %d of %d budget bytes  sheds=%d rejects=%d relief_runs=%d quarantined=%d\n",
+			st.Pressure, st.UsedBytes, st.BudgetBytes, st.Sheds, st.Rejects, st.ReliefRuns, st.Quarantined)
+		for _, a := range st.Accounts {
+			fmt.Printf("  %-10s %d bytes\n", a.Name, a.Used)
+		}
+	}
 	if *dumpMet {
 		fmt.Println("--- metrics ---")
 		unbundle.DefaultMetrics().WriteTo(os.Stdout)

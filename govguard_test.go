@@ -1,0 +1,89 @@
+// Governor-overhead guard: memory governance must be near-free when the
+// process is under budget. The hot append/fan-out path pays one atomic add
+// per charge and a threshold comparison — this test pins that cost: a hub
+// charging into a governor with a budget it never approaches must run the
+// BenchmarkHubAppendFanout8 workload within 5% of an ungoverned hub.
+// Benchmark-grade timing is too noisy for ordinary CI `go test`, so the
+// guard only runs when GOV_GUARD is set (see `make govguard`).
+package unbundle_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"unbundle"
+)
+
+// govGuardRun measures the guard workload against a fresh hub, governed or
+// not, and returns ns/op. The governed hub's budget is absurdly large, so
+// every charge takes the steady-state fast path and no reliever ever runs —
+// exactly the configuration whose cost must be indistinguishable from none.
+func govGuardRun(t *testing.T, governed bool) float64 {
+	t.Helper()
+	runtime.GC()
+	reg := unbundle.NewMetricsRegistry()
+	var gov *unbundle.Governor
+	if governed {
+		gov = unbundle.NewGovernor(unbundle.GovernorConfig{Budget: 1 << 40, Metrics: reg})
+		defer gov.Close()
+	}
+	hub := unbundle.NewHub(unbundle.HubConfig{
+		Retention:     1 << 16,
+		WatcherBuffer: 1 << 20,
+		Metrics:       reg,
+		Governor:      gov,
+	})
+	defer hub.Close()
+	for w := 0; w < 8; w++ {
+		lo := unbundle.Key(fmt.Sprintf("%d", w))
+		hi := unbundle.Key(fmt.Sprintf("%d", w+1))
+		cancel, err := hub.Watch(unbundle.Range{Low: lo, High: hi}, 0, unbundle.Callbacks{
+			Event: func(unbundle.ChangeEvent) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cancel()
+	}
+	res := testing.Benchmark(guardWorkload(hub))
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// TestGovernorOverheadGuard compares the governed (under-budget) hub against
+// an ungoverned one in the same process, best-of over interleaved rounds
+// with alternating order — the same protocol as the tracing and recorder
+// guards, sized for noisy shared hardware.
+func TestGovernorOverheadGuard(t *testing.T) {
+	if os.Getenv("GOV_GUARD") == "" {
+		t.Skip("set GOV_GUARD=1 to run the governor-overhead guard (see make govguard)")
+	}
+	const rounds, maxRounds = 5, 15
+	base, governed := -1.0, -1.0
+	ratio := 0.0
+	for i := 0; i < maxRounds; i++ {
+		runs := [2]bool{false, true}
+		if i%2 == 1 {
+			runs[0], runs[1] = runs[1], runs[0]
+		}
+		for _, g := range runs {
+			v := govGuardRun(t, g)
+			if g {
+				if governed < 0 || v < governed {
+					governed = v
+				}
+			} else if base < 0 || v < base {
+				base = v
+			}
+		}
+		ratio = governed / base
+		if i >= rounds-1 && ratio <= 1.05 {
+			break
+		}
+	}
+	t.Logf("ungoverned: %.1f ns/op, governed under budget: %.1f ns/op, ratio %.3f", base, governed, ratio)
+	if ratio > 1.05 {
+		t.Errorf("idle governor costs %.1f%% on the hot append path (budget 5%%)", (ratio-1)*100)
+	}
+}

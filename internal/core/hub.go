@@ -12,6 +12,7 @@ import (
 
 	"unbundle/internal/clockwork"
 	"unbundle/internal/flightrec"
+	"unbundle/internal/govern"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/logz"
 	"unbundle/internal/metrics"
@@ -66,6 +67,17 @@ type HubConfig struct {
 	// Log receives structured records for the same lifecycle transitions;
 	// nil uses the process-wide logz ring under component "core.hub".
 	Log *slog.Logger
+	// Governor, when non-nil, bounds the hub's soft state in bytes: retained
+	// segments charge the "hub" account and watcher rings the "rings"
+	// account, the hub registers its degradation relievers (accelerated
+	// eviction, then watcher shedding), and Watch admission-controls new
+	// registrations under Reject pressure. Nil disables governance at the
+	// cost of one branch per charge site.
+	Governor *govern.Governor
+	// RetentionFloor is the per-shard retained-event count accelerated
+	// eviction may trim down to under memory pressure — the freshness the
+	// hub refuses to trade away. Default Retention/4.
+	RetentionFloor int
 }
 
 // hubMetrics holds the hub's registry instruments, resolved once at
@@ -80,11 +92,11 @@ type hubMetrics struct {
 	// replayEvents counts change events delivered through the catch-up
 	// (retained-history) stream, as opposed to the live fanout; replayLatency
 	// observes one whole-watch replay stream each.
-	replayEvents  *metrics.Counter
-	appendLatency *metrics.Histogram
-	replayLatency *metrics.Histogram
-	queueHighwater                                   *metrics.Gauge
-	watchers, retained                               *metrics.Gauge
+	replayEvents       *metrics.Counter
+	appendLatency      *metrics.Histogram
+	replayLatency      *metrics.Histogram
+	queueHighwater     *metrics.Gauge
+	watchers, retained *metrics.Gauge
 	// sealedSegments/sealedBytes track the immutable portion of the
 	// retention windows: how many sealed segments the shards hold and their
 	// approximate payload footprint.
@@ -122,6 +134,12 @@ func (c *HubConfig) applyDefaults() {
 	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.RetentionFloor <= 0 {
+		c.RetentionFloor = c.Retention / 4
+	}
+	if c.RetentionFloor > c.Retention {
+		c.RetentionFloor = c.Retention
 	}
 }
 
@@ -187,6 +205,12 @@ type Hub struct {
 	// per-segment event capacity is fixed at construction from Retention.
 	segPool segPool
 
+	// gov and its two child accounts are nil when ungoverned; every charge
+	// site is nil-safe, so the ungoverned hot path pays one branch.
+	gov      *govern.Governor
+	segAcct  *govern.Account // retained-window footprint ("hub")
+	ringAcct *govern.Account // queued-but-undelivered footprint ("rings")
+
 	regMu    sync.Mutex // watcher lifecycle: Watch, cancel, Wipe, Close
 	closed   bool
 	watchers map[int64]*hubWatcher
@@ -211,6 +235,10 @@ type hubShard struct {
 	// segment pool, so an append writes one slot and allocates nothing.
 	segs  []*segment
 	count int // retained events, summed over the chain
+	// chargedBytes mirrors what this shard's retained window has charged the
+	// governor's hub account: evFootprint summed over evs[trim:] of the
+	// chain. Maintained under s.mu so Wipe/Close can release exactly.
+	chargedBytes int64
 
 	evicted  atomic.Uint64 // max version among evicted events (read cross-shard)
 	maxSeen  atomic.Uint64 // max version ever appended here (read cross-shard)
@@ -267,6 +295,16 @@ func NewHub(cfg HubConfig) *Hub {
 		})
 	}
 	h.registerLagGauges(cfg.Metrics.Or())
+	if cfg.Governor != nil {
+		h.gov = cfg.Governor
+		h.segAcct = h.gov.Account("hub")
+		h.ringAcct = h.gov.Account("rings")
+		// The degradation ladder's first two rungs, in priority order:
+		// shrink soft state before touching watchers, shed watchers before
+		// (the governor starts) rejecting admissions.
+		h.gov.RegisterReliever(10, "hub-evict", h.relieveEvict)
+		h.gov.RegisterReliever(20, "hub-shed", h.relieveShed)
+	}
 	return h
 }
 
@@ -383,6 +421,108 @@ func (h *Hub) lagOutLocked(w *hubWatcher, origin *hubShard, reason string, tid t
 	h.log.Warn("watcher lagged out", "id", w.id, "reason", reason, "min_version", uint64(min), "trace", tid)
 }
 
+// evictOneLocked trims the shard's oldest retained event, dropping the
+// oldest segment once fully consumed; the caller holds s.mu and must have
+// checked s.count > 0. It returns the event's governor footprint (0 when
+// ungoverned); the caller settles chargedBytes and the hub account.
+func (s *hubShard) evictOneLocked(h *Hub, fx *ingestFx) int64 {
+	oldest := s.segs[0]
+	ev := &oldest.evs[oldest.trim]
+	var freed int64
+	if h.segAcct != nil {
+		freed = evFootprint(ev)
+	}
+	if v := uint64(ev.Version); v > s.evicted.Load() {
+		s.evicted.Store(v)
+	}
+	oldest.trim++
+	s.count--
+	s.evictions++
+	fx.evictions++
+	fx.retained--
+	if oldest.sealed && oldest.trim == len(oldest.evs) {
+		s.segs[0] = nil
+		s.segs = s.segs[1:]
+		h.met.sealedSegments.Add(-1)
+		h.met.sealedBytes.Add(-oldest.bytes)
+		// One retire record stands in for the len(evs) per-event trims
+		// that consumed the segment — eviction is flight-recorded at
+		// segment granularity, never per event.
+		h.rec.Record(flightrec.KindSegmentRetire, flightrec.Event{
+			Comp: "core.hub", ID: int64(s.idx), Version: uint64(oldest.maxVer), N: int64(len(oldest.evs)),
+		})
+		oldest.release(&h.segPool)
+	}
+	return freed
+}
+
+// relieveEvict is the governor's first-rung reliever: accelerate retention
+// eviction down to the configured floor, shard by shard, until `need` bytes
+// are freed or every shard sits at its floor. Eviction never lags a live
+// watcher (fanout happens at append time); it only shortens the catch-up
+// window new watchers can replay.
+func (h *Hub) relieveEvict(need int64) int64 {
+	var freed int64
+	var fx ingestFx
+	for _, s := range h.shards {
+		if freed >= need {
+			break
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		var shardFreed int64
+		for s.count > h.cfg.RetentionFloor && len(s.segs) > 0 && freed+shardFreed < need {
+			shardFreed += s.evictOneLocked(h, &fx)
+		}
+		s.chargedBytes -= shardFreed
+		s.mu.Unlock()
+		freed += shardFreed
+	}
+	h.segAcct.Release(freed)
+	h.flushIngest(&fx)
+	return freed
+}
+
+// relieveShed is the second rung: when eviction alone cannot clear the
+// pressure, lag out the watcher holding the largest undelivered backlog —
+// onto the ordinary resync path, so the cut is explicit and recoverable —
+// and quarantine it so a repeat offender waits out a jittered re-admit
+// delay before Watch lets it back in.
+func (h *Hub) relieveShed(int64) int64 {
+	if h.gov.Pressure() < govern.Shed {
+		return 0 // eviction pressure only: watchers are not touched yet
+	}
+	h.regMu.Lock()
+	if h.closed {
+		h.regMu.Unlock()
+		return 0
+	}
+	var worst *hubWatcher
+	var worstBytes int64
+	for _, w := range h.watchers {
+		if w.lagged.Load() {
+			continue
+		}
+		if b := w.q.held(); b > worstBytes {
+			worst, worstBytes = w, b
+		}
+	}
+	if worst == nil {
+		h.regMu.Unlock()
+		return 0
+	}
+	var fx ingestFx
+	h.gov.Quarantine(worst.rng.String())
+	h.lagOutLocked(worst, nil, "shed under memory pressure", 0, &fx)
+	h.regMu.Unlock()
+	h.finishLagged(&fx)
+	h.flushIngest(&fx)
+	return worstBytes
+}
+
 // appendLocked ingests one event into the shard; the caller holds s.mu.
 func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 	s.appends++
@@ -398,28 +538,9 @@ func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 	// drop the segment once fully consumed. A pinned replay view keeps a
 	// dropped array alive — and readable — until it releases its reference.
 	if s.count >= h.cfg.Retention && len(s.segs) > 0 {
-		oldest := s.segs[0]
-		if v := uint64(oldest.evs[oldest.trim].Version); v > s.evicted.Load() {
-			s.evicted.Store(v)
-		}
-		oldest.trim++
-		s.count--
-		s.evictions++
-		fx.evictions++
-		fx.retained--
-		if oldest.sealed && oldest.trim == len(oldest.evs) {
-			s.segs[0] = nil
-			s.segs = s.segs[1:]
-			h.met.sealedSegments.Add(-1)
-			h.met.sealedBytes.Add(-oldest.bytes)
-			// One retire record stands in for the len(evs) per-event trims
-			// that consumed the segment — eviction is flight-recorded at
-			// segment granularity, never per event.
-			h.rec.Record(flightrec.KindSegmentRetire, flightrec.Event{
-				Comp: "core.hub", ID: int64(s.idx), Version: uint64(oldest.maxVer), N: int64(len(oldest.evs)),
-			})
-			oldest.release(&h.segPool)
-		}
+		freed := s.evictOneLocked(h, fx)
+		s.chargedBytes -= freed
+		h.segAcct.Release(freed)
 	}
 	tail := s.tailLocked(h)
 	if tail.full() {
@@ -435,6 +556,11 @@ func (s *hubShard) appendLocked(h *Hub, ev ChangeEvent, fx *ingestFx) {
 	tail.push(ev)
 	s.count++
 	fx.retained++
+	if h.segAcct != nil {
+		fp := evFootprint(&ev)
+		s.chargedBytes += fp
+		h.segAcct.Charge(fp)
+	}
 	if ev.Trace != 0 {
 		h.tracer.Record(ev.Trace, trace.StageAppend)
 	}
@@ -603,6 +729,14 @@ func (h *Hub) Watch(r keyspace.Range, from Version, cb WatchCallback) (Cancel, e
 	if r.Empty() {
 		return nil, fmt.Errorf("%w: empty range %v", ErrBadWatch, r)
 	}
+	// Admission control is the ladder's last rung: under Reject pressure —
+	// or while this range is quarantined after repeated sheds — the request
+	// fails fast with a typed, retryable govern.Overloaded instead of
+	// growing a ring the governor would immediately shed.
+	if err := h.gov.Admit(r.String()); err != nil {
+		h.log.Warn("watch admission refused", "range", r.String(), "err", err)
+		return nil, err
+	}
 	h.regMu.Lock()
 	if h.closed {
 		h.regMu.Unlock()
@@ -719,6 +853,8 @@ func (h *Hub) Wipe() {
 		}
 		s.segs = nil
 		s.count = 0
+		h.segAcct.Release(s.chargedBytes)
+		s.chargedBytes = 0
 		s.evicted.Store(s.maxSeen.Load())
 		s.frontier = VersionMap{}
 	}
@@ -793,6 +929,8 @@ func (h *Hub) Close() {
 	for _, s := range h.shards {
 		s.mu.Lock()
 		s.closed = true
+		h.segAcct.Release(s.chargedBytes)
+		s.chargedBytes = 0
 		s.mu.Unlock()
 	}
 	ws := make([]*hubWatcher, 0, len(h.watchers))
@@ -843,6 +981,7 @@ type hubWatcher struct {
 
 func newHubWatcher(h *Hub, id int64, r keyspace.Range, from Version, cb WatchCallback, max int) *hubWatcher {
 	w := &hubWatcher{id: id, hub: h, rng: r, from: from, cb: cb, q: newRing(max)}
+	w.q.acct = h.ringAcct
 	w.batchCB, _ = cb.(EventBatchCallback)
 	w.lastSeen.Store(uint64(from))
 	return w

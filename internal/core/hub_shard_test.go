@@ -180,8 +180,8 @@ func TestQuickHubAppendBatchPerKeyOrder(t *testing.T) {
 		// A full-range watcher plus watchers straddling shard boundaries.
 		ranges := []keyspace.Range{
 			keyspace.Full(),
-			keyspace.NumericRange(0, 2000),              // shards 0-1
-			keyspace.NumericRange(500, 3500),            // clips all four shards
+			keyspace.NumericRange(0, 2000),                       // shards 0-1
+			keyspace.NumericRange(500, 3500),                     // clips all four shards
 			{Low: keyspace.NumericKey(2500), High: keyspace.Inf}, // shards 2-3
 		}
 		var watchers []*watchState

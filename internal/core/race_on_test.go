@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation inflates heap allocations and breaks absolute
+// memory-accounting assertions.
+const raceEnabled = true

@@ -174,8 +174,8 @@ func TestHubReplaySegmentKeySummarySkip(t *testing.T) {
 			h.Append(put(fmt.Sprintf("%s%03d", prefix, i), v))
 		}
 	}
-	fill("a") // segment 1: keys a000..a063
-	fill("b") // segment 2: keys b000..b063
+	fill("a")               // segment 1: keys a000..a063
+	fill("b")               // segment 2: keys b000..b063
 	h.Append(put("c", v+1)) // seals segment 2
 
 	s := h.shards[0]

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"unbundle/internal/govern"
 	"unbundle/internal/keyspace"
 )
 
@@ -112,7 +115,7 @@ func (rw *ResyncWatcher) establish(expectGen int) error {
 			// delivering this resync; re-snapshotting synchronously would
 			// deadlock the read loop against itself. establish re-checks gen,
 			// so a superseded recovery is a no-op.
-			go func() { _ = rw.establish(gen) }()
+			go rw.recover(gen)
 		},
 	})
 	if err != nil {
@@ -128,6 +131,38 @@ func (rw *ResyncWatcher) establish(expectGen int) error {
 	rw.cancel = cancel
 	rw.mu.Unlock()
 	return nil
+}
+
+// recover drives establish to completion with backoff. A recovery cycle can
+// fail transiently — most importantly with govern.Overloaded when the source
+// is admission-controlling under memory pressure, the very moment resyncs
+// cluster. Giving up there would be a silent drop wearing a different hat,
+// so recover retries, honoring the server's RetryAfter hint when one is
+// attached and doubling an own backoff otherwise.
+func (rw *ResyncWatcher) recover(gen int) {
+	backoff := 25 * time.Millisecond
+	for {
+		err := rw.establish(gen)
+		if err == nil {
+			return
+		}
+		gen++ // the failed establish consumed this generation
+		wait := backoff
+		var ov *govern.Overloaded
+		if errors.As(err, &ov) && ov.RetryAfter > wait {
+			wait = ov.RetryAfter
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+		time.Sleep(wait)
+		rw.mu.Lock()
+		stale := rw.stopped || rw.gen != gen
+		rw.mu.Unlock()
+		if stale {
+			return
+		}
+	}
 }
 
 func (rw *ResyncWatcher) current(gen int) bool {

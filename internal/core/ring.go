@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unbundle/internal/govern"
 	"unbundle/internal/keyspace"
 )
 
@@ -74,6 +75,24 @@ type ring struct {
 	// (headSeq + offset) survive buffer growth and rotation.
 	progAt  map[keyspace.Range]uint64
 	headSeq uint64 // absolute sequence number of buf[start]
+
+	// acct, when non-nil, is the governor's "rings" account: heldBytes — the
+	// undelivered backlog's payload footprint — is charged on enqueue and
+	// released on drain/lag-out/stop, and is what the shed reliever ranks
+	// watchers by. Payloads queued here share backing arrays with retained
+	// segments, so the charge deliberately counts a slow watcher's backlog
+	// at full weight — held backlog is exactly the cost shedding recovers.
+	acct      *govern.Account
+	heldBytes int64
+}
+
+// itemBytes is the governor footprint of one queued item: event payloads at
+// full weight, progress/resync marks at the flat struct overhead.
+func itemBytes(it *item) int64 {
+	if it.kind == kindEvent {
+		return int64(len(it.ev.Key)+len(it.ev.Mut.Value)) + segEventOverhead
+	}
+	return segEventOverhead
 }
 
 // ringMinCap is the initial backing-array size; queues grow geometrically
@@ -137,6 +156,9 @@ func (r *ring) pushLocked(it item) bool {
 		}
 		r.progAt[it.prog.Range] = r.headSeq + uint64(r.n)
 	}
+	if r.acct != nil {
+		r.heldBytes += itemBytes(&it)
+	}
 	r.n++
 	r.enqueued++
 	if r.n > r.high {
@@ -155,11 +177,14 @@ func (r *ring) enqueue(it item) bool {
 		r.mu.Unlock()
 		return true
 	}
+	before := r.heldBytes
 	ok := r.pushLocked(it)
 	if ok && r.n == 1 {
 		r.cond.Signal()
 	}
+	delta := r.heldBytes - before
 	r.mu.Unlock()
+	r.acct.Charge(delta)
 	return ok
 }
 
@@ -175,20 +200,25 @@ func (r *ring) enqueueBatch(items []item) (accepted int, ok bool) {
 		r.mu.Unlock()
 		return 0, true
 	}
+	before := r.heldBytes
 	wasEmpty := r.n == 0
 	for i := range items {
 		if !r.pushLocked(items[i]) {
 			if wasEmpty && r.n > 0 {
 				r.cond.Signal()
 			}
+			delta := r.heldBytes - before
 			r.mu.Unlock()
+			r.acct.Charge(delta)
 			return i, false
 		}
 	}
 	if wasEmpty && r.n > 0 {
 		r.cond.Signal()
 	}
+	delta := r.heldBytes - before
 	r.mu.Unlock()
+	r.acct.Charge(delta)
 	return len(items), true
 }
 
@@ -209,8 +239,14 @@ func (r *ring) lagOut(rs ResyncEvent) {
 	r.n = 1
 	r.headSeq += uint64(r.n)
 	r.progAt = nil
+	var delta int64
+	if r.acct != nil {
+		delta = r.heldBytes - segEventOverhead // backlog dropped, resync queued
+		r.heldBytes = segEventOverhead
+	}
 	r.cond.Signal()
 	r.mu.Unlock()
+	r.acct.Release(delta)
 }
 
 // reopen re-arms a lagged ring so a fresh resync can be queued (state wipes
@@ -232,8 +268,11 @@ func (r *ring) stop() {
 	r.buf = nil
 	r.start, r.n = 0, 0
 	r.progAt = nil
+	freed := r.heldBytes
+	r.heldBytes = 0
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	r.acct.Release(freed)
 }
 
 // isCancelled is the lock-free mid-dispatch check.
@@ -276,7 +315,10 @@ func (r *ring) drain(dst []item) (batch []item, high int, ok bool) {
 	}
 	high = r.high
 	r.high = 0
+	freed := r.heldBytes
+	r.heldBytes = 0
 	r.mu.Unlock()
+	r.acct.Release(freed)
 	return dst, high, true
 }
 
@@ -286,6 +328,14 @@ func (r *ring) enqueues() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.enqueued
+}
+
+// held returns the queued backlog's governor footprint — what the shed
+// reliever ranks watchers by. Zero when the ring is ungoverned.
+func (r *ring) held() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.heldBytes
 }
 
 // depth returns the current queue length (tests only).

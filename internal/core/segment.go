@@ -55,6 +55,14 @@ type segment struct {
 // segment's bytes alongside its key and value payloads.
 const segEventOverhead = 64
 
+// evFootprint is the governor's byte estimate for one retained or queued
+// event: payload (key + value) plus the per-event struct overhead. It is the
+// same formula seal() folds into segment.bytes, so segment accounting and
+// governor accounting agree by construction.
+func evFootprint(ev *ChangeEvent) int64 {
+	return int64(len(ev.Key)+len(ev.Mut.Value)) + segEventOverhead
+}
+
 // push appends one event, updating the incremental version index. Caller
 // holds the shard lock and has checked capacity.
 func (g *segment) push(ev ChangeEvent) {

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"unbundle/internal/keyspace"
+)
+
+// TestSegmentByteEstimateTracksAllocation pins the accuracy of the byte
+// accounting the governor budgets retention against: for each payload mix,
+// a sealed segment's estimate must land within 2x of the heap actually
+// allocated for the segment array and its payloads. If the estimate drifts
+// further than that, a budget expressed in bytes stops meaning bytes.
+func TestSegmentByteEstimateTracksAllocation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates heap allocations; accuracy is pinned in the non-race run")
+	}
+	const n = 512
+	mixes := []struct {
+		name  string
+		build func(i int) ChangeEvent
+	}{
+		{"small-values", func(i int) ChangeEvent {
+			return ChangeEvent{
+				Key:     keyspace.Key(fmt.Sprintf("user/%06d", i)),
+				Mut:     Mutation{Op: OpPut, Value: []byte(fmt.Sprintf("value-%06d", i))},
+				Version: Version(i + 1),
+			}
+		}},
+		{"large-values", func(i int) ChangeEvent {
+			v := make([]byte, 4096)
+			for j := range v {
+				v[j] = byte(i + j)
+			}
+			return ChangeEvent{
+				Key:     keyspace.Key(fmt.Sprintf("blob/%06d", i)),
+				Mut:     Mutation{Op: OpPut, Value: v},
+				Version: Version(i + 1),
+			}
+		}},
+		{"deletes", func(i int) ChangeEvent {
+			return ChangeEvent{
+				Key:     keyspace.Key(fmt.Sprintf("gone/%06d", i)),
+				Mut:     Mutation{Op: OpDelete},
+				Version: Version(i + 1),
+			}
+		}},
+		{"mixed", func(i int) ChangeEvent {
+			switch i % 3 {
+			case 0:
+				return ChangeEvent{
+					Key:     keyspace.Key(fmt.Sprintf("user/%06d", i)),
+					Mut:     Mutation{Op: OpPut, Value: []byte("small")},
+					Version: Version(i + 1),
+				}
+			case 1:
+				return ChangeEvent{
+					Key:     keyspace.Key(fmt.Sprintf("blob/%06d", i)),
+					Mut:     Mutation{Op: OpPut, Value: make([]byte, 2048)},
+					Version: Version(i + 1),
+				}
+			default:
+				return ChangeEvent{
+					Key:     keyspace.Key(fmt.Sprintf("gone/%06d", i)),
+					Mut:     Mutation{Op: OpDelete},
+					Version: Version(i + 1),
+				}
+			}
+		}},
+	}
+	for _, mix := range mixes {
+		t.Run(mix.name, func(t *testing.T) {
+			// GC off for the measurement window so nothing allocated inside
+			// it is collected before the second ReadMemStats.
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+
+			p := &segPool{size: n}
+			g := p.get()
+			for i := 0; i < n; i++ {
+				g.push(mix.build(i))
+			}
+
+			runtime.ReadMemStats(&after)
+			g.seal()
+			estimate := g.bytes
+			measured := int64(after.HeapAlloc - before.HeapAlloc)
+			runtime.KeepAlive(g)
+
+			if estimate <= 0 || measured <= 0 {
+				t.Fatalf("degenerate measurement: estimate %d, measured %d", estimate, measured)
+			}
+			if estimate*2 < measured {
+				t.Fatalf("estimate %d undercounts measured allocation %d by more than 2x", estimate, measured)
+			}
+			if estimate > measured*2 {
+				t.Fatalf("estimate %d overcounts measured allocation %d by more than 2x", estimate, measured)
+			}
+			t.Logf("%s: estimate %d bytes, measured %d bytes (ratio %.2f)",
+				mix.name, estimate, measured, float64(estimate)/float64(measured))
+		})
+	}
+}

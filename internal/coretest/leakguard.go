@@ -1,0 +1,42 @@
+package coretest
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// GoroutineLeakGuard snapshots the goroutine count and returns a check to
+// run (or defer) after the test has torn everything down. The check polls —
+// forcing a GC each round so finalizer-driven cleanup can run — until the
+// count settles back to within slack of the baseline, and fails the test
+// with a full goroutine stack dump if it never does.
+//
+// The slack absorbs the runtime's own background goroutines and test
+// harness machinery; 3 matches what the chaos suite has always tolerated.
+// Call the guard FIRST in the test, before creating any system under test,
+// so the baseline excludes everything the test is responsible for reaping.
+func GoroutineLeakGuard(t testing.TB, slack int) func() {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			n := runtime.NumGoroutine()
+			if n <= baseline+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				var buf bytes.Buffer
+				_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+				t.Fatalf("goroutine leak: %d live, baseline %d (slack %d)\n%s",
+					n, baseline, slack, buf.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

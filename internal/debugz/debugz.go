@@ -21,6 +21,7 @@ import (
 
 	"unbundle/internal/core"
 	"unbundle/internal/flightrec"
+	"unbundle/internal/govern"
 	"unbundle/internal/logz"
 	"unbundle/internal/metrics"
 	"unbundle/internal/remote"
@@ -55,6 +56,12 @@ type Config struct {
 	// Logs backs GET /logz — the retained log ring, oldest first; nil uses
 	// the process-wide ring.
 	Logs func() []logz.Entry
+	// Govern backs GET /govern (the memory governor's budget, per-account
+	// usage, pressure level and shed/reject counters) and turns GET /healthz
+	// into a load-bearing probe: 503 while the governor is shedding or
+	// rejecting, 200 otherwise. Typically Governor.Snapshot. Nil serves an
+	// ungoverned zero snapshot and an always-200 /healthz.
+	Govern func() govern.Stats
 }
 
 // traceJSON is the wire form of one completed trace.
@@ -109,6 +116,8 @@ func Handler(cfg Config) http.Handler {
 			"/flightrec flight-recorder tail, oldest first (JSON, ?n= bounds)\n"+
 			"/dump     black-box dump index; ?id=N serves one full dump (JSON)\n"+
 			"/logz     retained log ring, oldest first (JSON)\n"+
+			"/govern   memory governor budget, accounts and pressure (JSON)\n"+
+			"/healthz  liveness probe: 503 while shedding under memory pressure\n"+
 			"/debug/pprof/ runtime profiles\n")
 	})
 
@@ -232,6 +241,34 @@ func Handler(cfg Config) http.Handler {
 			out = []logz.Entry{}
 		}
 		writeJSON(w, out)
+	})
+
+	mux.HandleFunc("/govern", func(w http.ResponseWriter, r *http.Request) {
+		st := govern.Stats{Pressure: govern.Steady.String()}
+		if cfg.Govern != nil {
+			st = cfg.Govern()
+		}
+		writeJSON(w, st)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Govern == nil {
+			fmt.Fprint(w, "ok (ungoverned)\n")
+			return
+		}
+		st := cfg.Govern()
+		// Evict is still healthy — the system is trimming retention within
+		// its contract. Shed and Reject mean watchers are being cut loose and
+		// new work refused: the probe's consumer should route around us.
+		if st.Level >= int(govern.Shed) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "shedding: pressure %s, used %d of %d budget bytes\n",
+				st.Pressure, st.UsedBytes, st.BudgetBytes)
+			return
+		}
+		fmt.Fprintf(w, "ok: pressure %s, used %d of %d budget bytes\n",
+			st.Pressure, st.UsedBytes, st.BudgetBytes)
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"unbundle/internal/core"
+	"unbundle/internal/govern"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
 	"unbundle/internal/mvcc"
@@ -318,5 +319,62 @@ func TestConnsEndpoint(t *testing.T) {
 			t.Fatalf("GET /conns never showed the v4 watch conn: %+v", conns)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHealthzTracksGovernorPressure drives the health probe through both
+// states: 200 while the governor is steady (or merely evicting, which is
+// in-contract housekeeping), 503 once it escalates to shedding, and back to
+// 200 after the pressure subsides.
+func TestHealthzTracksGovernorPressure(t *testing.T) {
+	g := govern.NewGovernor(govern.Config{Budget: 1000, Metrics: metrics.NewRegistry()})
+	defer g.Close()
+	acct := g.Account("hub")
+	h := Handler(Config{Metrics: metrics.NewRegistry(), Govern: g.Snapshot})
+
+	if rec := get(t, h, "/healthz"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("steady /healthz = %d %q, want 200 ok", rec.Code, rec.Body.String())
+	}
+
+	acct.Charge(900) // 90% of budget: past ShedFrac, below RejectFrac
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shedding /healthz = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "shedding") {
+		t.Fatalf("shedding /healthz body = %q, want it to say shedding", rec.Body.String())
+	}
+
+	var st govern.Stats
+	if err := json.Unmarshal(get(t, h, "/govern").Body.Bytes(), &st); err != nil {
+		t.Fatalf("GET /govern: invalid JSON: %v", err)
+	}
+	if st.BudgetBytes != 1000 || st.UsedBytes != 900 || st.Pressure != "shed" {
+		t.Fatalf("GET /govern = %+v, want budget 1000 used 900 pressure shed", st)
+	}
+	if len(st.Accounts) != 1 || st.Accounts[0].Name != "hub" || st.Accounts[0].Used != 900 {
+		t.Fatalf("GET /govern accounts = %+v, want hub at 900", st.Accounts)
+	}
+
+	acct.Release(900)
+	if rec := get(t, h, "/healthz"); rec.Code != 200 {
+		t.Fatalf("recovered /healthz = %d, want 200", rec.Code)
+	}
+}
+
+// TestHealthzUngoverned: with no governor wired, the probe always reports
+// healthy and /govern serves a zero snapshot rather than an error.
+func TestHealthzUngoverned(t *testing.T) {
+	h := Handler(Config{Metrics: metrics.NewRegistry()})
+	rec := get(t, h, "/healthz")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ungoverned") {
+		t.Fatalf("/healthz = %d %q, want 200 ungoverned", rec.Code, rec.Body.String())
+	}
+	var st govern.Stats
+	if err := json.Unmarshal(get(t, h, "/govern").Body.Bytes(), &st); err != nil {
+		t.Fatalf("GET /govern: invalid JSON: %v", err)
+	}
+	if st.Pressure != "steady" || st.BudgetBytes != 0 {
+		t.Fatalf("GET /govern = %+v, want zero steady snapshot", st)
 	}
 }

@@ -218,7 +218,7 @@ func GaugeSample(reg *metrics.Registry, name string) func() float64 {
 	}
 }
 
-// StandardDetectors builds the watch stack's five stock detectors against
+// StandardDetectors builds the watch stack's six stock detectors against
 // the given registry, keyed entirely off instrument names so the wiring
 // works for any combination of hub, remote, and pubsub components
 // registered there:
@@ -231,7 +231,11 @@ func GaugeSample(reg *metrics.Registry, name string) func() float64 {
 //     the §3.1 failure shape, caught as it happens;
 //   - heartbeat-gap: either transport side saw a silent peer (any miss is
 //     anomalous, so the floor is 1 and the baseline factor irrelevant);
-//   - delivery-stall: ingest advances while deliveries stay flat.
+//   - delivery-stall: ingest advances while deliveries stay flat;
+//   - memory-pressure: the governor escalated past eviction into shedding
+//     or admission control (pressure level ≥ 2 = Shed) — the black box
+//     should capture the storm that pushed it there, not just the gauges
+//     after the fact.
 func StandardDetectors(reg *metrics.Registry) []Detector {
 	reg = reg.Or()
 	return []Detector{
@@ -257,6 +261,9 @@ func StandardDetectors(reg *metrics.Registry) []Detector {
 			CounterSample(reg, "core_hub_appends_total"),
 			CounterSample(reg, "core_hub_delivered_total"),
 			1, 3),
+		NewGaugeDetector("memory-pressure",
+			GaugeSample(reg, "govern_pressure_level"),
+			Thresholds{MinTrigger: 2, Factor: 1, Consecutive: 1}),
 	}
 }
 

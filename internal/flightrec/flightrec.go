@@ -75,6 +75,9 @@ const (
 
 	// Auto-sharder.
 	KindRangeMove // key range reassigned to another pod
+
+	// Memory governor.
+	KindMemoryPressure // pressure level rose, or a watcher was shed+quarantined (N = used bytes / strikes)
 )
 
 var kindNames = [...]string{
@@ -96,6 +99,7 @@ var kindNames = [...]string{
 	KindDLQRoute:         "dlq-route",
 	KindNackDrop:         "nack-drop",
 	KindRangeMove:        "range-move",
+	KindMemoryPressure:   "memory-pressure",
 }
 
 // String returns the kind's wire name.

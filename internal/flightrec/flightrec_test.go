@@ -285,6 +285,11 @@ func TestStandardDetectorsFireOnSyntheticAnomalies(t *testing.T) {
 				tick()
 			}
 		}},
+		{"memory-pressure", func(reg *metrics.Registry, tick func()) {
+			// The governor escalated to Shed (level 2): one tick fires.
+			reg.Gauge("govern_pressure_level").Set(2)
+			tick()
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.detector, func(t *testing.T) {

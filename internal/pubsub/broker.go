@@ -27,6 +27,7 @@ import (
 
 	"unbundle/internal/clockwork"
 	"unbundle/internal/flightrec"
+	"unbundle/internal/govern"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
 	"unbundle/internal/trace"
@@ -102,6 +103,13 @@ type BrokerConfig struct {
 	// events: retention-GC drops, silent offset resets, DLQ routing and
 	// nack drops — the black box's view of the contract failures §3 analyzes.
 	Recorder *flightrec.Recorder
+	// Governor, when non-nil, charges the retained log payload of every topic
+	// to its "pubsub" account, so comparison experiments run the baseline and
+	// the watch stack under one memory budget. The broker is deliberately NOT
+	// admission-controlled: its contract sheds memory by destroying unconsumed
+	// history (retention GC), which is exactly the silent-loss failure mode
+	// the governed watch stack exists to replace.
+	Governor *govern.Governor
 }
 
 // brokerMetrics holds the broker's registry instruments, resolved once so
@@ -143,6 +151,7 @@ type Broker struct {
 	met    brokerMetrics
 	tracer *trace.Tracer
 	rec    *flightrec.Recorder
+	acct   *govern.Account // governor's "pubsub" account; nil when ungoverned
 
 	mu     sync.Mutex
 	topics map[string]*topic
@@ -188,6 +197,9 @@ func NewBroker(cfg BrokerConfig) *Broker {
 		topics: make(map[string]*topic),
 		stopGC: make(chan struct{}),
 		gcDone: make(chan struct{}),
+	}
+	if cfg.Governor != nil {
+		b.acct = cfg.Governor.Account("pubsub")
 	}
 	go b.gcLoop(cfg.GCInterval)
 	return b
@@ -255,6 +267,12 @@ func (b *Broker) Publish(topicName string, key keyspace.Key, value []byte) (part
 	t.published++
 	t.cond.Broadcast()
 	b.met.published.Inc()
+	// Charge exactly what the wal retains per record (len(key)+len(value));
+	// RunGC releases the same formula via per-partition Stats().Bytes deltas,
+	// so charge and release can never drift.
+	if b.acct != nil {
+		b.acct.Charge(int64(len(key) + len(value)))
+	}
 	return partition, offset, nil
 }
 
@@ -293,7 +311,7 @@ func (b *Broker) RunGC() {
 	}
 	b.mu.Unlock()
 	now := b.clock.Now()
-	var gcedDelta, compactedDelta int64
+	var gcedDelta, compactedDelta, freedBytes int64
 	for _, t := range topics {
 		t.mu.Lock()
 		var topicGCed int64
@@ -311,6 +329,7 @@ func (b *Broker) RunGC() {
 			after := p.Stats()
 			topicGCed += after.GCedRecords - before.GCedRecords
 			compactedDelta += after.CompactedAway - before.CompactedAway
+			freedBytes += before.Bytes - after.Bytes
 		}
 		gcedDelta += topicGCed
 		t.cond.Broadcast() // wake consumers so they observe resets promptly
@@ -324,6 +343,9 @@ func (b *Broker) RunGC() {
 	}
 	b.met.gcRecords.Add(gcedDelta)
 	b.met.compactedAway.Add(compactedDelta)
+	if freedBytes > 0 {
+		b.acct.Release(freedBytes)
+	}
 }
 
 // TopicStats aggregates a topic's counters; the GC-loss oracle in the
@@ -374,10 +396,18 @@ func (b *Broker) Close() {
 	b.mu.Unlock()
 	close(b.stopGC)
 	<-b.gcDone
-	// Wake any blocked consumers so they observe closure.
+	// Wake any blocked consumers so they observe closure, and hand the
+	// retained payload back to the governor.
+	var retained int64
 	for _, t := range topics {
 		t.mu.Lock()
 		t.cond.Broadcast()
+		if b.acct != nil {
+			for _, p := range t.parts {
+				retained += p.Stats().Bytes
+			}
+		}
 		t.mu.Unlock()
 	}
+	b.acct.Release(retained)
 }

@@ -6,13 +6,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"net"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"unbundle/internal/core"
+	"unbundle/internal/coretest"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
 	"unbundle/internal/mvcc"
@@ -351,7 +351,7 @@ func TestServerShutdownDrainsGracefully(t *testing.T) {
 // -race), the watch must end in exactly one terminal resync, and subsequent
 // calls must fail with ErrClientClosed.
 func TestClientCloseUnderLoad(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	checkLeaks := coretest.GoroutineLeakGuard(t, 3)
 	reg := metrics.NewRegistry()
 	hub := core.NewHub(core.HubConfig{Retention: 1 << 16, WatcherBuffer: 1 << 16, Metrics: reg})
 	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
@@ -417,17 +417,14 @@ func TestClientCloseUnderLoad(t *testing.T) {
 	producerDone.Wait()
 	srv.Close()
 	hub.Close()
-	waitUntil(t, "goroutines reaped", func() bool {
-		runtime.GC()
-		return runtime.NumGoroutine() <= baseline+3
-	})
+	checkLeaks()
 }
 
 // TestClientCloseMidReconnect kills the server so the client enters its
 // redial loop, then closes the client mid-dial: the loop must exit promptly,
 // deliver the terminal resync, and leak nothing.
 func TestClientCloseMidReconnect(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	checkLeaks := coretest.GoroutineLeakGuard(t, 3)
 	reg := metrics.NewRegistry()
 	hub := core.NewHub(core.HubConfig{Metrics: reg})
 	srv, err := ServeWith("127.0.0.1:0", hub, nopSnap{}, ServerConfig{Metrics: reg})
@@ -463,10 +460,7 @@ func TestClientCloseMidReconnect(t *testing.T) {
 		t.Fatalf("Watch after Close = %v, want ErrClientClosed", err)
 	}
 	hub.Close()
-	waitUntil(t, "goroutines reaped", func() bool {
-		runtime.GC()
-		return runtime.NumGoroutine() <= baseline+3
-	})
+	checkLeaks()
 }
 
 // TestReconnectBudgetExhausted takes the server away permanently and asserts

@@ -28,6 +28,7 @@ package remote
 //	progress   := id(uvarint) low(string) high(string) version(uvarint)
 //	resync     := id(uvarint) low(string) high(string) minVersion(uvarint)
 //	              reason(string)
+//	overloaded := id(uvarint) retryAfterMillis(zigzag) reason(string)
 //	eventBatch := id(uvarint) count(uvarint) event*count
 //	snapChunk  := id(uvarint) count(uvarint) entry*count at(uvarint)
 //	              err(string) last(1 byte)
@@ -118,6 +119,7 @@ type frameEncoder interface {
 	progress(id uint64, p core.ProgressEvent) error
 	resync(id uint64, r core.ResyncEvent) error
 	snapChunk(ch *snapChunk) error
+	overloaded(m *overloadedMsg) error
 	watch(w *watchReq) error
 	cancelWatch(cr *cancelReq) error
 	snapshot(sr *snapshotReq) error
@@ -136,6 +138,7 @@ type frameDecoder interface {
 	decodeProgress(m *progressMsg) error
 	decodeResync(m *resyncMsg) error
 	decodeSnapChunk(m *snapChunk) error
+	decodeOverloaded(m *overloadedMsg) error
 	decodeWatch(w *watchReq) error
 	decodeCancel(cr *cancelReq) error
 	decodeSnapshot(sr *snapshotReq) error
@@ -301,6 +304,14 @@ func (e *binEncoder) snapChunk(ch *snapChunk) error {
 	}
 	e.buf = append(e.buf, last)
 	return e.frame(tagSnapChunk)
+}
+
+func (e *binEncoder) overloaded(m *overloadedMsg) error {
+	e.buf = e.buf[:0]
+	e.u(m.ID)
+	e.z(m.RetryAfterMillis)
+	e.str(m.Reason)
+	return e.frame(tagOverloaded)
 }
 
 func (e *binEncoder) watch(w *watchReq) error {
@@ -662,6 +673,25 @@ func (d *binDecoder) decodeSnapChunk(m *snapChunk) error {
 	m.At = core.Version(at)
 	m.Err = errStr
 	m.Last = lb[0] != 0
+	return d.end()
+}
+
+func (d *binDecoder) decodeOverloaded(m *overloadedMsg) error {
+	id, err := d.u()
+	if err != nil {
+		return err
+	}
+	retry, err := d.z()
+	if err != nil {
+		return err
+	}
+	reason, err := d.str()
+	if err != nil {
+		return err
+	}
+	m.ID = id
+	m.RetryAfterMillis = retry
+	m.Reason = reason
 	return d.end()
 }
 

@@ -32,6 +32,7 @@ func (nopSnap) SnapshotRange(keyspace.Range) ([]core.Entry, core.Version, error)
 //	wire-B/event  server socket bytes per delivered event
 //	events/frame  delivered events per server wire message (the wire
 //	              batching ratio; 1.0 means one frame per event)
+//
 // maxProto pins the client-side protocol ceiling: 0 negotiates the newest
 // (binary v4), protoV3 pins the gob codec — the Gob variants exist so codec
 // A/B runs interleave in one process instead of comparing across sessions.

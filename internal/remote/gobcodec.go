@@ -32,11 +32,14 @@ func (e *gobFrameEncoder) tagged(tag uint8, payload any) error {
 	return e.enc.Encode(payload)
 }
 
-func (e *gobFrameEncoder) hello(h *helloMsg) error         { return e.tagged(tagHello, h) }
-func (e *gobFrameEncoder) heartbeat() error                { return e.tagged(tagHeartbeat, nil) }
-func (e *gobFrameEncoder) upgrade() error                  { return e.tagged(tagUpgrade, nil) }
-func (e *gobFrameEncoder) shutdown(m *shutdownMsg) error   { return e.tagged(tagShutdown, m) }
-func (e *gobFrameEncoder) snapChunk(ch *snapChunk) error   { return e.tagged(tagSnapChunk, ch) }
+func (e *gobFrameEncoder) hello(h *helloMsg) error       { return e.tagged(tagHello, h) }
+func (e *gobFrameEncoder) heartbeat() error              { return e.tagged(tagHeartbeat, nil) }
+func (e *gobFrameEncoder) upgrade() error                { return e.tagged(tagUpgrade, nil) }
+func (e *gobFrameEncoder) shutdown(m *shutdownMsg) error { return e.tagged(tagShutdown, m) }
+func (e *gobFrameEncoder) snapChunk(ch *snapChunk) error { return e.tagged(tagSnapChunk, ch) }
+func (e *gobFrameEncoder) overloaded(m *overloadedMsg) error {
+	return e.tagged(tagOverloaded, m)
+}
 func (e *gobFrameEncoder) watch(w *watchReq) error         { return e.tagged(tagWatch, w) }
 func (e *gobFrameEncoder) cancelWatch(cr *cancelReq) error { return e.tagged(tagCancel, cr) }
 func (e *gobFrameEncoder) snapshot(sr *snapshotReq) error  { return e.tagged(tagSnapshot, sr) }
@@ -70,11 +73,14 @@ func (d *gobFrameDecoder) readTag() (uint8, error) {
 	return tag, err
 }
 
-func (d *gobFrameDecoder) decodeHello(h *helloMsg) error        { return d.dec.Decode(h) }
-func (d *gobFrameDecoder) decodeShutdown(m *shutdownMsg) error  { return d.dec.Decode(m) }
-func (d *gobFrameDecoder) decodeProgress(m *progressMsg) error  { return d.dec.Decode(m) }
-func (d *gobFrameDecoder) decodeResync(m *resyncMsg) error      { return d.dec.Decode(m) }
-func (d *gobFrameDecoder) decodeSnapChunk(m *snapChunk) error   { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeHello(h *helloMsg) error       { return d.dec.Decode(h) }
+func (d *gobFrameDecoder) decodeShutdown(m *shutdownMsg) error { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeProgress(m *progressMsg) error { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeResync(m *resyncMsg) error     { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeSnapChunk(m *snapChunk) error  { return d.dec.Decode(m) }
+func (d *gobFrameDecoder) decodeOverloaded(m *overloadedMsg) error {
+	return d.dec.Decode(m)
+}
 func (d *gobFrameDecoder) decodeWatch(w *watchReq) error        { return d.dec.Decode(w) }
 func (d *gobFrameDecoder) decodeCancel(cr *cancelReq) error     { return d.dec.Decode(cr) }
 func (d *gobFrameDecoder) decodeSnapshot(sr *snapshotReq) error { return d.dec.Decode(sr) }

@@ -65,6 +65,14 @@ const (
 	// this direction — and every frame after it — uses the binary codec. Only
 	// ever sent to a peer that announced protocol ≥ 4 in the hello exchange.
 	tagUpgrade
+	// tagOverloaded (server → client, v3+) rejects one watch or snapshot
+	// request with a retry-after hint: the serving stack is admission-
+	// controlling under memory pressure (govern.ErrOverloaded). Unlike
+	// tagResync it is not a statement about lost history — the client should
+	// back off and re-request, resuming from its frontier. v2 peers never
+	// announced a hello, so they fall back to a terminal resync (watch) or an
+	// error chunk (snapshot) instead.
+	tagOverloaded
 )
 
 // Protocol versions. protoV2 is the batched pre-liveness protocol (no hello
@@ -138,6 +146,15 @@ type progressMsg struct {
 type resyncMsg struct {
 	ID uint64
 	R  core.ResyncEvent
+}
+
+// overloadedMsg rejects the watch or snapshot request with the given ID.
+// RetryAfterMillis carries the governor's backoff hint so remote clients
+// wait out the server's pressure instead of hammering it.
+type overloadedMsg struct {
+	ID               uint64
+	RetryAfterMillis int64
+	Reason           string
 }
 
 // snapChunk is one bounded slice of a streamed snapshot response. The client

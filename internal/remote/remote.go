@@ -73,6 +73,7 @@ import (
 
 	"unbundle/internal/core"
 	"unbundle/internal/flightrec"
+	"unbundle/internal/govern"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/logz"
 	"unbundle/internal/metrics"
@@ -161,6 +162,7 @@ type serverMetrics struct {
 	drainedWatches  *metrics.Counter // watches terminally resynced by Shutdown
 	codecV3Frames   *metrics.Counter // frames encoded with the gob codec (v2/v3)
 	codecV4Frames   *metrics.Counter // frames encoded with the binary codec (v4)
+	overloads       *metrics.Counter // watch/snapshot requests refused under memory pressure
 }
 
 func newServerMetrics(reg *metrics.Registry) serverMetrics {
@@ -180,6 +182,7 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		drainedWatches:  reg.Counter("remote_server_drained_watches_total"),
 		codecV3Frames:   reg.Counter("remote_server_codec_frames_v3_total"),
 		codecV4Frames:   reg.Counter("remote_server_codec_frames_v4_total"),
+		overloads:       reg.Counter("remote_server_overloaded_total"),
 	}
 }
 
@@ -202,6 +205,7 @@ type clientMetrics struct {
 	resumedWatches *metrics.Counter // watches re-established from a resume point
 	codecV3Frames  *metrics.Counter // frames decoded with the gob codec (v2/v3)
 	codecV4Frames  *metrics.Counter // frames decoded with the binary codec (v4)
+	overloaded     *metrics.Counter // requests the server refused under memory pressure
 }
 
 func newClientMetrics(reg *metrics.Registry) clientMetrics {
@@ -222,6 +226,7 @@ func newClientMetrics(reg *metrics.Registry) clientMetrics {
 		resumedWatches: reg.Counter("remote_client_resumed_watches_total"),
 		codecV3Frames:  reg.Counter("remote_client_codec_frames_v3_total"),
 		codecV4Frames:  reg.Counter("remote_client_codec_frames_v4_total"),
+		overloaded:     reg.Counter("remote_client_overloaded_total"),
 	}
 }
 
@@ -259,6 +264,14 @@ type ServerConfig struct {
 	// that sent a hello speaks at least v3, and true v2 is a property of
 	// hello-less clients, not of the server.
 	MaxProtocol int
+	// Governor, when non-nil, puts the server under the process memory
+	// governor: outbound connection queues are charged to its "remote"
+	// account, and snapshot requests are admission-controlled — refused with
+	// a retry-after hint (tagOverloaded for v3+ peers, an error chunk for v2)
+	// while the governor is at Reject pressure. Watch admission is the watch
+	// source's own concern (a governed hub refuses there); this server maps
+	// that refusal onto the wire.
+	Governor *govern.Governor
 }
 
 // Server exposes a watch system and its recovery snapshots on a listener.
@@ -271,8 +284,10 @@ type Server struct {
 	log        *slog.Logger
 	hbInterval time.Duration
 	writeTO    time.Duration
-	maxProto   int          // highest protocol version negotiated (3 or 4)
-	connSeq    atomic.Int64 // connection ids, for flight-record correlation
+	maxProto   int // highest protocol version negotiated (3 or 4)
+	gov        *govern.Governor
+	acct       *govern.Account // the governor's "remote" account (nil when ungoverned)
+	connSeq    atomic.Int64    // connection ids, for flight-record correlation
 
 	mu     sync.Mutex
 	conns  map[*serverConn]struct{}
@@ -326,6 +341,14 @@ func ServeWith(addr string, watch core.Watchable, snap core.Snapshotter, cfg Ser
 		conns:      make(map[*serverConn]struct{}),
 		met:        newServerMetrics(cfg.Metrics),
 	}
+	if cfg.Governor != nil {
+		s.gov = cfg.Governor
+		s.acct = cfg.Governor.Account("remote")
+		// The transport's rung on the degradation ladder, after the hub has
+		// evicted retention and shed its own laggards: convert the fattest
+		// connection's queued backlog into per-watch resyncs.
+		s.gov.RegisterReliever(30, "remote-overflow", s.relieveOverflow)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -349,6 +372,7 @@ func (s *Server) acceptLoop() {
 			rec:     s.rec,
 			log:     s.log,
 			writeTO: s.writeTO,
+			acct:    s.acct,
 			done:    make(chan struct{}),
 			watches: make(map[uint64]serverWatch),
 		}
@@ -377,7 +401,8 @@ type outFrame struct {
 	resync    core.ResyncEvent    // tagResync
 	chunk     *snapChunk          // tagSnapChunk
 	chunkSize int                 // approx payload bytes, for snapshot flow control
-	aux       any                 // tagHello (*helloMsg), tagShutdown (*shutdownMsg)
+	aux       any                 // tagHello (*helloMsg), tagShutdown (*shutdownMsg), tagOverloaded (*overloadedMsg)
+	bytes     int64               // governor footprint charged to the "remote" account (0 when ungoverned)
 }
 
 // frameDropWeight is the loss accounting for one queued-but-unsent frame:
@@ -389,7 +414,7 @@ func frameDropWeight(f *outFrame) int64 {
 	switch f.tag {
 	case tagEventBatch:
 		return int64(len(*f.evs))
-	case tagProgress, tagResync, tagSnapChunk:
+	case tagProgress, tagResync, tagSnapChunk, tagOverloaded:
 		return 1
 	}
 	return 0
@@ -405,6 +430,7 @@ type serverConn struct {
 	rec     *flightrec.Recorder
 	log     *slog.Logger
 	writeTO time.Duration
+	acct    *govern.Account // governor's "remote" account; nil when ungoverned
 
 	proto    atomic.Int32 // negotiated protocol (0 until hello; then ≥ protoV3)
 	peerHB   atomic.Int64 // client's announced heartbeat interval (nanoseconds)
@@ -511,10 +537,11 @@ func (s *Server) serveConn(sc *serverConn) {
 	// connection dying with queued frames would vanish with no drop counter
 	// anywhere, hiding transport loss the resync contract papers over.
 	sc.mu.Lock()
-	var drops int64
+	var drops, freed int64
 	for i := range sc.queue {
 		f := &sc.queue[i]
 		drops += frameDropWeight(f)
+		freed += f.bytes
 		if f.tag == tagEventBatch {
 			putEvs(f.evs)
 		}
@@ -522,6 +549,7 @@ func (s *Server) serveConn(sc *serverConn) {
 	}
 	sc.queue = nil
 	sc.mu.Unlock()
+	sc.acct.Release(freed)
 	if drops > 0 {
 		s.met.connDrops.Add(drops)
 	}
@@ -689,6 +717,20 @@ func (s *Server) handleWatch(sc *serverConn, req watchReq) {
 	sc.mu.Unlock()
 	cancel, err := s.watch.Watch(r, req.From, connWatchSink{sc: sc, id: req.ID})
 	if err != nil {
+		// A governed watch source refuses admission under memory pressure
+		// with a retry-after hint; v3+ peers get it as an overloaded frame so
+		// their reconnect/backoff machinery can wait the pressure out instead
+		// of treating the refusal as lost history.
+		var ov *govern.Overloaded
+		if errors.As(err, &ov) {
+			s.met.overloads.Inc()
+			if sc.proto.Load() >= protoV3 {
+				sc.sendOverloaded(req.ID, ov)
+			} else {
+				sc.sendResync(req.ID, core.ResyncEvent{Range: r, Reason: "watch rejected: " + err.Error()})
+			}
+			return
+		}
 		// Report the failure as an immediate resync carrying the reason;
 		// the consumer's recovery path handles it uniformly.
 		s.met.watchRejects.Inc()
@@ -703,6 +745,16 @@ func (s *Server) handleWatch(sc *serverConn, req watchReq) {
 	}
 	sc.watches[req.ID] = serverWatch{cancel: cancel, rng: r}
 	sc.mu.Unlock()
+}
+
+// evsFootprint estimates the governor footprint of one outbound event batch:
+// payload bytes plus a flat per-event struct overhead.
+func evsFootprint(evs []core.ChangeEvent) int64 {
+	var n int64
+	for i := range evs {
+		n += int64(len(evs[i].Key)+len(evs[i].Mut.Value)) + 32
+	}
+	return n
 }
 
 // sendEvents copies one batch into a pooled slice and enqueues it as a
@@ -724,7 +776,12 @@ func (sc *serverConn) sendEvents(id uint64, evs []core.ChangeEvent) {
 	}
 	p := getEvs(len(evs))
 	*p = append(*p, evs...)
-	sc.queue = append(sc.queue, outFrame{tag: tagEventBatch, id: id, evs: p})
+	var fp int64
+	if sc.acct != nil {
+		fp = evsFootprint(evs)
+		sc.acct.Charge(fp)
+	}
+	sc.queue = append(sc.queue, outFrame{tag: tagEventBatch, id: id, evs: p, bytes: fp})
 	sc.queuedEvs += len(evs)
 	if sc.tracer.Enabled() {
 		for i := range evs {
@@ -787,23 +844,27 @@ func (sc *serverConn) overflowLocked() {
 			Reason: "remote: connection outbound buffer overflow",
 		}})
 	}
+	var freed int64
 	for i := range sc.queue {
 		f := &sc.queue[i]
 		switch f.tag {
 		// Recovery frames survive — and so do protocol-state frames: dropping
 		// a queued hello reply or upgrade marker would desync the codec
-		// negotiation, and dropping a shutdown marker would turn a graceful
-		// drain into an apparent network death.
-		case tagResync, tagSnapChunk, tagHello, tagUpgrade, tagShutdown:
+		// negotiation, dropping a shutdown marker would turn a graceful
+		// drain into an apparent network death, and dropping an overloaded
+		// frame would leave a refused client waiting forever.
+		case tagResync, tagSnapChunk, tagHello, tagUpgrade, tagShutdown, tagOverloaded:
 			kept = append(kept, *f)
 		case tagEventBatch:
 			putEvs(f.evs)
+			freed += f.bytes
 		}
 		sc.queue[i] = outFrame{}
 	}
 	sc.queue = kept
 	sc.queuedEvs = 0
 	sc.cond.Signal()
+	sc.acct.Release(freed)
 }
 
 // streamSnapshot reads the range snapshot and streams it as bounded chunks,
@@ -811,6 +872,23 @@ func (sc *serverConn) overflowLocked() {
 // whole result. Runs on its own goroutine, tracked by the server waitgroup.
 func (s *Server) streamSnapshot(sc *serverConn, req snapshotReq) {
 	defer s.wg.Done()
+	// Admission-control recovery reads: materializing a large snapshot while
+	// the governor is already at Reject pressure would deepen the overload
+	// that triggered the recovery. Keyed by peer so a quarantine aimed at
+	// this client's address never bleeds onto its neighbours.
+	if err := s.gov.Admit("snapshot:" + sc.conn.RemoteAddr().String()); err != nil {
+		var ov *govern.Overloaded
+		if errors.As(err, &ov) {
+			s.met.overloads.Inc()
+			if sc.proto.Load() >= protoV3 {
+				sc.sendOverloaded(req.ID, ov)
+			} else {
+				msg := "server overloaded: " + ov.Reason
+				sc.sendChunk(&snapChunk{ID: req.ID, Err: msg, Last: true}, len(msg)+32)
+			}
+			return
+		}
+	}
 	entries, at, err := s.snap.SnapshotRange(keyspace.Range{Low: req.Low, High: req.High})
 	if err != nil {
 		sc.sendChunk(&snapChunk{ID: req.ID, Err: err.Error(), Last: true}, len(err.Error())+32)
@@ -849,11 +927,30 @@ func (sc *serverConn) sendChunk(ch *snapChunk, size int) bool {
 		sc.mu.Unlock()
 		return false
 	}
-	sc.queue = append(sc.queue, outFrame{tag: tagSnapChunk, id: ch.ID, chunk: ch, chunkSize: size})
+	var fp int64
+	if sc.acct != nil {
+		fp = int64(size)
+		sc.acct.Charge(fp)
+	}
+	sc.queue = append(sc.queue, outFrame{tag: tagSnapChunk, id: ch.ID, chunk: ch, chunkSize: size, bytes: fp})
 	sc.chunkBytes += size
 	sc.cond.Signal()
 	sc.mu.Unlock()
 	return true
+}
+
+// sendOverloaded refuses one watch or snapshot request with the governor's
+// retry-after hint. Like sendResync it bypasses the outbox bound: it is the
+// back-pressure signal itself and must not be starved by the backlog it is
+// there to shed.
+func (sc *serverConn) sendOverloaded(id uint64, ov *govern.Overloaded) {
+	m := &overloadedMsg{ID: id, RetryAfterMillis: ov.RetryAfter.Milliseconds(), Reason: ov.Reason}
+	sc.mu.Lock()
+	if !sc.dead && !sc.draining {
+		sc.queue = append(sc.queue, outFrame{tag: tagOverloaded, id: id, aux: m})
+		sc.cond.Signal()
+	}
+	sc.mu.Unlock()
 }
 
 // die tears the connection down and wakes every waiter. Idempotent.
@@ -936,9 +1033,10 @@ func (sc *serverConn) writeLoop() {
 	// fail counts the frames an encode/flush error strands (the current
 	// frame onward) before tearing the connection down.
 	fail := func(local []outFrame, from int) {
-		var drops int64
+		var drops, freed int64
 		for i := from; i < len(local); i++ {
 			drops += frameDropWeight(&local[i])
+			freed += local[i].bytes
 			if local[i].tag == tagEventBatch {
 				putEvs(local[i].evs)
 			}
@@ -946,6 +1044,7 @@ func (sc *serverConn) writeLoop() {
 		if drops > 0 {
 			sc.met.connDrops.Add(drops)
 		}
+		sc.acct.Release(freed)
 		sc.die()
 	}
 	for {
@@ -999,6 +1098,8 @@ func (sc *serverConn) writeLoop() {
 				err = enc.hello(f.aux.(*helloMsg))
 			case tagShutdown:
 				err = enc.shutdown(f.aux.(*shutdownMsg))
+			case tagOverloaded:
+				err = enc.overloaded(f.aux.(*overloadedMsg))
 			case tagHeartbeat:
 				err = enc.heartbeat()
 			case tagUpgrade:
@@ -1032,6 +1133,10 @@ func (sc *serverConn) writeLoop() {
 				sc.spaceCond.Signal()
 				sc.mu.Unlock()
 			}
+			if f.bytes > 0 {
+				// Encoded into the socket buffer: off the governed outbox.
+				sc.acct.Release(f.bytes)
+			}
 			local[i] = outFrame{}
 			if bw.Buffered() > 0 && time.Since(lastFlush) > flushLinger {
 				if !flush() {
@@ -1063,6 +1168,57 @@ func codecName(proto int) string {
 }
 
 // Conns snapshots the server's live connections.
+// relieveOverflow is the governor's transport reliever: while the process
+// is over budget it repeatedly finds the connection holding the most
+// charged outbound bytes — a peer that stopped reading while the storm kept
+// producing — and overflows its backlog into explicit per-watch resyncs,
+// releasing the whole charge at once. This is the same safety valve the
+// outboundLimit bound triggers, pulled earlier by memory pressure instead
+// of waiting for the event-count bound. Runs on the governor's relief
+// goroutine; locks are taken one connection at a time, never nested.
+func (s *Server) relieveOverflow(need int64) int64 {
+	var freed int64
+	for freed < need {
+		s.mu.Lock()
+		scs := make([]*serverConn, 0, len(s.conns))
+		for sc := range s.conns {
+			scs = append(scs, sc)
+		}
+		s.mu.Unlock()
+		var worst *serverConn
+		var worstBytes int64
+		for _, sc := range scs {
+			sc.mu.Lock()
+			var b int64
+			for i := range sc.queue {
+				b += sc.queue[i].bytes
+			}
+			sc.mu.Unlock()
+			if b > worstBytes {
+				worst, worstBytes = sc, b
+			}
+		}
+		if worst == nil || worstBytes == 0 {
+			return freed
+		}
+		worst.mu.Lock()
+		// Re-check under the lock: the write loop may have drained it since.
+		var b int64
+		for i := range worst.queue {
+			b += worst.queue[i].bytes
+		}
+		if b > 0 {
+			worst.overflowLocked()
+		}
+		worst.mu.Unlock()
+		if b == 0 {
+			return freed
+		}
+		freed += b
+	}
+	return freed
+}
+
 func (s *Server) Conns() []ConnInfo {
 	s.mu.Lock()
 	scs := make([]*serverConn, 0, len(s.conns))
@@ -1234,6 +1390,10 @@ type snapResult struct {
 	entries []core.Entry
 	at      core.Version
 	err     string
+	// overloaded carries a typed admission refusal so callers (most
+	// importantly core.ResyncWatcher's recovery loop) can honor the server's
+	// retry-after hint via errors.As instead of string-matching err.
+	overloaded *govern.Overloaded
 }
 
 // snapAccum accumulates a streamed snapshot's chunks until Last. On
@@ -1656,6 +1816,13 @@ func (c *Client) readFrames(cc *clientConn) error {
 			}
 			c.met.frames.Inc()
 			c.handleSnapChunk(&m)
+		case tagOverloaded:
+			var m overloadedMsg
+			if err := dec.decodeOverloaded(&m); err != nil {
+				return fail("overloaded", err)
+			}
+			c.met.frames.Inc()
+			c.handleOverloaded(&m)
 		default:
 			c.met.decodeErrs.Inc()
 			return &ProtocolError{Op: "tag", Err: fmt.Errorf("unknown frame tag %d", tag)}
@@ -1713,6 +1880,65 @@ func (c *Client) handleSnapChunk(m *snapChunk) {
 	res := snapResult{entries: acc.entries, at: acc.at}
 	c.mu.Unlock()
 	acc.ch <- res
+}
+
+// handleOverloaded resolves a server-side admission refusal for one request.
+// A refused snapshot fails with the typed error (its caller owns the retry
+// policy). A refused watch is retried here after the server's retry-after
+// hint — the watch was never established server-side, so nothing else will
+// revive it — unless reconnection is disabled, in which case the refusal
+// degrades to the pre-resilience contract: a terminal resync.
+func (c *Client) handleOverloaded(m *overloadedMsg) {
+	retry := time.Duration(m.RetryAfterMillis) * time.Millisecond
+	if retry <= 0 {
+		retry = 100 * time.Millisecond
+	}
+	c.met.overloaded.Inc()
+	c.mu.Lock()
+	if acc := c.snaps[m.ID]; acc != nil {
+		delete(c.snaps, m.ID)
+		c.mu.Unlock()
+		acc.ch <- snapResult{overloaded: &govern.Overloaded{RetryAfter: retry, Reason: m.Reason}}
+		return
+	}
+	c.mu.Unlock()
+	w := c.watchFor(m.ID)
+	if w == nil {
+		return
+	}
+	if !c.policy.Enabled {
+		w.terminal.Store(true)
+		c.met.resyncs.Inc()
+		w.cb.OnResync(core.ResyncEvent{Range: w.rng, Reason: "server overloaded: " + m.Reason})
+		return
+	}
+	// Extra jitter on top of the server's (already jittered) hint, from the
+	// global source: c.jitter belongs to the reconnect loop's goroutine.
+	wait := retry + time.Duration(rand.Int63n(int64(retry)/4+1))
+	c.log.Warn("watch refused: server overloaded, backing off",
+		"id", m.ID, "reason", m.Reason, "retry_in", wait)
+	time.AfterFunc(wait, func() { c.retryWatch(w) })
+}
+
+// retryWatch re-requests one admission-refused watch from its resume point.
+// No-op when the watch was cancelled, went terminal, or the client failed
+// meanwhile; when the connection is down, the reconnect path re-establishes
+// the watch along with the rest.
+func (c *Client) retryWatch(w *clientWatch) {
+	c.mu.Lock()
+	if c.closed || c.failed != nil || c.watches[w.id] != w || w.terminal.Load() {
+		c.mu.Unlock()
+		return
+	}
+	cc := c.cur
+	c.mu.Unlock()
+	if cc == nil {
+		return
+	}
+	req := &watchReq{ID: w.id, Low: w.rng.Low, High: w.rng.High, From: w.resume.Version()}
+	if err := c.sendOn(cc, func(e frameEncoder) error { return e.watch(req) }); err != nil {
+		c.connFailed(cc, err)
+	}
 }
 
 // connFailed handles the loss of one connection. Exactly one caller per
@@ -2036,6 +2262,9 @@ func (c *Client) SnapshotRange(r keyspace.Range) ([]core.Entry, core.Version, er
 	res, ok := <-acc.ch
 	if !ok {
 		return nil, 0, fmt.Errorf("remote: snapshot: %w", io.ErrUnexpectedEOF)
+	}
+	if res.overloaded != nil {
+		return nil, 0, fmt.Errorf("remote: snapshot: %w", res.overloaded)
 	}
 	if res.err != "" {
 		return nil, 0, fmt.Errorf("remote: snapshot: %s", res.err)

@@ -1,11 +1,14 @@
 package workqueue
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unbundle/internal/core"
+	"unbundle/internal/govern"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/metrics"
 	"unbundle/internal/mvcc"
@@ -52,8 +55,19 @@ var _ Pool = (*WatchPool)(nil)
 // NewWatchPool creates the watch-model pool. shards is the sharder's initial
 // range count (ranges move stickily as workers come and go).
 func NewWatchPool(shards, slowCost int) *WatchPool {
+	return NewGovernedWatchPool(shards, slowCost, nil)
+}
+
+// NewGovernedWatchPool is NewWatchPool with the pool's internal hub charging
+// its retention and watcher rings against gov's budget, so a worker fleet
+// shares the process-wide memory envelope with the rest of the watch stack.
+// Under pressure the hub may refuse new watcher admissions with a typed
+// retry hint; workers back off and retry (see admitWatcher) rather than
+// leaving part of their assignment silently unwatched. A nil gov means
+// ungoverned.
+func NewGovernedWatchPool(shards, slowCost int, gov *govern.Governor) *WatchPool {
 	store := mvcc.NewStore()
-	hub := core.NewHub(core.HubConfig{Retention: 1 << 18, WatcherBuffer: 1 << 18})
+	hub := core.NewHub(core.HubConfig{Retention: 1 << 18, WatcherBuffer: 1 << 18, Governor: gov})
 	detach := store.AttachCDC(keyspace.Full(), hub)
 	return &WatchPool{
 		store:    store,
@@ -247,9 +261,11 @@ type wWorker struct {
 	pool *WatchPool
 
 	mu       sync.Mutex
+	stopped  bool
 	pending  map[keyspace.Key]Work
 	warm     map[keyspace.Key]bool
 	watchers map[string]*core.ResyncWatcher
+	wanted   map[string]bool // assigned range keys (RangeSet merges ranges, so it can't answer this)
 	ranges   keyspace.RangeSet
 
 	cur       *Work
@@ -280,6 +296,10 @@ func (w *wWorker) setRanges(ranges []keyspace.Range) {
 	w.mu.Lock()
 	have := w.ranges
 	w.ranges = want
+	w.wanted = make(map[string]bool, len(ranges))
+	for _, r := range ranges {
+		w.wanted[r.String()] = true
+	}
 	var stop []*core.ResyncWatcher
 	for key, rw := range w.watchers {
 		keep := false
@@ -320,12 +340,70 @@ func (w *wWorker) setRanges(ranges []keyspace.Range) {
 		if exists {
 			continue
 		}
-		rw := core.NewResyncWatcher(w.pool.store, w.pool.hub, r, w)
-		w.mu.Lock()
+		if err := w.admitWatcher(key, r); err != nil {
+			go w.admitLoop(key, r, err)
+		}
+	}
+}
+
+// admitWatcher builds and starts the watcher for r, registering it only once
+// the hub has admitted it. A failed establish consumes a ResyncWatcher's
+// generation, so every attempt uses a fresh watcher. Returns the refusal
+// when the start was rejected (the governed hub admission-controls under
+// memory pressure) and the caller should retry; nil when the watcher is
+// registered or no longer wanted.
+func (w *wWorker) admitWatcher(key string, r keyspace.Range) error {
+	rw := core.NewResyncWatcher(w.pool.store, w.pool.hub, r, w)
+	err := rw.Start()
+	w.mu.Lock()
+	if w.stopped || !w.wantsLocked(key) || w.watchers[key] != nil {
+		w.mu.Unlock()
+		rw.Stop()
+		return nil // no longer wanted: nothing left to admit
+	}
+	if err == nil {
 		w.watchers[key] = rw
 		w.mu.Unlock()
-		_ = rw.Start()
+		return nil
 	}
+	w.mu.Unlock()
+	rw.Stop()
+	return err
+}
+
+// admitLoop retries a refused admission with backoff, honoring the
+// governor's RetryAfter hint when the refusal carries one. Dropping the
+// error instead would leave part of the worker's assignment silently
+// unwatched — the exact failure mode the explicit refusal exists to
+// prevent. The loop ends when the watcher is admitted, the range is
+// reassigned elsewhere, or the worker stops.
+func (w *wWorker) admitLoop(key string, r keyspace.Range, err error) {
+	backoff := 25 * time.Millisecond
+	for {
+		wait := backoff
+		var ov *govern.Overloaded
+		if errors.As(err, &ov) && ov.RetryAfter > wait {
+			wait = ov.RetryAfter
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		time.Sleep(wait)
+		w.mu.Lock()
+		stale := w.stopped || !w.wantsLocked(key) || w.watchers[key] != nil
+		w.mu.Unlock()
+		if stale {
+			return
+		}
+		if err = w.admitWatcher(key, r); err == nil {
+			return
+		}
+	}
+}
+
+// wantsLocked reports whether key is still part of the worker's assignment.
+func (w *wWorker) wantsLocked(key string) bool {
+	return w.wanted[key]
 }
 
 // ResetSnapshot implements core.SyncedConsumer: every entity in the snapshot
@@ -465,6 +543,7 @@ func (w *wWorker) busy() bool {
 
 func (w *wWorker) stop() {
 	w.mu.Lock()
+	w.stopped = true
 	ws := make([]*core.ResyncWatcher, 0, len(w.watchers))
 	for _, rw := range w.watchers {
 		ws = append(ws, rw)

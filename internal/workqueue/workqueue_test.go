@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"unbundle/internal/govern"
 	"unbundle/internal/keyspace"
 )
 
@@ -379,5 +380,37 @@ func TestFleetHelpers(t *testing.T) {
 	}
 	if _, ok := workloadOf("unrelated"); ok {
 		t.Fatal("workloadOf accepted junk")
+	}
+}
+
+// TestGovernedWatchPoolChargesAndCompletes wires the watch pool's internal
+// hub into a memory governor: the fleet's retention must show up as charged
+// bytes while the pool runs, everything must still complete, and closing the
+// pool must return every charged byte to the budget.
+func TestGovernedWatchPoolChargesAndCompletes(t *testing.T) {
+	gov := govern.NewGovernor(govern.Config{Budget: 1 << 30})
+	defer gov.Close()
+	p := NewGovernedWatchPool(8, 100, gov)
+	p.AddWorker("w0")
+	p.AddWorker("w1")
+	for e := 0; e < 20; e++ {
+		p.Submit(Work{Entity: keyspace.NumericKey(e), Seq: 1, Cost: 2, Submit: 0})
+	}
+	waitUntil(t, "all entities done", func() bool {
+		p.Tick()
+		done := p.Done()
+		for e := 0; e < 20; e++ {
+			if done[keyspace.NumericKey(e)] < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	if used := gov.Snapshot().UsedBytes; used == 0 {
+		t.Fatal("governed pool never charged the budget")
+	}
+	p.Close()
+	if used := gov.Snapshot().UsedBytes; used != 0 {
+		t.Fatalf("pool closed but %d bytes still charged", used)
 	}
 }

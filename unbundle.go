@@ -35,6 +35,7 @@ import (
 	"unbundle/internal/core"
 	"unbundle/internal/debugz"
 	"unbundle/internal/flightrec"
+	"unbundle/internal/govern"
 	"unbundle/internal/ingeststore"
 	"unbundle/internal/keyspace"
 	"unbundle/internal/logz"
@@ -397,6 +398,36 @@ func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder { return flight
 // NewFlightStack wires recorder → standard detectors → capturer; call
 // Mon.Start to begin anomaly detection.
 func NewFlightStack(cfg FlightStackConfig) *FlightStack { return flightrec.NewStack(cfg) }
+
+// Overload protection (see internal/govern): a process-wide memory governor
+// with hierarchical budget accounts. Wire one Governor into HubConfig,
+// WatchServerConfig and BrokerConfig via their Governor fields; the stack
+// then degrades in contract order under memory pressure — accelerate segment
+// eviction, shed the worst-backlogged watchers onto the resync path, and
+// finally admission-control new watches and snapshots with a typed
+// retry-after error (ErrOverloaded via errors.Is, *Overloaded via errors.As).
+type (
+	// Governor is the process-wide memory governor.
+	Governor = govern.Governor
+	// GovernorConfig tunes a Governor (budget, pressure thresholds,
+	// quarantine policy).
+	GovernorConfig = govern.Config
+	// GovernorStats is a point-in-time governor snapshot (debugz /govern).
+	GovernorStats = govern.Stats
+	// GovernorAccount is one named budget account (Hub retention, watcher
+	// rings, remote outbox, pubsub logs).
+	GovernorAccount = govern.Account
+	// Overloaded is the typed admission refusal carrying a RetryAfter hint.
+	Overloaded = govern.Overloaded
+)
+
+// ErrOverloaded matches (via errors.Is) any admission refusal issued by a
+// Governor, locally or over the remote watch protocol.
+var ErrOverloaded = govern.ErrOverloaded
+
+// NewGovernor creates a memory governor with the given budget and starts its
+// relief goroutine; Close stops it.
+func NewGovernor(cfg GovernorConfig) *Governor { return govern.NewGovernor(cfg) }
 
 // Structured logging (see internal/logz): component-tagged slog.Loggers
 // writing into a bounded in-memory ring served at the debug server's /logz.
